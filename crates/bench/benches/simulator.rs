@@ -1,0 +1,78 @@
+//! Deployment-simulator throughput and protocol sweeps (paper §4.3).
+//!
+//! Runs the full 100 000-machine Figure 10 scenario per protocol, and
+//! sweeps the two design knobs DESIGN.md calls out for ablation:
+//! representatives per cluster and the advancement threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mirage_deploy::{Balanced, FrontLoading, NoStaging};
+use mirage_scenarios::deployment::{sound_scenario, ProblemPlacement};
+use mirage_sim::{run, ScenarioBuilder};
+
+fn bench_protocols_full_scale(c: &mut Criterion) {
+    let scenario = sound_scenario(ProblemPlacement::Late);
+    let mut group = c.benchmark_group("simulator/fig10-100k");
+    group.sample_size(10);
+    group.bench_function("NoStaging", |b| {
+        b.iter(|| run(&scenario, &mut NoStaging::new(scenario.plan.clone())).failed_tests)
+    });
+    group.bench_function("Balanced", |b| {
+        b.iter(|| run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0)).failed_tests)
+    });
+    group.bench_function("FrontLoading", |b| {
+        b.iter(|| {
+            run(
+                &scenario,
+                &mut FrontLoading::new(scenario.plan.clone(), 1.0),
+            )
+            .failed_tests
+        })
+    });
+    group.finish();
+}
+
+fn bench_reps_per_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/reps-sweep");
+    group.sample_size(10);
+    for reps in [1usize, 3, 10] {
+        let scenario = ScenarioBuilder::new()
+            .clusters(20, 1_000, reps)
+            .problem_in_clusters("prevalent", &[15, 16, 17])
+            .problem_in_clusters("rare", &[19])
+            .build();
+        group.bench_with_input(BenchmarkId::new("reps", reps), &scenario, |b, s| {
+            b.iter(|| run(s, &mut Balanced::new(s.plan.clone(), 1.0)).completion_time)
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/threshold-sweep");
+    group.sample_size(10);
+    for threshold in [0.5f64, 0.9, 1.0] {
+        let scenario = ScenarioBuilder::new()
+            .clusters(20, 1_000, 1)
+            .problem_in_clusters("prevalent", &[15, 16, 17])
+            .misplaced_machine(2, "odd")
+            .threshold(threshold)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("threshold", format!("{threshold}")),
+            &scenario,
+            |b, s| {
+                b.iter(|| run(s, &mut Balanced::new(s.plan.clone(), s.threshold)).completion_time)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocols_full_scale,
+    bench_reps_per_cluster,
+    bench_threshold
+);
+criterion_main!(benches);

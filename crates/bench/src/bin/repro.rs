@@ -1,0 +1,398 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [experiment] [--csv <dir>]
+//!
+//! experiments:
+//!   fig1 fig2 fig3     survey figures (§2.2)
+//!   table1             heuristic effectiveness (§4.1)
+//!   fig6 fig7 merge    MySQL clustering (§4.2.1)
+//!   fig8 fig9          Firefox clustering (§4.2.2)
+//!   fig10 fig11        deployment latency CDFs (§4.3.2)
+//!   overhead           upgrade-overhead comparison (§4.3.2)
+//!   all                everything (default)
+//!
+//! With `--csv <dir>`, the CDF figures additionally write plot-ready
+//! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
+//! Table 1 writes `table1.csv`.
+//! ```
+
+use mirage_bench::{bar, render_cdf, render_table};
+use mirage_cluster::ClusterQuality;
+use mirage_scenarios::{apps, deployment, firefox, mysql, survey};
+
+fn main() {
+    // Arguments: an optional experiment name plus optional `--csv <dir>`.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut arg = "all".to_string();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            let dir = it.next().expect("--csv requires a directory");
+            csv_dir = Some(std::path::PathBuf::from(dir));
+        } else {
+            arg = a;
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+    let all = arg == "all";
+    if all || arg == "fig1" {
+        fig1(csv_dir.as_deref());
+    }
+    if all || arg == "fig2" {
+        fig2();
+    }
+    if all || arg == "fig3" {
+        fig3(csv_dir.as_deref());
+    }
+    if all || arg == "table1" {
+        table1(csv_dir.as_deref());
+    }
+    if all || arg == "fig6" {
+        fig6();
+    }
+    if all || arg == "fig7" {
+        fig7();
+    }
+    if all || arg == "merge" {
+        merge();
+    }
+    if all || arg == "fig8" {
+        fig8();
+    }
+    if all || arg == "fig9" {
+        fig9();
+    }
+    if all || arg == "fig10" {
+        fig10(csv_dir.as_deref());
+    }
+    if all || arg == "fig11" {
+        fig11(csv_dir.as_deref());
+    }
+    if all || arg == "overhead" {
+        overhead();
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn fig1(csv: Option<&std::path::Path>) {
+    heading("Figure 1: Upgrade frequencies (by experience)");
+    let rows = survey::dataset();
+    let fig = survey::figure1(&rows);
+    let table: Vec<Vec<String>> = fig
+        .iter()
+        .map(|(freq, per_exp)| {
+            let total: usize = per_exp.iter().sum();
+            vec![
+                freq.label().to_string(),
+                per_exp[0].to_string(),
+                per_exp[1].to_string(),
+                per_exp[2].to_string(),
+                per_exp[3].to_string(),
+                format!("{total:>2} {}", bar(total, 20)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Upgrade frequency",
+                "0-2y",
+                "2-5y",
+                "5-10y",
+                ">10y",
+                "Total"
+            ],
+            &table
+        )
+    );
+    let stats = survey::stats(&rows);
+    println!(
+        "=> {:.0}% of administrators upgrade once a month or more (paper: 90%)",
+        stats.monthly_or_more * 100.0
+    );
+    let (security, bug_fix, user_request, new_feature) = survey::reason_rank_averages(&rows);
+    println!(
+        "=> reason ranks: security {security:.1}, bug fix {bug_fix:.1}, user request {user_request:.1}, new feature {new_feature:.1} (paper: 1.6 / 2.2 / 3.3 / 3.5)"
+    );
+    if let Some(dir) = csv {
+        let mut out = String::from("frequency,exp_0_2,exp_2_5,exp_5_10,exp_10_plus\n");
+        for (freq, per_exp) in &fig {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                freq.label(),
+                per_exp[0],
+                per_exp[1],
+                per_exp[2],
+                per_exp[3]
+            ));
+        }
+        std::fs::write(dir.join("fig1.csv"), out).expect("write fig1.csv");
+        println!("(wrote {}/fig1.csv)", dir.display());
+    }
+}
+
+fn fig2() {
+    heading("Figure 2: Reluctance to upgrade");
+    let rows = survey::dataset();
+    let fig = survey::figure2(&rows);
+    let table = vec![
+        vec![
+            "Refrain to install".to_string(),
+            fig[&(true, false)].to_string(),
+            fig[&(true, true)].to_string(),
+        ],
+        vec![
+            "Does not refrain".to_string(),
+            fig[&(false, false)].to_string(),
+            fig[&(false, true)].to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["", "No testing strategy", "Have testing strategy"],
+            &table
+        )
+    );
+    let stats = survey::stats(&rows);
+    println!(
+        "=> {:.0}% refrain from installing; {:.0}% have a testing strategy (paper: 70% / 70%)",
+        stats.refrain_fraction * 100.0,
+        stats.strategy_fraction * 100.0
+    );
+}
+
+fn fig3(csv: Option<&std::path::Path>) {
+    heading("Figure 3: Perceived upgrade failure rate");
+    let rows = survey::dataset();
+    let fig = survey::figure3(&rows);
+    let table: Vec<Vec<String>> = fig
+        .iter()
+        .map(|(pct, count)| vec![format!("{pct}%"), count.to_string(), bar(*count, 20)])
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Failure rate", "Respondents", ""], &table)
+    );
+    let stats = survey::stats(&rows);
+    println!(
+        "=> average {:.1}%, median {:.0}%, {:.0}% answered 5-10% (paper: 8.6% / 5% / 66%)",
+        stats.failure_rate_avg,
+        stats.failure_rate_median,
+        stats.failure_rate_5_to_10 * 100.0
+    );
+    if let Some(dir) = csv {
+        let mut out = String::from("failure_rate_pct,respondents\n");
+        for (pct, count) in &fig {
+            out.push_str(&format!("{pct},{count}\n"));
+        }
+        std::fs::write(dir.join("fig3.csv"), out).expect("write fig3.csv");
+        println!("(wrote {}/fig3.csv)", dir.display());
+    }
+}
+
+fn table1(csv: Option<&std::path::Path>) {
+    heading("Table 1: Effectiveness of the heuristic in identifying environmental resources");
+    let rows: Vec<Vec<String>> = apps::all_models()
+        .iter()
+        .map(|model| {
+            let row = model.table1_row();
+            let perfect = model.with_rules_row().is_perfect();
+            vec![
+                row.app.clone(),
+                row.files_total.to_string(),
+                row.env_resources.to_string(),
+                row.false_positives.to_string(),
+                row.false_negatives.to_string(),
+                row.vendor_rules.to_string(),
+                if perfect { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "App",
+                "Files total",
+                "Env. resources",
+                "False positives",
+                "False negatives",
+                "Required vendor rules",
+                "Perfect with rules",
+            ],
+            &rows
+        )
+    );
+    println!("=> paper: firefox 907/839/1/23/7, apache 400/251/133/0/2, php 215/206/0/0/0, mysql 286/250/0/33/1");
+    if let Some(dir) = csv {
+        let mut out = String::from(
+            "app,files_total,env_resources,false_positives,false_negatives,vendor_rules\n",
+        );
+        for row in &rows {
+            out.push_str(&format!("{}\n", row.join(",")));
+        }
+        std::fs::write(dir.join("table1.csv"), out).expect("write table1.csv");
+        println!("(wrote {}/table1.csv)", dir.display());
+    }
+}
+
+fn quality(q: ClusterQuality) -> &'static str {
+    match q {
+        ClusterQuality::Ideal => "ideal",
+        ClusterQuality::Sound => "sound",
+        ClusterQuality::Imperfect => "imperfect",
+    }
+}
+
+fn print_clustering(
+    clustering: &mirage_cluster::Clustering,
+    score: &mirage_cluster::ClusteringScore,
+    behavior: &std::collections::BTreeMap<String, String>,
+) {
+    for cluster in &clustering.clusters {
+        let marks: Vec<String> = cluster
+            .members
+            .iter()
+            .map(|m| match behavior.get(m).map(String::as_str) {
+                Some(problem) => format!("{m} [{problem}]"),
+                None => m.clone(),
+            })
+            .collect();
+        println!("  {}: {}", cluster.id, marks.join(", "));
+    }
+    println!(
+        "=> {} clusters, C = {}, w = {} ({})",
+        score.clusters,
+        score.unnecessary_clusters,
+        score.misplaced,
+        quality(score.quality())
+    );
+}
+
+fn fig6() {
+    heading("Figure 6: MySQL clustering with parsers for all environmental resources");
+    let scenario = mysql::MySqlScenario::with_full_parsers();
+    let (clustering, score) = scenario.cluster_and_score();
+    print_clustering(&clustering, &score, &scenario.behavior);
+    println!("   paper: 15 clusters, C = 12, w = 0 (sound)");
+}
+
+fn fig7() {
+    heading("Figure 7: MySQL clustering with Mirage parsers only (diameter 3)");
+    let scenario = mysql::MySqlScenario::with_mirage_parsers(3);
+    let (clustering, score) = scenario.cluster_and_score();
+    print_clustering(&clustering, &score, &scenario.behavior);
+    println!("   paper: w = 2 (the userconfig machines are absorbed; imperfect)");
+    let (z_clustering, z_score) = mysql::MySqlScenario::with_mirage_parsers(0).cluster_and_score();
+    println!(
+        "   ablation d = 0: {} clusters, w = {} (benign differences split too)",
+        z_clustering.len(),
+        z_score.misplaced
+    );
+}
+
+fn merge() {
+    heading("§4.2.1: Vendor drops my.cnf items to merge clusters");
+    let scenario = mysql::MySqlScenario::with_full_parsers();
+    let (full, _) = scenario.cluster_and_score();
+    let (merged, score) = scenario.cluster_ignoring_mycnf();
+    println!(
+        "  clusters: {} -> {} after ignoring /etc/mysql/my.cnf items; w = {}",
+        full.len(),
+        merged.len(),
+        score.misplaced
+    );
+    println!(
+        "  paper: merging my.cnf-variant clusters speeds staging while problems stay separated"
+    );
+}
+
+fn fig8() {
+    heading("Figure 8: Firefox clustering with parsers for all environmental resources");
+    let scenario = firefox::FirefoxScenario::with_full_parsers();
+    let (clustering, score) = scenario.cluster_and_score();
+    print_clustering(&clustering, &score, &scenario.behavior);
+    println!("   paper: 4 clusters, C = 2, w = 0 (sound)");
+}
+
+fn fig9() {
+    heading("Figure 9: Firefox clustering with Mirage parsers only");
+    for d in [4usize, 6] {
+        println!("-- diameter {d} --");
+        let scenario = firefox::FirefoxScenario::with_mirage_parsers(d);
+        let (clustering, score) = scenario.cluster_and_score();
+        print_clustering(&clustering, &score, &scenario.behavior);
+    }
+    println!("   paper: d = 4 ideal (w = 0, C = 0); d = 6 imperfect (w = 3)");
+}
+
+fn print_curves(curves: &[deployment::Curve]) {
+    for curve in curves {
+        println!(
+            "-- {} (overhead {}, complete at {:?}) --",
+            curve.label, curve.overhead, curve.completion
+        );
+        for (t, f) in render_cdf(&curve.cdf, 12) {
+            println!("    t={t:>5}  {:>5.2}  {}", f, bar((f * 20.0) as usize, 20));
+        }
+    }
+}
+
+fn write_curves_csv(dir: &std::path::Path, name: &str, curves: &[deployment::Curve]) {
+    let mut out = String::from("label,time,fraction\n");
+    for curve in curves {
+        for (t, f) in &curve.cdf {
+            out.push_str(&format!("{},{t},{f}\n", curve.label));
+        }
+    }
+    std::fs::write(dir.join(name), out).expect("write csv");
+    println!("(wrote {}/{name})", dir.display());
+}
+
+fn fig10(csv: Option<&std::path::Path>) {
+    heading("Figure 10: CDF of per-cluster upgrade latency under sound clustering");
+    let curves = deployment::figure10();
+    print_curves(&curves);
+    if let Some(dir) = csv {
+        write_curves_csv(dir, "fig10.csv", &curves);
+    }
+    println!("   paper: NoStaging 75% immediately; Balanced(best) fastest staged start;");
+    println!(
+        "   FrontLoading delayed by front-loaded debugging but finishes its last cluster first."
+    );
+}
+
+fn fig11(csv: Option<&std::path::Path>) {
+    heading("Figure 11: CDF of upgrade latency under imperfect clustering");
+    let curves = deployment::figure11();
+    print_curves(&curves);
+    if let Some(dir) = csv {
+        write_curves_csv(dir, "fig11.csv", &curves);
+    }
+    println!(
+        "   paper: a misplaced machine in the first cluster slows FrontLoading and Balanced-best;"
+    );
+    println!("   in the last cluster the effect is marginal; overall trends unchanged.");
+}
+
+fn overhead() {
+    heading("§4.3.2: Upgrade overhead (machines that tested a faulty upgrade)");
+    let rows: Vec<Vec<String>> = deployment::overhead_table()
+        .into_iter()
+        .map(|(label, overhead)| vec![label, overhead.to_string()])
+        .collect();
+    println!("{}", render_table(&["Protocol", "Overhead"], &rows));
+    println!(
+        "=> paper: NoStaging = m = {}, Balanced/RandomStaging = p = 3, FrontLoading = p + Cp = 5",
+        deployment::problematic_machines()
+    );
+}

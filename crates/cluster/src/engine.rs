@@ -1,0 +1,187 @@
+//! The full clustering pipeline.
+
+use std::collections::BTreeSet;
+
+use mirage_fingerprint::{ImportanceFilter, ItemSet};
+
+use crate::cluster::{Cluster, ClusterId, Clustering, MachineInfo};
+use crate::phase1::original_clusters;
+use crate::qt::qt_cluster;
+use crate::split::split_by_app_set;
+
+/// Configuration and entry point for clustering a machine population.
+///
+/// # Examples
+///
+/// ```
+/// use mirage_cluster::{ClusterEngine, MachineInfo};
+/// use mirage_fingerprint::{DiffSet, Item};
+///
+/// let mut a = DiffSet::empty("a");
+/// let b = DiffSet::empty("b");
+/// a.parsed.insert(Item::new(["/lib/libc.so", "lib", "2.4", "ff"]));
+/// let machines = vec![MachineInfo::new(a), MachineInfo::new(b)];
+/// let clustering = ClusterEngine::new(3).cluster(&machines);
+/// assert_eq!(clustering.len(), 2); // different parsed diffs → separate
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterEngine {
+    /// Phase-2 diameter bound `d`.
+    pub diameter: usize,
+    /// Vendor importance filter applied to diff sets before clustering.
+    pub importance: ImportanceFilter,
+}
+
+impl ClusterEngine {
+    /// Creates an engine with the given diameter and no importance filter.
+    pub fn new(diameter: usize) -> Self {
+        ClusterEngine {
+            diameter,
+            importance: ImportanceFilter::new(),
+        }
+    }
+
+    /// Sets the importance filter.
+    pub fn with_importance(mut self, filter: ImportanceFilter) -> Self {
+        self.importance = filter;
+        self
+    }
+
+    /// Runs the full pipeline: importance filtering → phase 1 → phase 2 →
+    /// app-overlap split → labelling.
+    pub fn cluster(&self, machines: &[MachineInfo]) -> Clustering {
+        // Apply the vendor's importance directives up front.
+        let filtered: Vec<MachineInfo> = machines
+            .iter()
+            .map(|m| MachineInfo {
+                diff: self.importance.apply(&m.diff),
+                overlapping_apps: m.overlapping_apps.clone(),
+            })
+            .collect();
+        let refs: Vec<&MachineInfo> = filtered.iter().collect();
+
+        let mut final_groups: Vec<Vec<&MachineInfo>> = Vec::new();
+        for original in original_clusters(&refs) {
+            for sub in qt_cluster(&original, self.diameter) {
+                for split in split_by_app_set(&sub) {
+                    final_groups.push(split);
+                }
+            }
+        }
+
+        let clusters = final_groups
+            .into_iter()
+            .enumerate()
+            .map(|(i, group)| {
+                let mut members: Vec<String> = group.iter().map(|m| m.id().to_string()).collect();
+                members.sort();
+                let label: ItemSet = group
+                    .iter()
+                    .flat_map(|m| m.diff.all_items().into_iter())
+                    .collect();
+                let app_set: BTreeSet<String> = group
+                    .first()
+                    .map(|m| m.overlapping_apps.clone())
+                    .unwrap_or_default();
+                let vendor_distance = if group.is_empty() {
+                    0.0
+                } else {
+                    group
+                        .iter()
+                        .map(|m| m.diff.vendor_distance())
+                        .sum::<usize>() as f64
+                        / group.len() as f64
+                };
+                Cluster {
+                    id: ClusterId(i),
+                    members,
+                    label,
+                    app_set,
+                    vendor_distance,
+                }
+            })
+            .collect();
+        Clustering { clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_fingerprint::{DiffSet, Item};
+
+    fn machine(id: &str, parsed: &[&str], content: &[&str], apps: &[&str]) -> MachineInfo {
+        let mut diff = DiffSet::empty(id);
+        diff.parsed = parsed.iter().map(|s| Item::new([*s])).collect();
+        diff.content = content.iter().map(|s| Item::new([*s])).collect();
+        let mut info = MachineInfo::new(diff);
+        info.overlapping_apps = apps.iter().map(|s| s.to_string()).collect();
+        info
+    }
+
+    #[test]
+    fn pipeline_composes_phases() {
+        let machines = vec![
+            machine("base1", &[], &[], &[]),
+            machine("base2", &[], &[], &[]),
+            machine("cfg", &[], &["my.cnf-chunk"], &[]),
+            machine("libc", &["libc-2.4"], &[], &[]),
+            machine("php", &[], &[], &["php"]),
+        ];
+        // Diameter 0: cfg splits from base; php splits by app set; libc by
+        // phase 1.
+        let clustering = ClusterEngine::new(0).cluster(&machines);
+        assert_eq!(clustering.len(), 4);
+        let base = clustering.cluster_of("base1").unwrap();
+        assert!(base.contains("base2"));
+        assert!(!base.contains("cfg"));
+        assert!(!base.contains("php"));
+        clustering.validate_partition().unwrap();
+
+        // Diameter 1 merges cfg into base (distance 1), php still split.
+        let clustering = ClusterEngine::new(1).cluster(&machines);
+        assert_eq!(clustering.len(), 3);
+        assert!(clustering.cluster_of("base1").unwrap().contains("cfg"));
+    }
+
+    #[test]
+    fn importance_filter_merges_phase1_clusters() {
+        let machines = vec![
+            machine("a", &["libc-build-x"], &[], &[]),
+            machine("b", &["libc-build-y"], &[], &[]),
+        ];
+        let separate = ClusterEngine::new(0).cluster(&machines);
+        assert_eq!(separate.len(), 2);
+        let merged = ClusterEngine::new(0)
+            .with_importance(
+                ImportanceFilter::new()
+                    .drop_prefix(["libc-build-x"])
+                    .drop_prefix(["libc-build-y"]),
+            )
+            .cluster(&machines);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn labels_and_distances() {
+        let machines = vec![
+            machine("near", &[], &[], &[]),
+            machine("far", &["p1", "p2"], &["c1"], &[]),
+        ];
+        let clustering = ClusterEngine::new(0).cluster(&machines);
+        let near = clustering.cluster_of("near").unwrap();
+        let far = clustering.cluster_of("far").unwrap();
+        assert_eq!(near.vendor_distance, 0.0);
+        assert_eq!(far.vendor_distance, 3.0);
+        assert_eq!(far.label.len(), 3);
+        let ordered = clustering.by_vendor_distance();
+        assert_eq!(ordered[0].members, vec!["near"]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let clustering = ClusterEngine::new(3).cluster(&[]);
+        assert!(clustering.is_empty());
+        assert_eq!(clustering.machine_count(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Phase 1: exact grouping on parser-produced diff items.
+
+use std::collections::BTreeMap;
+
+use mirage_fingerprint::ItemSet;
+
+use crate::cluster::MachineInfo;
+
+/// Groups machines whose parsed diff sets are identical.
+///
+/// Runs in time proportional to the number of machines (a map keyed by the
+/// parsed item set), which is the efficiency claim the paper makes for
+/// this phase. Groups are returned in deterministic (key) order; machines
+/// within a group keep their input order.
+pub fn original_clusters<'a>(machines: &[&'a MachineInfo]) -> Vec<Vec<&'a MachineInfo>> {
+    let mut groups: BTreeMap<ItemSet, Vec<&MachineInfo>> = BTreeMap::new();
+    for m in machines {
+        groups.entry(m.diff.parsed.clone()).or_default().push(m);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_fingerprint::{DiffSet, Item};
+
+    fn machine(id: &str, parsed: &[&str]) -> MachineInfo {
+        let mut diff = DiffSet::empty(id);
+        diff.parsed = parsed.iter().map(|s| Item::new([*s])).collect();
+        MachineInfo::new(diff)
+    }
+
+    #[test]
+    fn identical_sets_group_together() {
+        let a = machine("a", &["x", "y"]);
+        let b = machine("b", &["x", "y"]);
+        let c = machine("c", &["x"]);
+        let d = machine("d", &[]);
+        let groups = original_clusters(&[&a, &b, &c, &d]);
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2));
+        // The pair {a, b} is together.
+        let pair = groups.iter().find(|g| g.len() == 2).unwrap();
+        let ids: Vec<&str> = pair.iter().map(|m| m.id()).collect();
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn content_items_do_not_affect_phase1() {
+        let mut a = machine("a", &["x"]);
+        a.diff.content.insert(Item::new(["c1"]));
+        let mut b = machine("b", &["x"]);
+        b.diff.content.insert(Item::new(["c2"]));
+        let groups = original_clusters(&[&a, &b]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(original_clusters(&[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_permutation() {
+        let a = machine("a", &["x"]);
+        let b = machine("b", &["y"]);
+        let c = machine("c", &["x"]);
+        let g1 = original_clusters(&[&a, &b, &c]);
+        let g2 = original_clusters(&[&c, &b, &a]);
+        // Same group structure (member sets) regardless of order.
+        let sets1: Vec<Vec<&str>> = g1
+            .iter()
+            .map(|g| {
+                let mut v: Vec<&str> = g.iter().map(|m| m.id()).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let sets2: Vec<Vec<&str>> = g2
+            .iter()
+            .map(|g| {
+                let mut v: Vec<&str> = g.iter().map(|m| m.id()).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert_eq!(sets1, sets2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Phase 2: deterministic QT-style diameter-bounded clustering.
+//!
+//! Content-based fingerprints carry no semantic information, so equality
+//! grouping would shatter machines over irrelevant byte differences.
+//! Instead, machines within one original cluster are merged greedily:
+//! each step performs the merge that minimises the average inter-machine
+//! distance of the merged cluster, subject to the merged cluster's
+//! *diameter* (maximum pairwise distance) not exceeding the
+//! vendor-defined bound `d`. The paper adapts the Quality Threshold (QT)
+//! algorithm of Heyer et al. and rejects k-means for its
+//! non-determinism; this implementation breaks all ties on input order,
+//! making it fully deterministic.
+
+use crate::cluster::MachineInfo;
+
+/// Clusters `machines` with diameter bound `diameter`.
+///
+/// Distance is the Manhattan distance over content-based diff items.
+/// Returns groups of indexes into `machines`, each sorted, in
+/// deterministic order. `diameter = 0` merges only machines with
+/// identical content items.
+pub fn qt_cluster_indices(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec<usize>> {
+    let n = machines.len();
+    // Pairwise distance matrix (symmetric, zero diagonal).
+    let mut dist = vec![vec![0usize; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = machines[i].diff.content_distance(&machines[j].diff);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    loop {
+        // Select the merge minimising (average distance, canonical member
+        // ids). The canonical tie-break makes the algorithm invariant
+        // under input permutation, not merely deterministic.
+        let mut best: Option<(f64, Vec<&str>, usize, usize)> = None;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let merged: Vec<usize> = clusters[a]
+                    .iter()
+                    .chain(clusters[b].iter())
+                    .copied()
+                    .collect();
+                let mut max_d = 0usize;
+                let mut sum = 0usize;
+                let mut pairs = 0usize;
+                for (x, &i) in merged.iter().enumerate() {
+                    for &j in &merged[x + 1..] {
+                        max_d = max_d.max(dist[i][j]);
+                        sum += dist[i][j];
+                        pairs += 1;
+                    }
+                }
+                if max_d > diameter {
+                    continue;
+                }
+                let avg = if pairs == 0 {
+                    0.0
+                } else {
+                    sum as f64 / pairs as f64
+                };
+                let mut key: Vec<&str> = merged.iter().map(|&i| machines[i].id()).collect();
+                key.sort_unstable();
+                let better = match &best {
+                    None => true,
+                    Some((b_avg, b_key, _, _)) => avg < *b_avg || (avg == *b_avg && key < *b_key),
+                };
+                if better {
+                    best = Some((avg, key, a, b));
+                }
+            }
+        }
+        match best {
+            Some((_, _, a, b)) => {
+                let merged_b = clusters.remove(b);
+                clusters[a].extend(merged_b);
+                clusters[a].sort_unstable();
+            }
+            None => break,
+        }
+    }
+    clusters.sort();
+    clusters
+}
+
+/// Like [`qt_cluster_indices`], returning machine references.
+pub fn qt_cluster<'a>(machines: &[&'a MachineInfo], diameter: usize) -> Vec<Vec<&'a MachineInfo>> {
+    qt_cluster_indices(machines, diameter)
+        .into_iter()
+        .map(|group| group.into_iter().map(|i| machines[i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_fingerprint::{DiffSet, Item};
+
+    /// A machine whose content diff is the given set of single-segment
+    /// items; distance between machines = symmetric difference size.
+    fn machine(id: &str, content: &[&str]) -> MachineInfo {
+        let mut diff = DiffSet::empty(id);
+        diff.content = content.iter().map(|s| Item::new([*s])).collect();
+        MachineInfo::new(diff)
+    }
+
+    fn ids(groups: &[Vec<&MachineInfo>]) -> Vec<Vec<String>> {
+        groups
+            .iter()
+            .map(|g| g.iter().map(|m| m.id().to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn zero_diameter_merges_only_identical() {
+        let a = machine("a", &["x"]);
+        let b = machine("b", &["x"]);
+        let c = machine("c", &["y"]);
+        let groups = qt_cluster(&[&a, &b, &c], 0);
+        assert_eq!(ids(&groups), vec![vec!["a", "b"], vec!["c"]]);
+    }
+
+    #[test]
+    fn diameter_bounds_merging() {
+        // a={}, b={x}, c={x,y}: d(a,b)=1, d(b,c)=1, d(a,c)=2.
+        let a = machine("a", &[]);
+        let b = machine("b", &["x"]);
+        let c = machine("c", &["x", "y"]);
+        // d=1: merging all three would give diameter 2 → two clusters.
+        let groups = qt_cluster(&[&a, &b, &c], 1);
+        assert_eq!(groups.len(), 2);
+        // d=2: everything merges.
+        let groups = qt_cluster(&[&a, &b, &c], 2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn closest_pairs_merge_first() {
+        // Two tight pairs far apart: {a,b} at distance 0, {c,d} at 2,
+        // cross distances large.
+        let a = machine("a", &["p"]);
+        let b = machine("b", &["p"]);
+        let c = machine("c", &["q", "r", "s"]);
+        let d = machine("d", &["q", "r", "t"]);
+        let groups = qt_cluster(&[&a, &b, &c, &d], 2);
+        assert_eq!(ids(&groups), vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_tie_structure() {
+        // Three mutually equidistant machines (pairwise distance 2).
+        let a = machine("a", &["x"]);
+        let b = machine("b", &["y"]);
+        let c = machine("c", &["z"]);
+        let g1 = ids(&qt_cluster(&[&a, &b, &c], 2));
+        let g2 = ids(&qt_cluster(&[&a, &b, &c], 2));
+        assert_eq!(g1, g2);
+        // All merge (diameter 2 allows it).
+        assert_eq!(g1.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(qt_cluster(&[], 3).is_empty());
+        let a = machine("a", &["x"]);
+        let groups = qt_cluster(&[&a], 3);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 1);
+    }
+
+    #[test]
+    fn large_diameter_merges_everything() {
+        let ms: Vec<MachineInfo> = (0..10)
+            .map(|i| machine(&format!("m{i}"), &[&format!("item{i}")]))
+            .collect();
+        let refs: Vec<&MachineInfo> = ms.iter().collect();
+        let groups = qt_cluster(&refs, 100);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 10);
+    }
+}

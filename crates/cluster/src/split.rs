@@ -1,0 +1,66 @@
+//! Post-pass: split clusters on overlapping-application sets.
+//!
+//! "After the final set of clusters is produced, we also explicitly split
+//! clusters that contain machines with different sets of applications
+//! with overlapping environmental resources" (paper §3.2.3). A machine
+//! running PHP built against MySQL's client library must not share a
+//! cluster with one that is not, even if their MySQL environments look
+//! identical — the upgrade can break PHP on one and not the other.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::cluster::MachineInfo;
+
+/// Splits one group of machines by their overlapping-application sets.
+///
+/// Returns sub-groups in deterministic (app-set) order.
+pub fn split_by_app_set<'a>(group: &[&'a MachineInfo]) -> Vec<Vec<&'a MachineInfo>> {
+    let mut by_apps: BTreeMap<BTreeSet<String>, Vec<&MachineInfo>> = BTreeMap::new();
+    for m in group {
+        by_apps
+            .entry(m.overlapping_apps.clone())
+            .or_default()
+            .push(m);
+    }
+    by_apps.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_fingerprint::DiffSet;
+
+    fn machine(id: &str, apps: &[&str]) -> MachineInfo {
+        let mut info = MachineInfo::new(DiffSet::empty(id));
+        info.overlapping_apps = apps.iter().map(|s| s.to_string()).collect();
+        info
+    }
+
+    #[test]
+    fn different_app_sets_split() {
+        let a = machine("a", &[]);
+        let b = machine("b", &["php"]);
+        let c = machine("c", &["php"]);
+        let d = machine("d", &["php", "apache"]);
+        let groups = split_by_app_set(&[&a, &b, &c, &d]);
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        assert!(sizes.contains(&2));
+    }
+
+    #[test]
+    fn same_app_set_stays_together() {
+        let a = machine("a", &["php"]);
+        let b = machine("b", &["php"]);
+        let groups = split_by_app_set(&[&a, &b]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_group() {
+        assert!(split_by_app_set(&[]).is_empty());
+    }
+}

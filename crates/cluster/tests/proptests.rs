@@ -1,0 +1,118 @@
+//! Property-based tests for the clustering pipeline.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use mirage_cluster::{ClusterEngine, MachineInfo};
+use mirage_fingerprint::{DiffSet, Item};
+
+/// Strategy: a machine with a random small parsed/content diff and an
+/// optional overlapping-app marker.
+fn machine_strategy(id: usize) -> impl Strategy<Value = MachineInfo> {
+    (
+        proptest::collection::btree_set("[a-d]", 0..4),
+        proptest::collection::btree_set("[w-z]", 0..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(move |(parsed, content, has_php)| {
+            let mut diff = DiffSet::empty(format!("m{id}"));
+            diff.parsed = parsed.iter().map(|s| Item::new([s.as_str()])).collect();
+            diff.content = content.iter().map(|s| Item::new([s.as_str()])).collect();
+            let mut info = MachineInfo::new(diff);
+            if has_php {
+                info.overlapping_apps.insert("php".into());
+            }
+            info
+        })
+}
+
+fn population(n: usize) -> impl Strategy<Value = Vec<MachineInfo>> {
+    (0..n)
+        .map(machine_strategy)
+        .collect::<Vec<_>>()
+        .prop_map(|v| v)
+}
+
+proptest! {
+    /// Every machine lands in exactly one cluster.
+    #[test]
+    fn clustering_is_a_partition(machines in population(12), d in 0usize..6) {
+        let clustering = ClusterEngine::new(d).cluster(&machines);
+        let seen = clustering.validate_partition().expect("partition");
+        prop_assert_eq!(seen.len(), machines.len());
+        prop_assert_eq!(clustering.machine_count(), machines.len());
+    }
+
+    /// The diameter bound holds: no two members of a cluster are farther
+    /// apart (content distance) than `d`.
+    #[test]
+    fn diameter_bound_holds(machines in population(10), d in 0usize..6) {
+        let clustering = ClusterEngine::new(d).cluster(&machines);
+        let by_id = |id: &str| machines.iter().find(|m| m.id() == id).unwrap();
+        for c in &clustering.clusters {
+            for a in &c.members {
+                for b in &c.members {
+                    let da = by_id(a);
+                    let db = by_id(b);
+                    prop_assert!(da.diff.content_distance(&db.diff) <= d);
+                }
+            }
+        }
+    }
+
+    /// Members of one cluster share parsed diffs and app sets exactly.
+    #[test]
+    fn cluster_members_agree_on_parsed_and_apps(machines in population(10), d in 0usize..6) {
+        let clustering = ClusterEngine::new(d).cluster(&machines);
+        let by_id = |id: &str| machines.iter().find(|m| m.id() == id).unwrap();
+        for c in &clustering.clusters {
+            let first = by_id(&c.members[0]);
+            for m in &c.members[1..] {
+                let other = by_id(m);
+                prop_assert_eq!(&first.diff.parsed, &other.diff.parsed);
+                prop_assert_eq!(&first.overlapping_apps, &other.overlapping_apps);
+            }
+        }
+    }
+
+    /// Clustering is invariant under input permutation (same member sets).
+    #[test]
+    fn deterministic_under_permutation(machines in population(8), d in 0usize..5) {
+        let a = ClusterEngine::new(d).cluster(&machines);
+        let mut reversed = machines.clone();
+        reversed.reverse();
+        let b = ClusterEngine::new(d).cluster(&reversed);
+        let sets = |c: &mirage_cluster::Clustering| -> BTreeSet<Vec<String>> {
+            c.clusters.iter().map(|cl| cl.members.clone()).collect()
+        };
+        prop_assert_eq!(sets(&a), sets(&b));
+    }
+
+    /// Diameter 0 yields clusters of machines with identical diffs.
+    #[test]
+    fn zero_diameter_is_equality_grouping(machines in population(10)) {
+        let clustering = ClusterEngine::new(0).cluster(&machines);
+        let by_id = |id: &str| machines.iter().find(|m| m.id() == id).unwrap();
+        for c in &clustering.clusters {
+            let first = by_id(&c.members[0]);
+            for m in &c.members[1..] {
+                let other = by_id(m);
+                prop_assert_eq!(&first.diff.content, &other.diff.content);
+            }
+        }
+    }
+
+    /// With an unbounded diameter, phase 2 never splits an original
+    /// cluster: cluster count is determined by parsed diffs and app sets
+    /// alone.
+    #[test]
+    fn huge_diameter_collapses_phase2(machines in population(10)) {
+        let clustering = ClusterEngine::new(10_000).cluster(&machines);
+        let mut keys = BTreeSet::new();
+        for m in &machines {
+            keys.insert((m.diff.parsed.clone(), m.overlapping_apps.clone()));
+        }
+        prop_assert_eq!(clustering.len(), keys.len());
+    }
+}

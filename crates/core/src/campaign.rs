@@ -1,0 +1,646 @@
+//! End-to-end deployment campaigns over a fleet.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mirage_cluster::{Clustering, MachineInfo};
+use mirage_deploy::{
+    Balanced, Command, DeployPlan, FrontLoading, NoStaging, Protocol, Release, TestOutcome,
+    TestReport,
+};
+use mirage_env::{ProblemId, Upgrade, UpgradeId};
+use mirage_fingerprint::MachineFingerprint;
+use mirage_report::{Report, Urr};
+
+use crate::agent::UserAgent;
+use crate::vendor::Vendor;
+
+/// Which deployment protocol a campaign uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Everyone at once (urgent upgrades).
+    NoStaging,
+    /// Ascending-distance staged deployment.
+    Balanced,
+    /// All-reps-first, then descending distance.
+    FrontLoading,
+    /// Staged deployment in a seeded pseudo-random cluster order (the
+    /// paper's RandomStaging baseline).
+    RandomStaging {
+        /// Shuffle seed (deterministic runs).
+        seed: u64,
+    },
+}
+
+impl ProtocolKind {
+    /// The vendor's protocol choice for an upgrade's urgency (§3.2.2):
+    /// urgent high-confidence upgrades bypass staging entirely; major
+    /// releases go slowly with front-loaded debugging; everything else
+    /// uses Balanced.
+    pub fn for_urgency(urgency: mirage_env::Urgency) -> Self {
+        match urgency {
+            mirage_env::Urgency::Urgent => ProtocolKind::NoStaging,
+            mirage_env::Urgency::Major => ProtocolKind::FrontLoading,
+            mirage_env::Urgency::Routine => ProtocolKind::Balanced,
+        }
+    }
+}
+
+/// Deterministic Fisher–Yates shuffle driven by an xorshift generator.
+fn seeded_shuffle(order: &mut [usize], seed: u64) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+}
+
+/// The outcome of a campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// The deployment plan (clusters + representatives).
+    pub plan: DeployPlan,
+    /// Every release shipped (release 0 is the original upgrade).
+    pub releases: Vec<UpgradeId>,
+    /// Machines that integrated the upgrade, with the release they
+    /// integrated.
+    pub integrated: BTreeMap<String, u32>,
+    /// Number of failed validations (upgrade overhead).
+    pub failed_validations: usize,
+    /// Logical rounds executed.
+    pub rounds: usize,
+}
+
+impl CampaignResult {
+    /// Returns `true` if every machine integrated some release.
+    pub fn converged(&self, fleet_size: usize) -> bool {
+        self.integrated.len() == fleet_size
+    }
+}
+
+/// A deployment campaign: a vendor, a fleet of user agents, and a URR.
+pub struct Campaign {
+    /// The vendor.
+    pub vendor: Vendor,
+    /// The fleet.
+    pub agents: Vec<UserAgent>,
+    /// The upgrade report repository.
+    pub urr: Urr,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(vendor: Vendor, agents: Vec<UserAgent>) -> Self {
+        Campaign {
+            vendor,
+            agents,
+            urr: Urr::new(),
+        }
+    }
+
+    /// Computes every agent's clustering input in parallel.
+    ///
+    /// The per-machine work (tracing, classification, fingerprinting,
+    /// diffing) is independent, so it fans out across OS threads.
+    pub fn fleet_inputs(&self, app: &str, reference: &MachineFingerprint) -> Vec<MachineInfo> {
+        let vendor = &self.vendor;
+        let chunk = (self.agents.len() / num_threads().max(1)).max(1);
+        let mut results: Vec<Option<MachineInfo>> = vec![None; self.agents.len()];
+        crossbeam::thread::scope(|scope| {
+            for (agents, outs) in self.agents.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (agent, out) in agents.iter().zip(outs.iter_mut()) {
+                        *out = Some(agent.clustering_input(app, vendor, reference));
+                    }
+                });
+            }
+        })
+        .expect("fingerprinting thread panicked");
+        results.into_iter().map(|o| o.expect("filled")).collect()
+    }
+
+    /// Clusters the fleet for `app` and builds the deployment plan.
+    pub fn plan(
+        &self,
+        app: &str,
+        reference: &MachineFingerprint,
+        reps_per_cluster: usize,
+    ) -> (Clustering, DeployPlan) {
+        let inputs = self.fleet_inputs(app, reference);
+        let clustering = self.vendor.cluster(&inputs);
+        let plan = DeployPlan::from_clustering(&clustering, reps_per_cluster);
+        (clustering, plan)
+    }
+
+    /// Runs a full staged deployment of `upgrade` in logical time.
+    ///
+    /// Each notification round validates the current release on the
+    /// notified machines (real sandbox validation), deposits reports in
+    /// the URR, lets the vendor diagnose failures from the report images
+    /// and ship corrected releases, and continues until the protocol
+    /// completes or stalls.
+    pub fn deploy(
+        &mut self,
+        upgrade: Upgrade,
+        plan: &DeployPlan,
+        kind: ProtocolKind,
+        threshold: f64,
+    ) -> CampaignResult {
+        let mut protocol: Box<dyn Protocol> = match kind {
+            ProtocolKind::NoStaging => Box::new(NoStaging::new(plan.clone())),
+            ProtocolKind::Balanced => Box::new(Balanced::new(plan.clone(), threshold)),
+            ProtocolKind::FrontLoading => Box::new(FrontLoading::new(plan.clone(), threshold)),
+            ProtocolKind::RandomStaging { seed } => {
+                let mut order: Vec<usize> = (0..plan.clusters.len()).collect();
+                seeded_shuffle(&mut order, seed);
+                Box::new(Balanced::with_order(plan.clone(), order, threshold))
+            }
+        };
+        let mut releases: Vec<Upgrade> = vec![upgrade];
+        let mut integrated: BTreeMap<String, u32> = BTreeMap::new();
+        let mut failed_validations = 0usize;
+        let mut fixed: BTreeSet<String> = BTreeSet::new();
+        let mut pending: VecDeque<Command> = protocol.start().into();
+        let mut rounds = 0usize;
+
+        while let Some(cmd) = pending.pop_front() {
+            rounds += 1;
+            let Command::Notify { machines, release } = cmd else {
+                // Complete: drain (protocol may have queued it before
+                // trailing notifications; none follow by construction).
+                break;
+            };
+            let current = &releases[release.0 as usize];
+            let mut new_problems: Vec<ProblemId> = Vec::new();
+            let mut reports: Vec<TestReport> = Vec::new();
+            for machine_id in machines {
+                let Some(agent_idx) = self.agents.iter().position(|a| a.machine.id == machine_id)
+                else {
+                    continue;
+                };
+                let cluster = plan.cluster_of(&machine_id).map(|c| c.id).unwrap_or(0);
+                let validation = {
+                    let agent = &self.agents[agent_idx];
+                    agent.test_upgrade(&self.vendor.repo, current)
+                };
+                if validation.passed() {
+                    let agent = &mut self.agents[agent_idx];
+                    agent.integrate(&self.vendor.repo, current);
+                    integrated.insert(machine_id.clone(), release.0);
+                    self.urr.deposit(Report::success(
+                        &machine_id,
+                        cluster,
+                        &current.package.name,
+                        current.package.version.to_string(),
+                    ));
+                    reports.push(TestReport {
+                        machine: machine_id,
+                        release,
+                        outcome: TestOutcome::Pass,
+                    });
+                } else {
+                    failed_validations += 1;
+                    let agent = &self.agents[agent_idx];
+                    let (app, kind) = validation.first_failure().expect("failed validation");
+                    let signature = format!("{app}/{kind}");
+                    let image = agent.report_image(&validation);
+                    self.urr.deposit(Report::failure(
+                        &machine_id,
+                        cluster,
+                        &current.package.name,
+                        current.package.version.to_string(),
+                        &signature,
+                        kind.to_string(),
+                        image,
+                    ));
+                    // Vendor reproduces the failure from the image and
+                    // identifies the underlying problems.
+                    for pid in self.vendor.diagnose(current, &agent.machine) {
+                        if !fixed.contains(&pid) && !new_problems.iter().any(|p| p.0 == pid) {
+                            new_problems.push(ProblemId(pid));
+                        }
+                    }
+                    reports.push(TestReport {
+                        machine: machine_id,
+                        release,
+                        outcome: TestOutcome::Fail { problem: signature },
+                    });
+                }
+            }
+            for report in &reports {
+                pending.extend(protocol.on_report(report));
+            }
+            if !new_problems.is_empty() {
+                // Ship one corrected release fixing everything known.
+                let latest = releases.last().expect("at least the original");
+                let next = latest.fix_all(new_problems.iter());
+                for p in &new_problems {
+                    fixed.insert(p.0.clone());
+                }
+                releases.push(next);
+                // The protocol matches failure *signatures* (app/detail
+                // strings), while fixes are tracked by problem id. A
+                // corrected release here fixes every diagnosed problem,
+                // so every known failure signature is addressed:
+                // re-notify all failed machines.
+                let all_sigs: BTreeSet<String> = self
+                    .urr
+                    .failure_groups()
+                    .into_iter()
+                    .map(|g| g.signature)
+                    .collect();
+                let release_no = Release((releases.len() - 1) as u32);
+                pending.extend(protocol.on_release(release_no, &all_sigs));
+            }
+        }
+
+        CampaignResult {
+            plan: plan.clone(),
+            releases: releases.iter().map(Upgrade::id).collect(),
+            integrated,
+            failed_validations,
+            rounds,
+        }
+    }
+}
+
+impl Campaign {
+    /// Deploys with the protocol recommended for the upgrade's urgency
+    /// (§3.2.2): urgent → NoStaging, major → FrontLoading, routine →
+    /// Balanced.
+    pub fn deploy_auto(
+        &mut self,
+        upgrade: Upgrade,
+        plan: &DeployPlan,
+        threshold: f64,
+    ) -> CampaignResult {
+        let kind = ProtocolKind::for_urgency(upgrade.urgency);
+        self.deploy(upgrade, plan, kind, threshold)
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_env::{
+        ApplicationSpec, EnvPredicate, File, MachineBuilder, Package, ProblemEffect, ProblemSpec,
+        Repository, RunInput, Version, VersionReq,
+    };
+
+    /// A little world: app v1 installed everywhere; two machines carry a
+    /// legacy config that breaks the v2 upgrade.
+    fn build_campaign() -> (Campaign, Upgrade, MachineFingerprint) {
+        let mut repo = Repository::new();
+        repo.publish(
+            Package::new("app", Version::new(1, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                1,
+            )),
+        );
+        let spec =
+            || ApplicationSpec::new("app", "app", "/usr/bin/app").probes("/etc/app-legacy.conf");
+        let reference = MachineBuilder::new("vendor-ref")
+            .install(&repo, "app", VersionReq::Any)
+            .app(spec())
+            .build();
+
+        let mut agents = Vec::new();
+        for i in 0..6 {
+            let mut b = MachineBuilder::new(format!("u{i}"))
+                .install(&repo, "app", VersionReq::Any)
+                .app(spec());
+            if i >= 4 {
+                b = b.file(File::config(
+                    "/etc/app-legacy.conf",
+                    mirage_env::IniDoc::new().key("legacy", "yes"),
+                ));
+            }
+            let mut agent = UserAgent::new(b.build());
+            agent.collect("app", RunInput::new("w1"));
+            agent.collect("app", RunInput::new("w2"));
+            agents.push(agent);
+        }
+
+        let v2 = Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+            "/usr/bin/app",
+            "app",
+            2,
+        ));
+        let upgrade = Upgrade::new(
+            v2,
+            vec![ProblemSpec::new(
+                "legacy-conf",
+                "v2 breaks on legacy config",
+                EnvPredicate::FileExists("/etc/app-legacy.conf".into()),
+                ProblemEffect::CrashOnStart { app: "app".into() },
+            )],
+        );
+
+        let vendor = Vendor::new(reference, repo).with_diameter(0);
+        let c = vendor.classify_reference("app", &[RunInput::new("w1"), RunInput::new("w2")]);
+        let ref_fp = vendor.reference_fingerprint(&c);
+        (Campaign::new(vendor, agents), upgrade, ref_fp)
+    }
+
+    #[test]
+    fn clustering_separates_legacy_machines() {
+        let (campaign, _, ref_fp) = build_campaign();
+        let (clustering, plan) = campaign.plan("app", &ref_fp, 1);
+        assert_eq!(clustering.len(), 2);
+        let legacy_cluster = clustering.cluster_of("u4").unwrap();
+        assert!(legacy_cluster.contains("u5"));
+        assert!(!legacy_cluster.contains("u0"));
+        assert_eq!(plan.clusters.len(), 2);
+    }
+
+    #[test]
+    fn balanced_campaign_converges_with_one_rep_failure() {
+        let (mut campaign, upgrade, ref_fp) = build_campaign();
+        let (_, plan) = campaign.plan("app", &ref_fp, 1);
+        let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        assert!(result.converged(6), "integrated: {:?}", result.integrated);
+        // Exactly one machine (the legacy cluster's representative)
+        // tested the faulty release.
+        assert_eq!(result.failed_validations, 1);
+        // Two releases: the original and the fix.
+        assert_eq!(result.releases.len(), 2);
+        // URR has one failure group with one machine.
+        let groups = campaign.urr.failure_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].machines.len(), 1);
+        // Healthy machines integrated release 0; legacy machines the fix.
+        assert_eq!(result.integrated["u0"], 0);
+        assert_eq!(result.integrated["u4"], 1);
+        assert_eq!(result.integrated["u5"], 1);
+        // Live machines actually upgraded.
+        let u4 = campaign
+            .agents
+            .iter()
+            .find(|a| a.machine.id == "u4")
+            .unwrap();
+        assert_eq!(
+            u4.machine.pkgs.installed_version("app"),
+            Some(Version::new(2, 0, 1))
+        );
+    }
+
+    #[test]
+    fn nostaging_campaign_fails_everywhere_at_once() {
+        let (mut campaign, upgrade, ref_fp) = build_campaign();
+        let (_, plan) = campaign.plan("app", &ref_fp, 1);
+        let result = campaign.deploy(upgrade, &plan, ProtocolKind::NoStaging, 1.0);
+        assert!(result.converged(6));
+        // Both legacy machines tested the faulty release.
+        assert_eq!(result.failed_validations, 2);
+    }
+
+    #[test]
+    fn frontloading_campaign_converges() {
+        let (mut campaign, upgrade, ref_fp) = build_campaign();
+        let (_, plan) = campaign.plan("app", &ref_fp, 1);
+        let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
+        assert!(result.converged(6));
+        assert_eq!(result.failed_validations, 1);
+    }
+
+    #[test]
+    fn healthy_upgrade_ships_single_release() {
+        let (mut campaign, _, ref_fp) = build_campaign();
+        let clean = Upgrade::new(
+            Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                2,
+            )),
+            vec![],
+        );
+        let (_, plan) = campaign.plan("app", &ref_fp, 1);
+        let result = campaign.deploy(clean, &plan, ProtocolKind::Balanced, 1.0);
+        assert!(result.converged(6));
+        assert_eq!(result.failed_validations, 0);
+        assert_eq!(result.releases.len(), 1);
+        assert_eq!(campaign.urr.stats().failures, 0);
+    }
+}
+
+#[cfg(test)]
+mod urgency_tests {
+    use super::*;
+    use crate::vendor::Vendor;
+    use mirage_env::{
+        ApplicationSpec, File, MachineBuilder, Package, Repository, RunInput, Urgency, Version,
+        VersionReq,
+    };
+
+    fn tiny_campaign() -> (Campaign, mirage_fingerprint::MachineFingerprint) {
+        let mut repo = Repository::new();
+        repo.publish(
+            Package::new("app", Version::new(1, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                1,
+            )),
+        );
+        let spec = || ApplicationSpec::new("app", "app", "/usr/bin/app");
+        let reference = MachineBuilder::new("ref")
+            .install(&repo, "app", VersionReq::Any)
+            .app(spec())
+            .build();
+        let vendor = Vendor::new(reference, repo).with_diameter(0);
+        let mut agents = Vec::new();
+        for i in 0..4 {
+            let mut agent = UserAgent::new(
+                MachineBuilder::new(format!("u{i}"))
+                    .install(&vendor.repo, "app", VersionReq::Any)
+                    .app(spec())
+                    .build(),
+            );
+            agent.collect("app", RunInput::new("w"));
+            agents.push(agent);
+        }
+        let c = vendor.classify_reference("app", &[RunInput::new("w")]);
+        let fp = vendor.reference_fingerprint(&c);
+        (Campaign::new(vendor, agents), fp)
+    }
+
+    fn clean_v2() -> Upgrade {
+        Upgrade::new(
+            Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                2,
+            )),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn urgency_selects_protocol() {
+        assert_eq!(
+            ProtocolKind::for_urgency(Urgency::Urgent),
+            ProtocolKind::NoStaging
+        );
+        assert_eq!(
+            ProtocolKind::for_urgency(Urgency::Major),
+            ProtocolKind::FrontLoading
+        );
+        assert_eq!(
+            ProtocolKind::for_urgency(Urgency::Routine),
+            ProtocolKind::Balanced
+        );
+    }
+
+    #[test]
+    fn deploy_auto_converges_for_each_urgency() {
+        for urgency in [Urgency::Routine, Urgency::Major, Urgency::Urgent] {
+            let (mut campaign, fp) = tiny_campaign();
+            let (_, plan) = campaign.plan("app", &fp, 1);
+            let result = campaign.deploy_auto(clean_v2().with_urgency(urgency), &plan, 1.0);
+            assert!(result.converged(4), "urgency {urgency:?}");
+        }
+    }
+
+    #[test]
+    fn random_staging_is_deterministic_and_converges() {
+        let (mut campaign, fp) = tiny_campaign();
+        let (_, plan) = campaign.plan("app", &fp, 1);
+        let result = campaign.deploy(
+            clean_v2(),
+            &plan,
+            ProtocolKind::RandomStaging { seed: 42 },
+            1.0,
+        );
+        assert!(result.converged(4));
+        assert_eq!(result.failed_validations, 0);
+    }
+
+    #[test]
+    fn seeded_shuffle_is_a_permutation() {
+        let mut order: Vec<usize> = (0..10).collect();
+        seeded_shuffle(&mut order, 7);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        // Deterministic for equal seeds, different across seeds.
+        let mut again: Vec<usize> = (0..10).collect();
+        seeded_shuffle(&mut again, 7);
+        assert_eq!(order, again);
+        let mut other: Vec<usize> = (0..10).collect();
+        seeded_shuffle(&mut other, 8);
+        assert_ne!(order, other);
+    }
+}
+
+#[cfg(test)]
+mod frontloading_analytics_tests {
+    use super::*;
+    use crate::vendor::Vendor;
+    use mirage_env::{
+        ApplicationSpec, EnvPredicate, File, IniDoc, MachineBuilder, Package, ProblemEffect,
+        ProblemSpec, Repository, RunInput, Version, VersionReq,
+    };
+
+    /// A fleet with several environment groups; the "exotic" group (far
+    /// from the vendor) breaks the upgrade.
+    fn campaign() -> (Campaign, mirage_fingerprint::MachineFingerprint, Upgrade) {
+        let mut repo = Repository::new();
+        repo.publish(
+            Package::new("app", Version::new(1, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                1,
+            )),
+        );
+        let spec = || ApplicationSpec::new("app", "app", "/usr/bin/app").probes("/etc/app.conf");
+        let reference = MachineBuilder::new("ref")
+            .install(&repo, "app", VersionReq::Any)
+            .app(spec())
+            .build();
+        let vendor = Vendor::new(reference, repo).with_diameter(0);
+        let mut agents = Vec::new();
+        for i in 0..12 {
+            let mut b = MachineBuilder::new(format!("u{i:02}"))
+                .install(&vendor.repo, "app", VersionReq::Any)
+                .app(spec());
+            // Three groups: vanilla (0-5), tuned (6-9), exotic (10-11).
+            if (6..10).contains(&i) {
+                b = b.file(File::config(
+                    "/etc/app.conf",
+                    IniDoc::new().key("tuning", "aggressive"),
+                ));
+            } else if i >= 10 {
+                b = b.file(File::config(
+                    "/etc/app.conf",
+                    IniDoc::new().key("mode", "exotic").key("compat", "legacy"),
+                ));
+            }
+            let mut agent = UserAgent::new(b.build());
+            agent.collect("app", RunInput::new("w"));
+            agents.push(agent);
+        }
+        let upgrade = Upgrade::new(
+            Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                2,
+            )),
+            vec![ProblemSpec::new(
+                "exotic-break",
+                "v2 breaks exotic configurations",
+                EnvPredicate::ConfigHasKey {
+                    path: "/etc/app.conf".into(),
+                    section: "global".into(),
+                    key: "compat".into(),
+                },
+                ProblemEffect::CrashOnStart { app: "app".into() },
+            )],
+        );
+        let c = vendor.classify_reference("app", &[RunInput::new("w")]);
+        let fp = vendor.reference_fingerprint(&c);
+        (Campaign::new(vendor, agents), fp, upgrade)
+    }
+
+    /// FrontLoading discovers the exotic problem among its first reports
+    /// (all representatives test first); Balanced discovers it only when
+    /// the deployment reaches the distant cluster.
+    #[test]
+    fn frontloading_front_loads_discovery() {
+        let (mut fl_campaign, fp, upgrade) = campaign();
+        let (_, plan) = fl_campaign.plan("app", &fp, 1);
+        let result = fl_campaign.deploy(upgrade.clone(), &plan, ProtocolKind::FrontLoading, 1.0);
+        assert!(result.converged(12));
+        let fl_profile = fl_campaign.urr.discovery_profile();
+        assert_eq!(fl_profile.len(), 1);
+
+        let (mut b_campaign, fp, upgrade) = campaign();
+        let (_, plan) = b_campaign.plan("app", &fp, 1);
+        let result = b_campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        assert!(result.converged(12));
+        let b_profile = b_campaign.urr.discovery_profile();
+        assert_eq!(b_profile.len(), 1);
+
+        assert!(
+            fl_profile[0].1 < b_profile[0].1,
+            "FrontLoading ({:.2}) must discover earlier than Balanced ({:.2})",
+            fl_profile[0].1,
+            b_profile[0].1
+        );
+        // Release summaries show the broken release healing.
+        let summaries = fl_campaign.urr.release_summaries();
+        assert_eq!(summaries.len(), 2);
+        assert!(summaries[0].failures >= 1);
+        assert_eq!(summaries[1].failures, 0);
+    }
+}

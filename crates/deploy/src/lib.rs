@@ -1,0 +1,41 @@
+//! Staged deployment protocols (paper §3.2.1–§3.2.2, §4.3).
+//!
+//! Mirage provides three deployment abstractions — **clusters of
+//! deployment**, **representatives**, and a **vendor↔cluster distance** —
+//! on which vendors build protocols optimising different objectives:
+//! upgrade overhead (machines that test a faulty upgrade), upgrade
+//! latency, report deduplication, or front-loaded debugging.
+//!
+//! Protocols are implemented here as *pure, clock-free state machines*
+//! ([`Protocol`]): a driver (the discrete-event simulator in `mirage-sim`,
+//! or the end-to-end orchestrator in `mirage-core`) feeds them test
+//! reports and release announcements and executes the notification
+//! commands they emit. This keeps protocol logic identical between
+//! simulation and "real" deployment, and makes every protocol trivially
+//! testable.
+//!
+//! Four protocols are provided, matching the paper's evaluation:
+//!
+//! * [`NoStaging`] — everyone is a representative; fastest, maximum
+//!   overhead. For simple and urgent upgrades (security patches).
+//! * [`Balanced`] — clusters ordered by *ascending* vendor distance; reps
+//!   test before non-reps within each cluster. Low overhead, good
+//!   latency.
+//! * `RandomStaging` — [`Balanced`] with a caller-supplied (shuffled)
+//!   order; isolates the benefit of staging from that of intelligent
+//!   ordering.
+//! * [`FrontLoading`] — phase 1 tests on all representatives of all
+//!   clusters in parallel until no problems remain, then deploys to
+//!   non-representatives cluster-by-cluster in *descending* distance
+//!   order, front-loading the vendor's debugging effort.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod protocol;
+pub mod protocols;
+
+pub use plan::{DeployCluster, DeployPlan};
+pub use protocol::{Command, Protocol, Release, TestOutcome, TestReport};
+pub use protocols::{Balanced, FrontLoading, NoStaging};

@@ -1,0 +1,190 @@
+//! The deployment plan: clusters, representatives, distances.
+
+use mirage_cluster::Clustering;
+
+/// One cluster as seen by a deployment protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployCluster {
+    /// Cluster index within the plan.
+    pub id: usize,
+    /// All member machine ids (representatives included).
+    pub members: Vec<String>,
+    /// Representative machine ids (a prefix subset of `members`).
+    pub reps: Vec<String>,
+    /// Vendor↔cluster distance (environment dissimilarity).
+    pub distance: f64,
+}
+
+impl DeployCluster {
+    /// Non-representative member ids.
+    pub fn non_reps(&self) -> Vec<String> {
+        self.members
+            .iter()
+            .filter(|m| !self.reps.contains(m))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of member machines.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A complete deployment plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeployPlan {
+    /// Clusters in plan order (ids are indexes into this vector).
+    pub clusters: Vec<DeployCluster>,
+}
+
+impl DeployPlan {
+    /// Builds a plan from a clustering, electing the first
+    /// `reps_per_cluster` members (sorted order) of each cluster as
+    /// representatives.
+    ///
+    /// The paper assumes representatives are always online and willing to
+    /// test (perhaps under a financial arrangement with the vendor);
+    /// election strategy is orthogonal, so "first k members" keeps the
+    /// plan deterministic.
+    pub fn from_clustering(clustering: &Clustering, reps_per_cluster: usize) -> Self {
+        let clusters = clustering
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let reps = c
+                    .members
+                    .iter()
+                    .take(reps_per_cluster.max(1).min(c.members.len()))
+                    .cloned()
+                    .collect();
+                DeployCluster {
+                    id: i,
+                    members: c.members.clone(),
+                    reps,
+                    distance: c.vendor_distance,
+                }
+            })
+            .collect();
+        DeployPlan { clusters }
+    }
+
+    /// Cluster ids ordered by ascending distance (ties by id).
+    pub fn order_by_distance_asc(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.clusters.len()).collect();
+        ids.sort_by(|&a, &b| {
+            self.clusters[a]
+                .distance
+                .partial_cmp(&self.clusters[b].distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+
+    /// Cluster ids ordered by descending distance (ties by id).
+    pub fn order_by_distance_desc(&self) -> Vec<usize> {
+        let mut ids = self.order_by_distance_asc();
+        ids.reverse();
+        ids
+    }
+
+    /// Total machine count.
+    pub fn machine_count(&self) -> usize {
+        self.clusters.iter().map(DeployCluster::len).sum()
+    }
+
+    /// All machine ids across clusters.
+    pub fn all_machines(&self) -> Vec<String> {
+        self.clusters
+            .iter()
+            .flat_map(|c| c.members.iter().cloned())
+            .collect()
+    }
+
+    /// Looks up the cluster containing a machine.
+    pub fn cluster_of(&self, machine: &str) -> Option<&DeployCluster> {
+        self.clusters
+            .iter()
+            .find(|c| c.members.iter().any(|m| m == machine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic plan: each tuple is (members, reps, distance).
+    pub fn plan(specs: &[(&[&str], usize, f64)]) -> DeployPlan {
+        DeployPlan {
+            clusters: specs
+                .iter()
+                .enumerate()
+                .map(|(id, (members, reps, distance))| DeployCluster {
+                    id,
+                    members: members.iter().map(|s| s.to_string()).collect(),
+                    reps: members.iter().take(*reps).map(|s| s.to_string()).collect(),
+                    distance: *distance,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn non_reps_and_counts() {
+        let p = plan(&[(&["a", "b", "c"], 1, 0.0)]);
+        assert_eq!(p.clusters[0].reps, vec!["a"]);
+        assert_eq!(p.clusters[0].non_reps(), vec!["b", "c"]);
+        assert_eq!(p.machine_count(), 3);
+        assert_eq!(p.all_machines().len(), 3);
+        assert!(!p.clusters[0].is_empty());
+    }
+
+    #[test]
+    fn distance_orders() {
+        let p = plan(&[
+            (&["a"], 1, 5.0),
+            (&["b"], 1, 1.0),
+            (&["c"], 1, 3.0),
+            (&["d"], 1, 1.0),
+        ]);
+        assert_eq!(p.order_by_distance_asc(), vec![1, 3, 2, 0]);
+        assert_eq!(p.order_by_distance_desc(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn cluster_lookup() {
+        let p = plan(&[(&["a", "b"], 1, 0.0), (&["c"], 1, 1.0)]);
+        assert_eq!(p.cluster_of("c").unwrap().id, 1);
+        assert!(p.cluster_of("z").is_none());
+    }
+
+    #[test]
+    fn from_clustering_elects_reps() {
+        use mirage_cluster::{Cluster, ClusterId};
+        use std::collections::BTreeSet;
+        let clustering = Clustering {
+            clusters: vec![Cluster {
+                id: ClusterId(0),
+                members: vec!["x".into(), "y".into(), "z".into()],
+                label: Default::default(),
+                app_set: BTreeSet::new(),
+                vendor_distance: 2.5,
+            }],
+        };
+        let p = DeployPlan::from_clustering(&clustering, 2);
+        assert_eq!(p.clusters[0].reps, vec!["x", "y"]);
+        assert_eq!(p.clusters[0].distance, 2.5);
+        // Rep count is clamped to the cluster size and floored at one.
+        let p = DeployPlan::from_clustering(&clustering, 0);
+        assert_eq!(p.clusters[0].reps.len(), 1);
+        let p = DeployPlan::from_clustering(&clustering, 10);
+        assert_eq!(p.clusters[0].reps.len(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! The protocol abstraction: clock-free deployment state machines.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A release of an upgrade. Release 0 is the original; the driver bumps
+/// the number each time the vendor ships a corrected version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Release(pub u32);
+
+impl fmt::Display for Release {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The outcome of one machine testing one release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// The upgrade integrated and behaved identically.
+    Pass,
+    /// Testing failed; the failure signature identifies the problem.
+    Fail {
+        /// Problem identifier (the failure signature sent to the URR).
+        problem: String,
+    },
+}
+
+impl TestOutcome {
+    /// Returns `true` for a pass.
+    pub fn passed(&self) -> bool {
+        matches!(self, TestOutcome::Pass)
+    }
+}
+
+/// A test report delivered to the vendor's protocol engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestReport {
+    /// Reporting machine.
+    pub machine: String,
+    /// Release that was tested.
+    pub release: Release,
+    /// Outcome.
+    pub outcome: TestOutcome,
+}
+
+/// A command emitted by a protocol for the driver to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Notify these machines that `release` is available; each will
+    /// download, test, and report.
+    Notify {
+        /// Machines to notify.
+        machines: Vec<String>,
+        /// Release to test.
+        release: Release,
+    },
+    /// Deployment finished: every machine passed.
+    Complete,
+}
+
+/// A deployment protocol as a pure state machine.
+///
+/// The driver contract:
+///
+/// 1. call [`Protocol::start`] once and execute the commands;
+/// 2. deliver every test report via [`Protocol::on_report`];
+/// 3. when the vendor ships a corrected release, announce it via
+///    [`Protocol::on_release`] (the driver owns fix scheduling);
+/// 4. keep executing returned commands until [`Command::Complete`].
+///
+/// Protocols never block and never consult a clock, which is what lets
+/// the same implementations run under simulated time and in live
+/// deployments.
+pub trait Protocol {
+    /// Protocol name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Begins deployment of release 0.
+    fn start(&mut self) -> Vec<Command>;
+
+    /// Handles a test report.
+    fn on_report(&mut self, report: &TestReport) -> Vec<Command>;
+
+    /// Handles the vendor shipping a corrected release.
+    ///
+    /// `fixed` is the *cumulative* set of problems the release fixes;
+    /// protocols use it to re-notify exactly the failed machines whose
+    /// reported problem is now addressed (re-testing a machine whose
+    /// problem is still open would only inflate the upgrade overhead).
+    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command>;
+
+    /// Returns `true` once every machine has passed.
+    fn done(&self) -> bool;
+}
+
+/// Per-machine deployment status tracked by protocol implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineStatus {
+    /// Not yet told about the upgrade.
+    #[default]
+    Idle,
+    /// Notified; a report is pending.
+    Testing,
+    /// Failed the most recent release it tested.
+    Failed,
+    /// Passed (the upgrade is integrated).
+    Passed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(TestOutcome::Pass.passed());
+        assert!(!TestOutcome::Fail {
+            problem: "p".into()
+        }
+        .passed());
+    }
+
+    #[test]
+    fn release_display_and_order() {
+        assert_eq!(Release(3).to_string(), "r3");
+        assert!(Release(1) < Release(2));
+        assert_eq!(Release::default(), Release(0));
+    }
+}

@@ -1,0 +1,794 @@
+//! The concrete deployment protocols.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::plan::DeployPlan;
+use crate::protocol::{Command, MachineStatus, Protocol, Release, TestOutcome, TestReport};
+
+fn ceil_threshold(total: usize, threshold: f64) -> usize {
+    ((total as f64) * threshold).ceil() as usize
+}
+
+/// The NoStaging baseline: one giant cluster, everyone a representative.
+///
+/// Promotes deployment speed at the cost of maximum upgrade overhead —
+/// every machine affected by a problem tests the faulty upgrade. The
+/// vendor would use this for simple, urgent upgrades such as security
+/// patches.
+#[derive(Debug, Clone)]
+pub struct NoStaging {
+    status: BTreeMap<String, MachineStatus>,
+    /// Last failure signature per machine, for targeted re-notification.
+    failed_problem: BTreeMap<String, String>,
+    passed: usize,
+    release: Release,
+    completed: bool,
+}
+
+impl NoStaging {
+    /// Creates the protocol over a plan (cluster structure is ignored).
+    pub fn new(plan: DeployPlan) -> Self {
+        let status = plan
+            .all_machines()
+            .into_iter()
+            .map(|m| (m, MachineStatus::Idle))
+            .collect();
+        NoStaging {
+            status,
+            failed_problem: BTreeMap::new(),
+            passed: 0,
+            release: Release(0),
+            completed: false,
+        }
+    }
+
+    fn completion(&mut self) -> Vec<Command> {
+        if !self.completed && self.done() {
+            self.completed = true;
+            vec![Command::Complete]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Protocol for NoStaging {
+    fn name(&self) -> &'static str {
+        "NoStaging"
+    }
+
+    fn start(&mut self) -> Vec<Command> {
+        let machines: Vec<String> = self.status.keys().cloned().collect();
+        for m in &machines {
+            self.status.insert(m.clone(), MachineStatus::Testing);
+        }
+        if machines.is_empty() {
+            self.completed = true;
+            return vec![Command::Complete];
+        }
+        vec![Command::Notify {
+            machines,
+            release: self.release,
+        }]
+    }
+
+    fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
+        let status = match &report.outcome {
+            TestOutcome::Pass => MachineStatus::Passed,
+            TestOutcome::Fail { problem } => {
+                self.failed_problem
+                    .insert(report.machine.clone(), problem.clone());
+                MachineStatus::Failed
+            }
+        };
+        let previous = self.status.insert(report.machine.clone(), status);
+        if status == MachineStatus::Passed && previous != Some(MachineStatus::Passed) {
+            self.passed += 1;
+        }
+        self.completion()
+    }
+
+    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+        self.release = release;
+        let failed: Vec<String> = self
+            .status
+            .iter()
+            .filter(|(m, s)| {
+                **s == MachineStatus::Failed
+                    && self
+                        .failed_problem
+                        .get(*m)
+                        .map(|p| fixed.contains(p))
+                        .unwrap_or(true)
+            })
+            .map(|(m, _)| m.clone())
+            .collect();
+        for m in &failed {
+            self.status.insert(m.clone(), MachineStatus::Testing);
+        }
+        if failed.is_empty() {
+            return self.completion();
+        }
+        vec![Command::Notify {
+            machines: failed,
+            release,
+        }]
+    }
+
+    fn done(&self) -> bool {
+        self.passed == self.status.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// FrontLoading phase 1: all representatives in parallel.
+    GlobalReps,
+    /// Sequential deployment at position `i` of the order.
+    Cluster(usize),
+    /// All clusters advanced; waiting for stragglers.
+    Draining,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterStage {
+    Reps,
+    NonReps,
+}
+
+/// The shared engine behind [`Balanced`] and [`FrontLoading`].
+#[derive(Debug, Clone)]
+struct StagedEngine {
+    plan: DeployPlan,
+    order: Vec<usize>,
+    threshold: f64,
+    global_rep_phase: bool,
+    status: BTreeMap<String, MachineStatus>,
+    /// Machine → cluster index, for O(log n) counter updates.
+    cluster_of: BTreeMap<String, usize>,
+    /// Passed-machine count per cluster index.
+    cluster_passed: Vec<usize>,
+    /// Passed representatives (fleet-wide).
+    reps_passed: usize,
+    total_reps: usize,
+    total_passed: usize,
+    total_machines: usize,
+    release: Release,
+    phase: Phase,
+    stage: ClusterStage,
+    /// Last failure signature per machine, for targeted re-notification.
+    failed_problem: BTreeMap<String, String>,
+    completed: bool,
+}
+
+impl StagedEngine {
+    fn new(plan: DeployPlan, order: Vec<usize>, threshold: f64, global_rep_phase: bool) -> Self {
+        assert_eq!(
+            order.len(),
+            plan.clusters.len(),
+            "order must cover every cluster exactly once"
+        );
+        let status: BTreeMap<String, MachineStatus> = plan
+            .all_machines()
+            .into_iter()
+            .map(|m| (m, MachineStatus::Idle))
+            .collect();
+        let mut cluster_of = BTreeMap::new();
+        for (i, c) in plan.clusters.iter().enumerate() {
+            for m in &c.members {
+                cluster_of.insert(m.clone(), i);
+            }
+        }
+        let total_reps = plan.clusters.iter().map(|c| c.reps.len()).sum();
+        let total_machines = status.len();
+        let cluster_passed = vec![0; plan.clusters.len()];
+        StagedEngine {
+            plan,
+            order,
+            threshold,
+            global_rep_phase,
+            status,
+            cluster_of,
+            cluster_passed,
+            reps_passed: 0,
+            total_reps,
+            total_passed: 0,
+            total_machines,
+            release: Release(0),
+            phase: if global_rep_phase {
+                Phase::GlobalReps
+            } else {
+                Phase::Cluster(0)
+            },
+            stage: ClusterStage::Reps,
+            failed_problem: BTreeMap::new(),
+            completed: false,
+        }
+    }
+
+    fn notify(&mut self, machines: Vec<String>, out: &mut Vec<Command>) {
+        let fresh: Vec<String> = machines
+            .into_iter()
+            .filter(|m| {
+                matches!(
+                    self.status.get(m),
+                    Some(MachineStatus::Idle) | Some(MachineStatus::Failed)
+                )
+            })
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        for m in &fresh {
+            self.status.insert(m.clone(), MachineStatus::Testing);
+        }
+        out.push(Command::Notify {
+            machines: fresh,
+            release: self.release,
+        });
+    }
+
+    fn all_passed(&self, machines: &[String]) -> bool {
+        machines
+            .iter()
+            .all(|m| self.status.get(m) == Some(&MachineStatus::Passed))
+    }
+
+    fn all_reps(&self) -> Vec<String> {
+        self.plan
+            .clusters
+            .iter()
+            .flat_map(|c| c.reps.iter().cloned())
+            .collect()
+    }
+
+    /// Runs phase/stage transitions until quiescent, collecting commands.
+    fn step(&mut self, out: &mut Vec<Command>) {
+        loop {
+            match self.phase {
+                Phase::GlobalReps => {
+                    if self.reps_passed == self.total_reps {
+                        self.phase = Phase::Cluster(0);
+                        self.stage = ClusterStage::NonReps;
+                        if let Some(&cid) = self.order.first() {
+                            let non_reps = self.plan.clusters[cid].non_reps();
+                            self.notify(non_reps, out);
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                Phase::Cluster(i) => {
+                    let Some(&cid) = self.order.get(i) else {
+                        self.phase = Phase::Draining;
+                        continue;
+                    };
+                    let cluster = &self.plan.clusters[cid];
+                    match self.stage {
+                        ClusterStage::Reps => {
+                            let reps = cluster.reps.clone();
+                            if self.all_passed(&reps) {
+                                self.stage = ClusterStage::NonReps;
+                                let non_reps = cluster.non_reps();
+                                self.notify(non_reps, out);
+                                continue;
+                            }
+                            break;
+                        }
+                        ClusterStage::NonReps => {
+                            let needed = ceil_threshold(cluster.members.len(), self.threshold);
+                            if self.cluster_passed[cid] >= needed {
+                                // Advance to the next cluster.
+                                if i + 1 < self.order.len() {
+                                    self.phase = Phase::Cluster(i + 1);
+                                    let next = self.order[i + 1];
+                                    if self.global_rep_phase {
+                                        // Representatives already passed in
+                                        // phase 1; go straight to non-reps.
+                                        self.stage = ClusterStage::NonReps;
+                                        let non_reps = self.plan.clusters[next].non_reps();
+                                        self.notify(non_reps, out);
+                                    } else {
+                                        self.stage = ClusterStage::Reps;
+                                        let reps = self.plan.clusters[next].reps.clone();
+                                        self.notify(reps, out);
+                                    }
+                                } else {
+                                    self.phase = Phase::Draining;
+                                }
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                }
+                Phase::Draining => break,
+            }
+        }
+        if !self.completed && self.done() {
+            self.completed = true;
+            out.push(Command::Complete);
+        }
+    }
+
+    fn start(&mut self) -> Vec<Command> {
+        let mut out = Vec::new();
+        if self.plan.machine_count() == 0 {
+            self.completed = true;
+            return vec![Command::Complete];
+        }
+        if self.global_rep_phase {
+            let reps = self.all_reps();
+            self.notify(reps, &mut out);
+        } else if let Some(&cid) = self.order.first() {
+            let reps = self.plan.clusters[cid].reps.clone();
+            self.notify(reps, &mut out);
+        }
+        self.step(&mut out);
+        out
+    }
+
+    fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
+        let status = match &report.outcome {
+            TestOutcome::Pass => MachineStatus::Passed,
+            TestOutcome::Fail { problem } => {
+                self.failed_problem
+                    .insert(report.machine.clone(), problem.clone());
+                MachineStatus::Failed
+            }
+        };
+        let previous = self.status.insert(report.machine.clone(), status);
+        if status == MachineStatus::Passed && previous != Some(MachineStatus::Passed) {
+            self.total_passed += 1;
+            if let Some(&cid) = self.cluster_of.get(&report.machine) {
+                self.cluster_passed[cid] += 1;
+                if self.plan.clusters[cid]
+                    .reps
+                    .iter()
+                    .any(|r| r == &report.machine)
+                {
+                    self.reps_passed += 1;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        self.step(&mut out);
+        out
+    }
+
+    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+        self.release = release;
+        let failed: Vec<String> = self
+            .status
+            .iter()
+            .filter(|(m, s)| {
+                **s == MachineStatus::Failed
+                    && self
+                        .failed_problem
+                        .get(*m)
+                        .map(|p| fixed.contains(p))
+                        .unwrap_or(true)
+            })
+            .map(|(m, _)| m.clone())
+            .collect();
+        let mut out = Vec::new();
+        self.notify(failed, &mut out);
+        self.step(&mut out);
+        out
+    }
+
+    fn done(&self) -> bool {
+        self.total_passed == self.total_machines
+    }
+}
+
+/// The Balanced protocol (paper §4.3): clusters in ascending vendor
+/// distance; within each cluster, representatives before
+/// non-representatives.
+///
+/// Low overhead with good latency: clusters most similar to the vendor —
+/// the least likely to break — integrate early, and debugging is spread
+/// across the deployment.
+#[derive(Debug, Clone)]
+pub struct Balanced {
+    engine: StagedEngine,
+    name: &'static str,
+}
+
+impl Balanced {
+    /// Creates a Balanced deployment (ascending-distance order).
+    pub fn new(plan: DeployPlan, threshold: f64) -> Self {
+        let order = plan.order_by_distance_asc();
+        Balanced {
+            engine: StagedEngine::new(plan, order, threshold, false),
+            name: "Balanced",
+        }
+    }
+
+    /// Creates a staged deployment with an explicit cluster order — the
+    /// paper's RandomStaging baseline when the order is shuffled.
+    pub fn with_order(plan: DeployPlan, order: Vec<usize>, threshold: f64) -> Self {
+        Balanced {
+            engine: StagedEngine::new(plan, order, threshold, false),
+            name: "RandomStaging",
+        }
+    }
+}
+
+impl Protocol for Balanced {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn start(&mut self) -> Vec<Command> {
+        self.engine.start()
+    }
+    fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
+        self.engine.on_report(report)
+    }
+    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+        self.engine.on_release(release, fixed)
+    }
+    fn done(&self) -> bool {
+        self.engine.done()
+    }
+}
+
+/// The FrontLoading protocol (paper §4.3).
+///
+/// Phase 1 notifies the representatives of *all* clusters in parallel and
+/// iterates fix/re-test rounds until no representative fails, giving the
+/// vendor the full problem picture up front. Phase 2 then deploys to
+/// non-representatives one cluster at a time in *descending* distance
+/// order (the most vendor-dissimilar — most problem-prone — clusters
+/// first).
+#[derive(Debug, Clone)]
+pub struct FrontLoading {
+    engine: StagedEngine,
+}
+
+impl FrontLoading {
+    /// Creates a FrontLoading deployment.
+    pub fn new(plan: DeployPlan, threshold: f64) -> Self {
+        let order = plan.order_by_distance_desc();
+        FrontLoading {
+            engine: StagedEngine::new(plan, order, threshold, true),
+        }
+    }
+
+    /// Creates a FrontLoading deployment with an explicit phase-2 order.
+    pub fn with_order(plan: DeployPlan, order: Vec<usize>, threshold: f64) -> Self {
+        FrontLoading {
+            engine: StagedEngine::new(plan, order, threshold, true),
+        }
+    }
+}
+
+impl Protocol for FrontLoading {
+    fn name(&self) -> &'static str {
+        "FrontLoading"
+    }
+    fn start(&mut self) -> Vec<Command> {
+        self.engine.start()
+    }
+    fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
+        self.engine.on_report(report)
+    }
+    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+        self.engine.on_release(release, fixed)
+    }
+    fn done(&self) -> bool {
+        self.engine.done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::DeployCluster;
+    use crate::protocol::TestOutcome;
+
+    fn plan(specs: &[(&[&str], usize, f64)]) -> DeployPlan {
+        DeployPlan {
+            clusters: specs
+                .iter()
+                .enumerate()
+                .map(|(id, (members, reps, distance))| DeployCluster {
+                    id,
+                    members: members.iter().map(|s| s.to_string()).collect(),
+                    reps: members.iter().take(*reps).map(|s| s.to_string()).collect(),
+                    distance: *distance,
+                })
+                .collect(),
+        }
+    }
+
+    fn notified(cmds: &[Command]) -> Vec<String> {
+        cmds.iter()
+            .flat_map(|c| match c {
+                Command::Notify { machines, .. } => machines.clone(),
+                Command::Complete => vec![],
+            })
+            .collect()
+    }
+
+    fn pass(machine: &str, release: u32) -> TestReport {
+        TestReport {
+            machine: machine.into(),
+            release: Release(release),
+            outcome: TestOutcome::Pass,
+        }
+    }
+
+    fn fixed(problems: &[&str]) -> BTreeSet<String> {
+        problems.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn fail(machine: &str, release: u32, problem: &str) -> TestReport {
+        TestReport {
+            machine: machine.into(),
+            release: Release(release),
+            outcome: TestOutcome::Fail {
+                problem: problem.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn nostaging_notifies_everyone_then_retries_failures() {
+        let mut p = NoStaging::new(plan(&[(&["a", "b"], 1, 0.0), (&["c"], 1, 1.0)]));
+        let cmds = p.start();
+        let mut all = notified(&cmds);
+        all.sort();
+        assert_eq!(all, vec!["a", "b", "c"]);
+        assert!(p.on_report(&pass("a", 0)).is_empty());
+        assert!(p.on_report(&fail("b", 0, "p1")).is_empty());
+        assert!(p.on_report(&pass("c", 0)).is_empty());
+        assert!(!p.done());
+        // Fixed release: only the failed machine is re-notified.
+        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
+        assert_eq!(notified(&cmds), vec!["b"]);
+        let cmds = p.on_report(&pass("b", 1));
+        assert_eq!(cmds, vec![Command::Complete]);
+        assert!(p.done());
+    }
+
+    #[test]
+    fn balanced_walks_clusters_in_distance_order() {
+        // near (distance 1) then far (distance 5).
+        let mut p = Balanced::new(
+            plan(&[(&["f1", "f2"], 1, 5.0), (&["n1", "n2"], 1, 1.0)]),
+            1.0,
+        );
+        // Start: reps of the nearest cluster only.
+        let cmds = p.start();
+        assert_eq!(notified(&cmds), vec!["n1"]);
+        // Rep passes → non-reps of that cluster.
+        let cmds = p.on_report(&pass("n1", 0));
+        assert_eq!(notified(&cmds), vec!["n2"]);
+        // Cluster complete → next cluster's rep.
+        let cmds = p.on_report(&pass("n2", 0));
+        assert_eq!(notified(&cmds), vec!["f1"]);
+        let cmds = p.on_report(&pass("f1", 0));
+        assert_eq!(notified(&cmds), vec!["f2"]);
+        let cmds = p.on_report(&pass("f2", 0));
+        assert_eq!(cmds, vec![Command::Complete]);
+    }
+
+    #[test]
+    fn balanced_rep_failure_stalls_until_release() {
+        let mut p = Balanced::new(plan(&[(&["a", "b"], 1, 0.0)]), 1.0);
+        let cmds = p.start();
+        assert_eq!(notified(&cmds), vec!["a"]);
+        // Rep fails: nothing moves.
+        assert!(p.on_report(&fail("a", 0, "p1")).is_empty());
+        // Fix ships: rep re-notified.
+        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
+        assert_eq!(notified(&cmds), vec!["a"]);
+        // Rep passes → non-rep notified with the *fixed* release.
+        let cmds = p.on_report(&pass("a", 1));
+        match &cmds[0] {
+            Command::Notify { machines, release } => {
+                assert_eq!(machines, &vec!["b".to_string()]);
+                assert_eq!(*release, Release(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmds = p.on_report(&pass("b", 1));
+        assert_eq!(cmds, vec![Command::Complete]);
+    }
+
+    #[test]
+    fn threshold_advances_past_stragglers() {
+        // threshold 0.5: cluster advances once half its machines passed.
+        let mut p = Balanced::new(
+            plan(&[(&["a", "b", "c", "d"], 1, 0.0), (&["z"], 1, 9.0)]),
+            0.5,
+        );
+        p.start();
+        let cmds = p.on_report(&pass("a", 0));
+        assert_eq!(notified(&cmds), vec!["b", "c", "d"]);
+        // 2/4 passed (a + b) → threshold met → next cluster despite c, d
+        // still testing.
+        let cmds = p.on_report(&pass("b", 0));
+        assert!(notified(&cmds).contains(&"z".to_string()));
+        assert!(p.on_report(&fail("c", 0, "p")).is_empty());
+        // The straggler still gets the fix later.
+        p.on_report(&pass("d", 0));
+        p.on_report(&pass("z", 0));
+        assert!(!p.done());
+        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
+        assert_eq!(notified(&cmds), vec!["c"]);
+        let cmds = p.on_report(&pass("c", 1));
+        assert_eq!(cmds, vec![Command::Complete]);
+    }
+
+    #[test]
+    fn frontloading_tests_all_reps_first() {
+        let mut p = FrontLoading::new(
+            plan(&[(&["a1", "a2"], 1, 1.0), (&["b1", "b2"], 1, 5.0)]),
+            1.0,
+        );
+        // Phase 1: all reps in parallel.
+        let cmds = p.start();
+        let mut reps = notified(&cmds);
+        reps.sort();
+        assert_eq!(reps, vec!["a1", "b1"]);
+        // One rep fails; the other passes. Phase 2 must not start.
+        assert!(p.on_report(&fail("b1", 0, "p1")).is_empty());
+        assert!(p.on_report(&pass("a1", 0)).is_empty());
+        // Fix ships; failed rep re-tests.
+        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
+        assert_eq!(notified(&cmds), vec!["b1"]);
+        // All reps passed → phase 2 starts at the *farthest* cluster (b).
+        let cmds = p.on_report(&pass("b1", 1));
+        assert_eq!(notified(&cmds), vec!["b2"]);
+        let cmds = p.on_report(&pass("b2", 1));
+        assert_eq!(notified(&cmds), vec!["a2"]);
+        let cmds = p.on_report(&pass("a2", 1));
+        assert_eq!(cmds, vec![Command::Complete]);
+    }
+
+    #[test]
+    fn random_staging_uses_given_order() {
+        let mut p = Balanced::with_order(
+            plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0), (&["c"], 1, 3.0)]),
+            vec![2, 0, 1],
+            1.0,
+        );
+        assert_eq!(p.name(), "RandomStaging");
+        let cmds = p.start();
+        assert_eq!(notified(&cmds), vec!["c"]);
+        let cmds = p.on_report(&pass("c", 0));
+        assert_eq!(notified(&cmds), vec!["a"]);
+        let cmds = p.on_report(&pass("a", 0));
+        assert_eq!(notified(&cmds), vec!["b"]);
+    }
+
+    #[test]
+    fn empty_plan_completes_immediately() {
+        let mut p = NoStaging::new(DeployPlan::default());
+        assert_eq!(p.start(), vec![Command::Complete]);
+        let mut p = Balanced::new(DeployPlan::default(), 1.0);
+        assert_eq!(p.start(), vec![Command::Complete]);
+        let mut p = FrontLoading::new(DeployPlan::default(), 1.0);
+        assert_eq!(p.start(), vec![Command::Complete]);
+    }
+
+    #[test]
+    fn single_member_clusters_cascade() {
+        // Clusters whose only member is the rep: non-rep stage is empty
+        // and must cascade to the next cluster without extra reports.
+        let mut p = Balanced::new(plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0)]), 1.0);
+        let cmds = p.start();
+        assert_eq!(notified(&cmds), vec!["a"]);
+        let cmds = p.on_report(&pass("a", 0));
+        assert_eq!(notified(&cmds), vec!["b"]);
+        let cmds = p.on_report(&pass("b", 0));
+        assert_eq!(cmds, vec![Command::Complete]);
+        assert!(p.done());
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn mismatched_order_panics() {
+        let _ = Balanced::with_order(plan(&[(&["a"], 1, 1.0)]), vec![0, 1], 1.0);
+    }
+}
+
+#[cfg(test)]
+mod multi_rep_tests {
+    use super::*;
+    use crate::plan::DeployCluster;
+    use crate::protocol::TestOutcome;
+
+    fn plan_two_reps() -> DeployPlan {
+        DeployPlan {
+            clusters: vec![DeployCluster {
+                id: 0,
+                members: vec!["r1".into(), "r2".into(), "n1".into(), "n2".into()],
+                reps: vec!["r1".into(), "r2".into()],
+                distance: 0.0,
+            }],
+        }
+    }
+
+    fn pass(machine: &str) -> TestReport {
+        TestReport {
+            machine: machine.into(),
+            release: Release(0),
+            outcome: TestOutcome::Pass,
+        }
+    }
+
+    fn fail(machine: &str, problem: &str) -> TestReport {
+        TestReport {
+            machine: machine.into(),
+            release: Release(0),
+            outcome: TestOutcome::Fail {
+                problem: problem.into(),
+            },
+        }
+    }
+
+    fn notified(cmds: &[Command]) -> Vec<String> {
+        cmds.iter()
+            .flat_map(|c| match c {
+                Command::Notify { machines, .. } => machines.clone(),
+                Command::Complete => vec![],
+            })
+            .collect()
+    }
+
+    /// Non-representatives wait for *all* representatives: one passing
+    /// rep is not enough (the paper's marginal-improvement argument for
+    /// multiple representatives).
+    #[test]
+    fn all_reps_must_pass_before_non_reps() {
+        let mut p = Balanced::new(plan_two_reps(), 1.0);
+        let cmds = p.start();
+        let mut first = notified(&cmds);
+        first.sort();
+        assert_eq!(first, vec!["r1", "r2"]);
+        // One rep passes: nothing happens yet.
+        assert!(notified(&p.on_report(&pass("r1"))).is_empty());
+        // Second rep fails: still nothing.
+        assert!(notified(&p.on_report(&fail("r2", "p"))).is_empty());
+        // Fix ships: only the failed rep retests.
+        let fixed: std::collections::BTreeSet<String> = ["p".to_string()].into();
+        assert_eq!(notified(&p.on_release(Release(1), &fixed)), vec!["r2"]);
+        // Now the non-reps go out.
+        let mut nonreps = notified(&p.on_report(&pass("r2")));
+        nonreps.sort();
+        assert_eq!(nonreps, vec!["n1", "n2"]);
+    }
+
+    /// FrontLoading's phase 1 likewise waits for every representative of
+    /// every cluster, even when failures interleave with passes.
+    #[test]
+    fn frontloading_phase1_with_multiple_reps() {
+        let plan = DeployPlan {
+            clusters: vec![
+                DeployCluster {
+                    id: 0,
+                    members: vec!["a1".into(), "a2".into(), "a3".into()],
+                    reps: vec!["a1".into(), "a2".into()],
+                    distance: 0.0,
+                },
+                DeployCluster {
+                    id: 1,
+                    members: vec!["b1".into(), "b2".into()],
+                    reps: vec!["b1".into()],
+                    distance: 1.0,
+                },
+            ],
+        };
+        let mut p = FrontLoading::new(plan, 1.0);
+        let cmds = p.start();
+        assert_eq!(notified(&cmds).len(), 3, "all three reps in parallel");
+        assert!(notified(&p.on_report(&pass("a1"))).is_empty());
+        assert!(notified(&p.on_report(&pass("b1"))).is_empty());
+        // The last rep's pass opens phase 2 at the farthest cluster.
+        let cmds = p.on_report(&pass("a2"));
+        assert_eq!(notified(&cmds), vec!["b2"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the environment substrate.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mirage_env::app::{execute, RunBehavior};
+use mirage_env::{
+    ApplicationSpec, EnvPredicate, File, FileContent, FileSystem, IniDoc, Package, PackageManager,
+    Repository, RunInput, Version, VersionReq,
+};
+use mirage_trace::RunId;
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    (0u32..5, 0u32..5, 0u32..5).prop_map(|(a, b, c)| Version::new(a, b, c))
+}
+
+fn textfile(path: &str, text: &str) -> File {
+    File::new(
+        path,
+        mirage_fingerprint::ResourceKind::Text,
+        FileContent::Text(vec![text.to_string()]),
+    )
+}
+
+proptest! {
+    /// Snapshots never observe later mutations of the base, and vice
+    /// versa, for any interleaving of inserts/removes.
+    #[test]
+    fn snapshot_isolation(
+        ops in proptest::collection::vec((0u8..3, 0usize..8), 0..24),
+    ) {
+        let mut base = FileSystem::new();
+        for i in 0..4 {
+            base.insert(textfile(&format!("/f{i}"), "orig"));
+        }
+        let snap = base.snapshot();
+        let frozen: Vec<(String, FileContent)> = snap
+            .iter()
+            .map(|f| (f.path.clone(), f.content.clone()))
+            .collect();
+        for (op, slot) in ops {
+            let path = format!("/f{slot}");
+            match op {
+                0 => {
+                    base.insert(textfile(&path, "mutated"));
+                }
+                1 => {
+                    base.remove(&path);
+                }
+                _ => {
+                    base.insert(textfile(&format!("/new{slot}"), "fresh"));
+                }
+            }
+        }
+        // The snapshot still shows exactly its frozen view.
+        prop_assert_eq!(snap.len(), frozen.len());
+        for (path, content) in frozen {
+            prop_assert_eq!(&snap.get(&path).unwrap().content, &content);
+        }
+    }
+
+    /// Version parsing round-trips through Display.
+    #[test]
+    fn version_roundtrip(v in arb_version()) {
+        let s = v.to_string();
+        prop_assert_eq!(s.parse::<Version>().unwrap(), v);
+    }
+
+    /// VersionReq::Compatible implies AtLeast and same-major.
+    #[test]
+    fn compatible_implies_at_least(a in arb_version(), b in arb_version()) {
+        if VersionReq::Compatible(a).matches(b) {
+            prop_assert!(VersionReq::AtLeast(a).matches(b));
+            prop_assert_eq!(a.major, b.major);
+        }
+    }
+
+    /// Installing the same package twice is idempotent on the
+    /// filesystem and the package database.
+    #[test]
+    fn install_idempotent(v in arb_version()) {
+        let mut repo = Repository::new();
+        repo.publish(
+            Package::new("pkg", v).with_file(File::executable("/bin/pkg", "pkg", 1)),
+        );
+        let mut fs = FileSystem::new();
+        let mut pm = PackageManager::new();
+        pm.install(&mut fs, &repo, "pkg", VersionReq::Exact(v)).unwrap();
+        let files_before = fs.len();
+        let report = pm.install(&mut fs, &repo, "pkg", VersionReq::Exact(v)).unwrap();
+        prop_assert!(report.installed.is_empty());
+        prop_assert_eq!(fs.len(), files_before);
+    }
+
+    /// The application interpreter is deterministic for arbitrary
+    /// inputs, and a crash behaviour always suppresses outputs.
+    #[test]
+    fn interpreter_determinism(
+        args in proptest::collection::vec("[a-z]{1,6}", 0..3),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..3),
+    ) {
+        let mut fs = FileSystem::new();
+        fs.insert(File::executable("/bin/app", "app", 1));
+        let env = BTreeMap::new();
+        let app = ApplicationSpec::new("app", "app", "/bin/app").with_logic(
+            mirage_env::AppLogic {
+                serves_net: true,
+                writes_data: false,
+                log_path: Some("/log".into()),
+                output_path: None,
+                version_sensitive: false,
+            },
+        );
+        let mut input = RunInput::new("w");
+        for a in &args {
+            input = input.arg(a.clone());
+        }
+        for p in &payloads {
+            input = input.request("peer", p.clone());
+        }
+        let healthy = RunBehavior::healthy();
+        let t1 = execute("m", &fs, &env, &app, &input, RunId(0), &healthy);
+        let t2 = execute("m", &fs, &env, &app, &input, RunId(0), &healthy);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert!(t1.succeeded());
+
+        let crash = RunBehavior { crash_on_start: true, ..Default::default() };
+        let tc = execute("m", &fs, &env, &app, &input, RunId(0), &crash);
+        prop_assert!(!tc.succeeded());
+        prop_assert!(tc.outputs().is_empty());
+    }
+
+    /// De Morgan on environment predicates: ¬(A ∧ B) ≡ (¬A ∨ ¬B).
+    #[test]
+    fn predicate_de_morgan(file_a in proptest::bool::ANY, file_b in proptest::bool::ANY) {
+        let mut builder = mirage_env::MachineBuilder::new("m");
+        if file_a {
+            builder = builder.file(File::config("/a", IniDoc::new()));
+        }
+        if file_b {
+            builder = builder.file(File::config("/b", IniDoc::new()));
+        }
+        let m = builder.build();
+        let a = EnvPredicate::FileExists("/a".into());
+        let b = EnvPredicate::FileExists("/b".into());
+        let lhs = EnvPredicate::Not(Box::new(EnvPredicate::AllOf(vec![a.clone(), b.clone()])));
+        let rhs = EnvPredicate::AnyOf(vec![
+            EnvPredicate::Not(Box::new(a)),
+            EnvPredicate::Not(Box::new(b)),
+        ]);
+        prop_assert_eq!(lhs.eval(&m), rhs.eval(&m));
+    }
+
+    /// Fixing problems one at a time or in one batch yields the same
+    /// final problem set, and versions advance monotonically.
+    #[test]
+    fn fix_all_equals_sequential_fixes(n in 1usize..5) {
+        use mirage_env::{ProblemEffect, ProblemId, ProblemSpec, Upgrade};
+        let problems: Vec<ProblemSpec> = (0..n)
+            .map(|i| {
+                ProblemSpec::new(
+                    format!("p{i}"),
+                    "x",
+                    EnvPredicate::Always,
+                    ProblemEffect::CrashOnStart { app: "a".into() },
+                )
+            })
+            .collect();
+        let upgrade = Upgrade::new(Package::new("pkg", Version::new(1, 0, 0)), problems);
+        let ids: Vec<ProblemId> = (0..n).map(|i| ProblemId(format!("p{i}"))).collect();
+        let batch = upgrade.fix_all(ids.iter());
+        let mut seq = upgrade.clone();
+        for id in &ids {
+            seq = seq.fix(id).unwrap();
+        }
+        prop_assert!(batch.problems.is_empty());
+        prop_assert_eq!(batch.problems.len(), seq.problems.len());
+        prop_assert_eq!(batch.package.version, seq.package.version);
+        prop_assert!(batch.package.version > upgrade.package.version);
+    }
+}

@@ -1,0 +1,189 @@
+//! A small glob matcher for path patterns.
+//!
+//! The vendor rule API of the paper is "regular expression-based"; this
+//! reproduction uses the glob dialect every package tool understands
+//! instead of pulling a full regex engine:
+//!
+//! * `?` matches a single character other than `/`;
+//! * `*` matches any run of characters not containing `/`;
+//! * `**` matches any run of characters *including* `/`;
+//! * everything else matches literally.
+//!
+//! Patterns anchor at both ends (they must match the whole path).
+
+use std::fmt;
+
+/// A compiled glob pattern.
+///
+/// # Examples
+///
+/// ```
+/// use mirage_fingerprint::Glob;
+/// let g = Glob::new("/var/**");
+/// assert!(g.matches("/var/lib/mysql/user.frm"));
+/// assert!(!g.matches("/usr/lib/libc.so"));
+/// let g = Glob::new("/usr/lib/*.so");
+/// assert!(g.matches("/usr/lib/libm.so"));
+/// assert!(!g.matches("/usr/lib/sub/libm.so"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Glob {
+    pattern: String,
+    tokens: Vec<Token>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Literal(char),
+    AnyChar,
+    AnySegment,
+    AnyPath,
+}
+
+impl Glob {
+    /// Compiles `pattern`.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        let pattern = pattern.into();
+        let mut tokens = Vec::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    if chars.get(i + 1) == Some(&'*') {
+                        tokens.push(Token::AnyPath);
+                        i += 2;
+                    } else {
+                        tokens.push(Token::AnySegment);
+                        i += 1;
+                    }
+                }
+                '?' => {
+                    tokens.push(Token::AnyChar);
+                    i += 1;
+                }
+                c => {
+                    tokens.push(Token::Literal(c));
+                    i += 1;
+                }
+            }
+        }
+        Glob { pattern, tokens }
+    }
+
+    /// Returns the source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns `true` if `path` matches the pattern in full.
+    pub fn matches(&self, path: &str) -> bool {
+        let chars: Vec<char> = path.chars().collect();
+        match_tokens(&self.tokens, &chars)
+    }
+}
+
+impl fmt::Display for Glob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+fn match_tokens(tokens: &[Token], chars: &[char]) -> bool {
+    match tokens.split_first() {
+        None => chars.is_empty(),
+        Some((Token::Literal(c), rest)) => {
+            chars.first() == Some(c) && match_tokens(rest, &chars[1..])
+        }
+        Some((Token::AnyChar, rest)) => match chars.first() {
+            Some(&ch) if ch != '/' => match_tokens(rest, &chars[1..]),
+            _ => false,
+        },
+        Some((Token::AnySegment, rest)) => {
+            // Greedily try every split of a non-'/' run, including empty.
+            let mut end = 0;
+            while end <= chars.len() {
+                if match_tokens(rest, &chars[end..]) {
+                    return true;
+                }
+                if end < chars.len() && chars[end] != '/' {
+                    end += 1;
+                } else {
+                    break;
+                }
+            }
+            false
+        }
+        Some((Token::AnyPath, rest)) => {
+            for end in 0..=chars.len() {
+                if match_tokens(rest, &chars[end..]) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_match_exactly() {
+        let g = Glob::new("/etc/my.cnf");
+        assert!(g.matches("/etc/my.cnf"));
+        assert!(!g.matches("/etc/my.cnf2"));
+        assert!(!g.matches("/etc/my_cnf"));
+    }
+
+    #[test]
+    fn question_mark_single_char() {
+        let g = Glob::new("/etc/rc?.d");
+        assert!(g.matches("/etc/rc3.d"));
+        assert!(!g.matches("/etc/rc33.d"));
+        assert!(!g.matches("/etc/rc/.d"), "? must not match a slash");
+    }
+
+    #[test]
+    fn star_stays_in_segment() {
+        let g = Glob::new("/usr/lib/*.so");
+        assert!(g.matches("/usr/lib/a.so"));
+        assert!(g.matches("/usr/lib/.so"));
+        assert!(!g.matches("/usr/lib/x/a.so"));
+    }
+
+    #[test]
+    fn double_star_crosses_segments() {
+        let g = Glob::new("/var/**");
+        assert!(g.matches("/var/lib/mysql/db.frm"));
+        assert!(g.matches("/var/"));
+        assert!(!g.matches("/varx/y"));
+        let g = Glob::new("/home/**/.my.cnf");
+        assert!(g.matches("/home/u/.my.cnf"));
+        assert!(g.matches("/home/a/b/.my.cnf"));
+        assert!(!g.matches("/home/u/my.cnf"));
+    }
+
+    #[test]
+    fn suffix_globs() {
+        let g = Glob::new("**/*.xpi");
+        assert!(g.matches("/home/u/.mozilla/extensions/foo.xpi"));
+        assert!(g.matches("a/b.xpi"));
+        assert!(!g.matches("foo.xpi.bak"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_only() {
+        let g = Glob::new("");
+        assert!(g.matches(""));
+        assert!(!g.matches("x"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let g = Glob::new("/a/**/b*");
+        assert_eq!(g.to_string(), "/a/**/b*");
+        assert_eq!(g.pattern(), "/a/**/b*");
+    }
+}

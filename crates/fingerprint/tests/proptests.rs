@@ -1,0 +1,118 @@
+//! Property-based tests for the fingerprinting substrate.
+
+use proptest::prelude::*;
+
+use mirage_fingerprint::{fnv1a, Chunker, ChunkerParams, Glob, Item, RabinHasher};
+
+proptest! {
+    /// Chunks must tile the input exactly: contiguous, complete, in order.
+    #[test]
+    fn chunks_tile_input(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let chunker = Chunker::new(ChunkerParams::tiny());
+        let chunks = chunker.chunk(&data);
+        let mut offset = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.offset, offset);
+            prop_assert!(c.len > 0);
+            offset += c.len;
+        }
+        prop_assert_eq!(offset, data.len());
+    }
+
+    /// All chunks except the last respect the minimum size; all chunks
+    /// respect the maximum.
+    #[test]
+    fn chunk_bounds(data in proptest::collection::vec(any::<u8>(), 1..20_000)) {
+        let params = ChunkerParams::tiny();
+        let chunks = Chunker::new(params).chunk(&data);
+        for (i, c) in chunks.iter().enumerate() {
+            prop_assert!(c.len <= params.max_size);
+            if i + 1 < chunks.len() {
+                prop_assert!(c.len >= params.min_size);
+            }
+        }
+    }
+
+    /// Chunking is a pure function of the content.
+    #[test]
+    fn chunking_deterministic(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        let chunker = Chunker::new(ChunkerParams::tiny());
+        prop_assert_eq!(chunker.chunk(&data), chunker.chunk(&data));
+    }
+
+    /// Appending a suffix never changes chunk boundaries that were sealed
+    /// more than one max-chunk before the old end of input.
+    #[test]
+    fn chunking_is_prefix_stable(
+        data in proptest::collection::vec(any::<u8>(), 1000..8_000),
+        suffix in proptest::collection::vec(any::<u8>(), 1..2_000),
+    ) {
+        let params = ChunkerParams::tiny();
+        let chunker = Chunker::new(params);
+        let base = chunker.chunk(&data);
+        let mut extended_data = data.clone();
+        extended_data.extend_from_slice(&suffix);
+        let extended = chunker.chunk(&extended_data);
+        // Every base chunk that ends at least one full chunk before the
+        // old EOF must appear identically in the extended chunking.
+        for c in &base {
+            if c.offset + c.len + params.max_size <= data.len() {
+                prop_assert!(
+                    extended.iter().any(|e| e == c),
+                    "sealed chunk at {} vanished", c.offset
+                );
+            }
+        }
+    }
+
+    /// The rolling hash depends only on the final window of bytes.
+    #[test]
+    fn rabin_window_locality(
+        prefix in proptest::collection::vec(any::<u8>(), 0..200),
+        window in proptest::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let mut a = RabinHasher::new(16);
+        for &b in prefix.iter().chain(window.iter()) {
+            a.push(b);
+        }
+        let mut b = RabinHasher::new(16);
+        for &byte in &window {
+            b.push(byte);
+        }
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// FNV is deterministic and content-sensitive in the common case.
+    #[test]
+    fn fnv_deterministic(data in proptest::collection::vec(any::<u8>(), 0..500)) {
+        prop_assert_eq!(fnv1a(&data), fnv1a(&data));
+    }
+
+    /// A literal glob (no metacharacters) matches exactly itself.
+    #[test]
+    fn literal_glob_matches_self(path in "[a-z/]{0,30}") {
+        let g = Glob::new(path.clone());
+        prop_assert!(g.matches(&path));
+        let other = format!("{path}x");
+        prop_assert!(!g.matches(&other));
+    }
+
+    /// `**` matches any path at all when used alone.
+    #[test]
+    fn double_star_matches_everything(path in "[ -~]{0,40}") {
+        prop_assert!(Glob::new("**").matches(&path));
+    }
+
+    /// Item truncation produces a prefix of the original item.
+    #[test]
+    fn truncation_is_prefix(
+        segs in proptest::collection::vec("[a-z0-9]{1,8}", 1..6),
+        keep in 1usize..6,
+    ) {
+        let item = Item::new(segs.clone());
+        let keep = keep.min(item.depth());
+        let t = item.truncated(keep);
+        prop_assert_eq!(t.depth(), keep);
+        prop_assert!(item.starts_with(t.segments()));
+    }
+}

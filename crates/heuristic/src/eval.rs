@@ -1,0 +1,114 @@
+//! Scoring a classification against ground truth (Table 1).
+
+use std::collections::BTreeSet;
+
+use crate::identify::Classification;
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalResult {
+    /// Application name.
+    pub app: String,
+    /// Files accessed in the traces ("Files total").
+    pub files_total: usize,
+    /// Ground-truth environmental resources in the universe
+    /// ("Env. resources").
+    pub env_resources: usize,
+    /// Files the heuristic flagged that are not environmental resources.
+    pub false_positives: usize,
+    /// Environmental resources the heuristic missed.
+    pub false_negatives: usize,
+    /// Number of vendor rules in force ("Required vendor rules").
+    pub vendor_rules: usize,
+}
+
+impl EvalResult {
+    /// Returns `true` if the classification is perfect.
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+/// Scores `classification` for `app` against ground truth.
+///
+/// `truth` answers "is this path really an environmental resource?" for
+/// every path in the classification's universe; in the simulated
+/// environment it is backed by the files' `truth_env` flags.
+pub fn evaluate(
+    app: impl Into<String>,
+    classification: &Classification,
+    truth: &dyn Fn(&str) -> bool,
+    vendor_rules: usize,
+) -> EvalResult {
+    let truth_set: BTreeSet<&String> = classification
+        .universe
+        .iter()
+        .filter(|p| truth(p))
+        .collect();
+    let false_positives = classification
+        .env_resources
+        .iter()
+        .filter(|p| !truth(p))
+        .count();
+    let false_negatives = truth_set
+        .iter()
+        .filter(|p| !classification.env_resources.contains(**p))
+        .count();
+    EvalResult {
+        app: app.into(),
+        files_total: classification.accessed.len(),
+        env_resources: truth_set.len(),
+        false_positives,
+        false_negatives,
+        vendor_rules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn classification(env: &[&str], universe: &[&str], accessed: &[&str]) -> Classification {
+        Classification {
+            env_resources: env.iter().map(|s| s.to_string()).collect(),
+            env_vars: BTreeSet::new(),
+            provenance: BTreeMap::new(),
+            universe: universe.iter().map(|s| s.to_string()).collect(),
+            accessed: accessed.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_classification() {
+        let c = classification(&["/a", "/b"], &["/a", "/b", "/c"], &["/a", "/b", "/c"]);
+        let truth = |p: &str| p == "/a" || p == "/b";
+        let r = evaluate("app", &c, &truth, 0);
+        assert_eq!(r.files_total, 3);
+        assert_eq!(r.env_resources, 2);
+        assert!(r.is_perfect());
+    }
+
+    #[test]
+    fn false_positive_and_negative_counting() {
+        // Heuristic said {/a, /x}; truth is {/a, /b}.
+        let c = classification(&["/a", "/x"], &["/a", "/b", "/x"], &["/a", "/b", "/x"]);
+        let truth = |p: &str| p == "/a" || p == "/b";
+        let r = evaluate("app", &c, &truth, 2);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.vendor_rules, 2);
+        assert!(!r.is_perfect());
+    }
+
+    #[test]
+    fn manifest_only_files_count_toward_truth_not_files_total() {
+        // /m is in the universe (manifest) but never accessed.
+        let c = classification(&["/a", "/m"], &["/a", "/m"], &["/a"]);
+        let truth = |_: &str| true;
+        let r = evaluate("app", &c, &truth, 0);
+        assert_eq!(r.files_total, 1);
+        assert_eq!(r.env_resources, 2);
+        assert!(r.is_perfect());
+    }
+}

@@ -1,0 +1,371 @@
+//! The four-part identification algorithm.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mirage_fingerprint::ResourceKind;
+use mirage_trace::Trace;
+
+use crate::config::HeuristicConfig;
+use crate::rules::RuleSet;
+
+/// Why a path was classified as an environmental resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Provenance {
+    /// Accessed during the initialisation phase (longest common prefix).
+    InitPhase,
+    /// Opened read-only in every trace.
+    ReadOnlyAllTraces,
+    /// Of a vendor-specified environmental type.
+    VendorType,
+    /// Named in the application's package manifest.
+    PackageManifest,
+    /// Forced in by a vendor include rule.
+    VendorInclude,
+}
+
+/// The result of identifying an application's environmental resources.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Classification {
+    /// Environmental resource paths.
+    pub env_resources: BTreeSet<String>,
+    /// Environment variables read by the application.
+    pub env_vars: BTreeSet<String>,
+    /// First-match provenance for each classified path.
+    pub provenance: BTreeMap<String, Provenance>,
+    /// Every path seen in any trace or the manifest (the candidate
+    /// universe; the paper's "Files total" counts the traced subset).
+    pub universe: BTreeSet<String>,
+    /// Paths accessed in at least one trace.
+    pub accessed: BTreeSet<String>,
+}
+
+impl Classification {
+    /// Returns `true` if `path` was classified as environmental.
+    pub fn is_env(&self, path: &str) -> bool {
+        self.env_resources.contains(path)
+    }
+}
+
+/// Computes the longest common prefix of the per-trace access sequences.
+///
+/// Returns the paths accessed within that prefix. With a single trace the
+/// whole sequence is the prefix, which matches the paper's observation
+/// that more traces sharpen the boundary of the initialisation phase.
+pub fn init_phase_paths(traces: &[Trace]) -> BTreeSet<String> {
+    let mut iter = traces.iter().map(Trace::access_sequence);
+    let Some(mut prefix) = iter.next() else {
+        return BTreeSet::new();
+    };
+    for seq in iter {
+        let common = prefix
+            .iter()
+            .zip(seq.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        prefix.truncate(common);
+    }
+    prefix.into_iter().collect()
+}
+
+/// Computes paths opened read-only in every trace (and present in all).
+pub fn read_only_everywhere(traces: &[Trace]) -> BTreeSet<String> {
+    let mut iter = traces.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new();
+    };
+    let mut result = first.read_only_paths();
+    for t in iter {
+        let ro = t.read_only_paths();
+        result.retain(|p| ro.contains(p));
+    }
+    result
+}
+
+/// Runs the full heuristic.
+///
+/// * `traces` — the collected runs of the application on this machine;
+/// * `manifest` — paths named in the application's package;
+/// * `kind_of` — kind lookup for a path (from the machine's filesystem);
+/// * `config` — default excludes and vendor-specified env types;
+/// * `rules` — the vendor's include/exclude directives.
+pub fn identify(
+    traces: &[Trace],
+    manifest: &BTreeSet<String>,
+    kind_of: &dyn Fn(&str) -> Option<ResourceKind>,
+    config: &HeuristicConfig,
+    rules: &RuleSet,
+) -> Classification {
+    let mut accessed: BTreeSet<String> = BTreeSet::new();
+    let mut env_vars: BTreeSet<String> = BTreeSet::new();
+    for t in traces {
+        accessed.extend(t.accessed_paths());
+        env_vars.extend(t.env_vars_read());
+    }
+    let mut universe = accessed.clone();
+    universe.extend(manifest.iter().cloned());
+
+    let mut provenance: BTreeMap<String, Provenance> = BTreeMap::new();
+    let note = |path: &str, why: Provenance, out: &mut BTreeMap<String, Provenance>| {
+        out.entry(path.to_string()).or_insert(why);
+    };
+
+    // Part 1: initialisation phase.
+    for p in init_phase_paths(traces) {
+        note(&p, Provenance::InitPhase, &mut provenance);
+    }
+    // Part 2: read-only in all traces.
+    for p in read_only_everywhere(traces) {
+        note(&p, Provenance::ReadOnlyAllTraces, &mut provenance);
+    }
+    // Part 3: vendor-specified types accessed in any trace.
+    for p in &accessed {
+        if let Some(kind) = kind_of(p) {
+            if config.env_types.contains(&kind) {
+                note(p, Provenance::VendorType, &mut provenance);
+            }
+        }
+    }
+    // Part 4: package manifest.
+    for p in manifest {
+        note(p, Provenance::PackageManifest, &mut provenance);
+    }
+
+    // Default system-wide excludes, then vendor rules. Vendor includes
+    // win over every exclusion; vendor excludes win over the heuristic.
+    let mut env_resources: BTreeSet<String> = provenance
+        .keys()
+        .filter(|p| !config.default_excluded(p))
+        .cloned()
+        .collect();
+    env_resources.retain(|p| !rules.excludes(p) || rules.includes(p));
+    for p in &universe {
+        if rules.includes(p) && env_resources.insert(p.clone()) {
+            // The heuristic alone did not keep this path (it was missing
+            // or suppressed), so the include rule is its real provenance.
+            provenance.insert(p.clone(), Provenance::VendorInclude);
+        }
+    }
+    provenance.retain(|p, _| env_resources.contains(p));
+
+    Classification {
+        env_resources,
+        env_vars,
+        provenance,
+        universe,
+        accessed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_trace::{OpenMode, RunId, SyscallEvent};
+
+    fn trace(machine: &str, events: Vec<SyscallEvent>) -> Trace {
+        let mut t = Trace::new(machine, "app", RunId(0));
+        for e in events {
+            t.push(e);
+        }
+        t
+    }
+
+    fn open(path: &str, mode: OpenMode) -> SyscallEvent {
+        SyscallEvent::Open {
+            path: path.into(),
+            mode,
+        }
+    }
+
+    fn ro(path: &str) -> SyscallEvent {
+        open(path, OpenMode::ReadOnly)
+    }
+
+    fn proc(exe: &str) -> SyscallEvent {
+        SyscallEvent::ProcessCreate {
+            exe: exe.into(),
+            args: vec![],
+        }
+    }
+
+    /// Two runs: identical init (exe, lib, cfg), divergent data reads, a
+    /// log written in both.
+    fn sample_traces() -> Vec<Trace> {
+        let t1 = trace(
+            "m",
+            vec![
+                proc("/bin/app"),
+                ro("/lib/libx.so"),
+                ro("/etc/app.conf"),
+                ro("/data/a.txt"),
+                SyscallEvent::Write {
+                    path: "/logs/app.log".into(),
+                    data: vec![1],
+                },
+            ],
+        );
+        let t2 = trace(
+            "m",
+            vec![
+                proc("/bin/app"),
+                ro("/lib/libx.so"),
+                ro("/etc/app.conf"),
+                ro("/data/b.txt"),
+                ro("/late/plugin.so"),
+                SyscallEvent::Write {
+                    path: "/logs/app.log".into(),
+                    data: vec![2],
+                },
+            ],
+        );
+        vec![t1, t2]
+    }
+
+    #[test]
+    fn lcp_finds_init_phase() {
+        let init = init_phase_paths(&sample_traces());
+        assert!(init.contains("/bin/app"));
+        assert!(init.contains("/lib/libx.so"));
+        assert!(init.contains("/etc/app.conf"));
+        assert!(!init.contains("/data/a.txt"), "diverging tail excluded");
+        assert!(init_phase_paths(&[]).is_empty());
+    }
+
+    #[test]
+    fn lcp_single_trace_is_whole_sequence() {
+        let traces = vec![sample_traces().remove(0)];
+        let init = init_phase_paths(&traces);
+        assert!(init.contains("/data/a.txt"));
+        assert!(init.contains("/logs/app.log"));
+    }
+
+    #[test]
+    fn read_only_everywhere_excludes_divergent_and_written() {
+        let ro_paths = read_only_everywhere(&sample_traces());
+        assert!(ro_paths.contains("/lib/libx.so"));
+        assert!(ro_paths.contains("/etc/app.conf"));
+        assert!(!ro_paths.contains("/data/a.txt"), "only in one trace");
+        assert!(!ro_paths.contains("/logs/app.log"), "written");
+        assert!(read_only_everywhere(&[]).is_empty());
+    }
+
+    fn kinds(path: &str) -> Option<ResourceKind> {
+        if path.ends_with(".so") {
+            Some(ResourceKind::SharedLibrary)
+        } else if path.starts_with("/etc") {
+            Some(ResourceKind::Config)
+        } else {
+            Some(ResourceKind::Data)
+        }
+    }
+
+    #[test]
+    fn full_heuristic_combines_parts() {
+        let manifest: BTreeSet<String> =
+            ["/bin/app".to_string(), "/share/app/builtin.dat".to_string()].into();
+        let c = identify(
+            &sample_traces(),
+            &manifest,
+            &kinds,
+            &HeuristicConfig::paper_default(),
+            &RuleSet::new(),
+        );
+        // Init phase.
+        assert_eq!(c.provenance["/bin/app"], Provenance::InitPhase);
+        assert!(c.is_env("/etc/app.conf"));
+        // Late-loaded library caught by the type rule.
+        assert_eq!(c.provenance["/late/plugin.so"], Provenance::VendorType);
+        // Manifest file never accessed still included.
+        assert_eq!(
+            c.provenance["/share/app/builtin.dat"],
+            Provenance::PackageManifest
+        );
+        // Data and logs excluded.
+        assert!(!c.is_env("/data/a.txt"));
+        assert!(!c.is_env("/logs/app.log"));
+        // Universe covers manifest + accessed.
+        assert!(c.universe.contains("/share/app/builtin.dat"));
+        assert!(c.accessed.contains("/data/a.txt"));
+        assert!(!c.accessed.contains("/share/app/builtin.dat"));
+    }
+
+    #[test]
+    fn default_excludes_suppress_var_and_tmp() {
+        let t = trace(
+            "m",
+            vec![proc("/bin/app"), ro("/var/lib/app/state.db"), ro("/tmp/x")],
+        );
+        let c = identify(
+            &[t],
+            &BTreeSet::new(),
+            &kinds,
+            &HeuristicConfig::paper_default(),
+            &RuleSet::new(),
+        );
+        assert!(!c.is_env("/var/lib/app/state.db"));
+        assert!(!c.is_env("/tmp/x"));
+        assert!(c.is_env("/bin/app"));
+    }
+
+    #[test]
+    fn vendor_include_overrides_default_exclude() {
+        let t = trace("m", vec![proc("/bin/app"), ro("/var/lib/app/state.db")]);
+        let c = identify(
+            &[t],
+            &BTreeSet::new(),
+            &kinds,
+            &HeuristicConfig::paper_default(),
+            &RuleSet::new().include("/var/lib/app/**"),
+        );
+        assert!(c.is_env("/var/lib/app/state.db"));
+        assert_eq!(
+            c.provenance["/var/lib/app/state.db"],
+            Provenance::VendorInclude
+        );
+    }
+
+    #[test]
+    fn vendor_exclude_overrides_heuristic() {
+        let t = trace("m", vec![proc("/bin/app"), ro("/srv/www/index.html")]);
+        let c = identify(
+            &[t],
+            &BTreeSet::new(),
+            &kinds,
+            &HeuristicConfig::paper_default(),
+            &RuleSet::new().exclude("/srv/www/**"),
+        );
+        assert!(!c.is_env("/srv/www/index.html"));
+        assert!(!c.provenance.contains_key("/srv/www/index.html"));
+    }
+
+    #[test]
+    fn include_beats_exclude_on_overlap() {
+        let t = trace("m", vec![ro("/srv/www/special.conf")]);
+        let c = identify(
+            &[t],
+            &BTreeSet::new(),
+            &kinds,
+            &HeuristicConfig::paper_default(),
+            &RuleSet::new()
+                .exclude("/srv/www/**")
+                .include("/srv/www/special.conf"),
+        );
+        assert!(c.is_env("/srv/www/special.conf"));
+    }
+
+    #[test]
+    fn env_vars_collected() {
+        let mut t = trace("m", vec![proc("/bin/app")]);
+        t.push(SyscallEvent::GetEnv {
+            name: "HOME".into(),
+            value: None,
+        });
+        let c = identify(
+            &[t],
+            &BTreeSet::new(),
+            &kinds,
+            &HeuristicConfig::paper_default(),
+            &RuleSet::new(),
+        );
+        assert!(c.env_vars.contains("HOME"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Structured problem reporting (paper §3.4).
+//!
+//! After user-machine testing determines the success or failure of an
+//! upgrade, the result is deposited in an **Upgrade Report Repository
+//! (URR)** the vendor can query. Each [`Report`] carries:
+//!
+//! 1. information about the cluster of deployment,
+//! 2. a succinct success/failure result (the failure *signature*), and
+//! 3. a [`ReportImage`] allowing the vendor to reproduce the problem —
+//!    in the paper, the entire upgraded virtual-machine state plus the
+//!    recorded inputs and outputs used during replay; here, a digest of
+//!    the sandbox state and the replayed I/O.
+//!
+//! The URR deduplicates by failure signature, which addresses the survey
+//! finding that vendors drown in repetitive, unstructured reports: a
+//! vendor querying [`Urr::failure_groups`] sees each distinct problem
+//! once, with the affected machine/cluster population attached.
+//!
+//! The repository is thread-safe (`parking_lot::RwLock`) because reports
+//! arrive concurrently from many user machines, and serialisable
+//! (`serde_json`) because in deployment it would be transferred or
+//! co-located with the vendor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod report;
+pub mod urr;
+
+pub use image::ReportImage;
+pub use report::{Report, ReportOutcome};
+pub use urr::{FailureGroup, ReleaseSummary, Urr, UrrStats};

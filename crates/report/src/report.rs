@@ -1,0 +1,140 @@
+//! Report records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::image::ReportImage;
+
+/// The succinct outcome of one upgrade test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportOutcome {
+    /// The upgrade passed testing and was integrated.
+    Success,
+    /// Testing failed.
+    Failure {
+        /// The failure signature: application plus failure kind — what
+        /// the vendor groups duplicate reports by.
+        signature: String,
+        /// Human-readable detail (the validator's failure description).
+        detail: String,
+    },
+}
+
+impl ReportOutcome {
+    /// Returns `true` for a success.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ReportOutcome::Success)
+    }
+
+    /// Returns the failure signature, if failed.
+    pub fn signature(&self) -> Option<&str> {
+        match self {
+            ReportOutcome::Success => None,
+            ReportOutcome::Failure { signature, .. } => Some(signature),
+        }
+    }
+}
+
+/// One report deposited in the URR.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Reporting machine.
+    pub machine: String,
+    /// The machine's cluster of deployment.
+    pub cluster: usize,
+    /// Upgraded package name.
+    pub package: String,
+    /// Version string of the tested release.
+    pub version: String,
+    /// Test outcome.
+    pub outcome: ReportOutcome,
+    /// Logical timestamp (assigned by the URR on deposit).
+    pub seq: u64,
+    /// Reproduction image (present on failures).
+    pub image: Option<ReportImage>,
+}
+
+impl Report {
+    /// Creates a success report (no image needed).
+    pub fn success(
+        machine: impl Into<String>,
+        cluster: usize,
+        package: impl Into<String>,
+        version: impl Into<String>,
+    ) -> Self {
+        Report {
+            machine: machine.into(),
+            cluster,
+            package: package.into(),
+            version: version.into(),
+            outcome: ReportOutcome::Success,
+            seq: 0,
+            image: None,
+        }
+    }
+
+    /// Creates a failure report carrying a reproduction image.
+    pub fn failure(
+        machine: impl Into<String>,
+        cluster: usize,
+        package: impl Into<String>,
+        version: impl Into<String>,
+        signature: impl Into<String>,
+        detail: impl Into<String>,
+        image: ReportImage,
+    ) -> Self {
+        Report {
+            machine: machine.into(),
+            cluster,
+            package: package.into(),
+            version: version.into(),
+            outcome: ReportOutcome::Failure {
+                signature: signature.into(),
+                detail: detail.into(),
+            },
+            seq: 0,
+            image: Some(image),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let ok = Report::success("m1", 3, "mysql", "5.0.27");
+        assert!(ok.outcome.is_success());
+        assert_eq!(ok.outcome.signature(), None);
+        assert!(ok.image.is_none());
+
+        let bad = Report::failure(
+            "m2",
+            4,
+            "mysql",
+            "5.0.27",
+            "php/crash",
+            "crash (exit 139)",
+            ReportImage::default(),
+        );
+        assert!(!bad.outcome.is_success());
+        assert_eq!(bad.outcome.signature(), Some("php/crash"));
+        assert!(bad.image.is_some());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Report::failure(
+            "m",
+            1,
+            "firefox",
+            "2.0.0",
+            "firefox/prefs",
+            "output mismatch",
+            ReportImage::default(),
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,33 @@
+//! Faithful reconstructions of the paper's evaluation scenarios.
+//!
+//! Each module rebuilds one piece of the paper's §2/§4 evaluation on top
+//! of the simulated-environment substrate:
+//!
+//! * [`survey`] — the 50-administrator survey dataset behind Figures
+//!   1–3, constructed to match every aggregate the paper reports
+//!   (frequencies, reason ranks, failure-rate histogram with average
+//!   8.6 % and median 5 %, and the headline percentages).
+//! * [`apps`] — the four application models (Firefox, Apache, PHP,
+//!   MySQL) behind Table 1's heuristic-effectiveness numbers.
+//! * [`mysql`] — the 21-machine MySQL fleet of Table 2 with the real
+//!   PHP broken-dependency problem \[24\] and the `.my.cnf`
+//!   legacy-configuration problem, behind Figures 6 and 7.
+//! * [`firefox`] — the 6-machine Firefox fleet of Table 3 with the
+//!   Firefox 2.0 legacy-preferences problem \[11\], behind Figures 8
+//!   and 9.
+//! * [`deployment`] — the 100 000-machine, 20-cluster simulation
+//!   scenarios behind Figures 10 and 11 and the §4.3.2 upgrade-overhead
+//!   analysis.
+//! * [`apache`] — two more §2.3 problem case studies run end to end:
+//!   the Apache 1.3.26 Include/ACL legacy-configuration problem \[3\]
+//!   and the SlimServer 6.5.1 improper-packaging problem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apache;
+pub mod apps;
+pub mod deployment;
+pub mod firefox;
+pub mod mysql;
+pub mod survey;

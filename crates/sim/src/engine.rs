@@ -1,0 +1,122 @@
+//! The event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in the paper's abstract "time units".
+pub type SimTime = u64;
+
+/// Events processed by the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A machine finished downloading and testing a release.
+    TestDone {
+        /// The machine that tested.
+        machine: String,
+        /// The release it tested.
+        release: u32,
+    },
+    /// The vendor finished fixing a problem.
+    FixDone {
+        /// The problem that was fixed.
+        problem: String,
+    },
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events at equal times are processed in insertion order (FIFO), which
+/// keeps simulations reproducible.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    store: Vec<Option<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let idx = self.store.len();
+        self.store.push(Some(event));
+        self.heap.push(Reverse((time, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let Reverse((time, _, idx)) = self.heap.pop()?;
+        let event = self.store[idx].take().expect("event already taken");
+        Some((time, event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_done(m: &str) -> Event {
+        Event::TestDone {
+            machine: m.into(),
+            release: 0,
+        }
+    }
+
+    #[test]
+    fn time_ordering() {
+        let mut q = EventQueue::new();
+        q.schedule(10, test_done("b"));
+        q.schedule(5, test_done("a"));
+        q.schedule(20, test_done("c"));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0, 5);
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        q.schedule(5, test_done("first"));
+        q.schedule(5, test_done("second"));
+        q.schedule(5, test_done("third"));
+        let order: Vec<String> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TestDone { machine, .. } => machine,
+                Event::FixDone { problem } => problem,
+            })
+            .collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn mixed_event_kinds() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            100,
+            Event::FixDone {
+                problem: "p".into(),
+            },
+        );
+        q.schedule(15, test_done("m"));
+        assert!(matches!(q.pop().unwrap().1, Event::TestDone { .. }));
+        assert!(matches!(q.pop().unwrap().1, Event::FixDone { .. }));
+    }
+}

@@ -1,0 +1,29 @@
+//! Discrete-event simulation of staged deployment (paper §4.3.1).
+//!
+//! The paper evaluates its deployment protocols with an event-driven
+//! simulator whose inputs are the number and sizes of clusters, the
+//! clustering quality, representatives per cluster, problem placement,
+//! and the times to download, test, and fix an upgrade. This crate is
+//! that simulator: a binary-heap event queue ([`engine`]) drives the
+//! *real* protocol implementations from `mirage-deploy` against a
+//! [`scenario`](ScenarioBuilder), while [`metrics`] collects per-machine
+//! pass times, per-cluster latency CDFs, and the upgrade overhead (number
+//! of machines that tested a faulty upgrade).
+//!
+//! The vendor model matches the paper's: each distinct problem takes
+//! `fix_time` to debug; fixes are worked on one at a time in report
+//! order; each completed fix ships as a new release which failed machines
+//! re-test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+pub use engine::{Event, EventQueue, SimTime};
+pub use metrics::{latency_cdf, ClusterLatency, SimMetrics};
+pub use runner::{run, Simulation};
+pub use scenario::{Scenario, ScenarioBuilder, Timings};

@@ -1,0 +1,197 @@
+//! Simulation metrics: latency CDFs and upgrade overhead.
+
+use std::collections::BTreeMap;
+
+use mirage_deploy::DeployPlan;
+
+use crate::engine::SimTime;
+
+/// Per-cluster upgrade latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterLatency {
+    /// Cluster id.
+    pub cluster: usize,
+    /// Time when the cluster's threshold fraction of machines had
+    /// integrated the upgrade, or `None` if it never did.
+    pub time: Option<SimTime>,
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    /// First successful-integration time per machine.
+    pub machine_pass_time: BTreeMap<String, SimTime>,
+    /// Number of failed tests — the paper's *upgrade overhead* (each
+    /// failure is a machine inconvenienced by a faulty upgrade).
+    pub failed_tests: usize,
+    /// Total tests executed (downloads + validations).
+    pub total_tests: usize,
+    /// Number of corrected releases the vendor shipped.
+    pub releases_shipped: u32,
+    /// Time the protocol reported completion (all machines passed).
+    pub completion_time: Option<SimTime>,
+    /// Distinct problems discovered, in discovery order.
+    pub problems_discovered: Vec<String>,
+    /// Faulty integrations that escaped detection (imperfect testing).
+    pub escaped_problems: usize,
+}
+
+impl SimMetrics {
+    /// Computes each cluster's latency: the time the threshold fraction
+    /// of its members first had the upgrade integrated.
+    ///
+    /// This is the quantity plotted in the paper's Figures 10 and 11
+    /// ("fraction of clusters" vs time); note clusters are scored against
+    /// the *reference* plan even for protocols (NoStaging) that ignore
+    /// cluster structure.
+    pub fn cluster_latencies(&self, plan: &DeployPlan, threshold: f64) -> Vec<ClusterLatency> {
+        plan.clusters
+            .iter()
+            .map(|c| {
+                let needed = ((c.members.len() as f64) * threshold).ceil().max(1.0) as usize;
+                let mut times: Vec<SimTime> = c
+                    .members
+                    .iter()
+                    .filter_map(|m| self.machine_pass_time.get(m).copied())
+                    .collect();
+                times.sort_unstable();
+                ClusterLatency {
+                    cluster: c.id,
+                    time: times.get(needed - 1).copied(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl SimMetrics {
+    /// Per-*machine* latency CDF points `(time, fraction of machines)`.
+    ///
+    /// The paper plots per-cluster latency because its clusters are all
+    /// equal-sized; with heterogeneous clusters the per-machine CDF is
+    /// the fairer view. `total` is the fleet size (machines that never
+    /// passed keep the CDF below 1.0).
+    pub fn machine_latency_cdf(&self, total: usize) -> Vec<(SimTime, f64)> {
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut times: Vec<SimTime> = self.machine_pass_time.values().copied().collect();
+        times.sort_unstable();
+        let mut points: Vec<(SimTime, f64)> = Vec::new();
+        for (i, t) in times.iter().enumerate() {
+            let fraction = (i + 1) as f64 / total as f64;
+            if let Some((lt, lf)) = points.last_mut() {
+                if *lt == *t {
+                    *lf = fraction;
+                    continue;
+                }
+            }
+            points.push((*t, fraction));
+        }
+        points
+    }
+}
+
+/// Turns cluster latencies into CDF points `(time, fraction)`.
+///
+/// Clusters that never completed are omitted (the CDF then tops out
+/// below 1.0).
+pub fn latency_cdf(latencies: &[ClusterLatency]) -> Vec<(SimTime, f64)> {
+    let total = latencies.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut times: Vec<SimTime> = latencies.iter().filter_map(|l| l.time).collect();
+    times.sort_unstable();
+    let mut points = Vec::new();
+    for (i, t) in times.iter().enumerate() {
+        let fraction = (i + 1) as f64 / total as f64;
+        // Collapse duplicate timestamps to the highest fraction.
+        if let Some(last) = points.last_mut() {
+            let (lt, lf): &mut (SimTime, f64) = last;
+            if *lt == *t {
+                *lf = fraction;
+                continue;
+            }
+        }
+        points.push((*t, fraction));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_deploy::DeployCluster;
+
+    fn plan2() -> DeployPlan {
+        DeployPlan {
+            clusters: vec![
+                DeployCluster {
+                    id: 0,
+                    members: vec!["a".into(), "b".into()],
+                    reps: vec!["a".into()],
+                    distance: 0.0,
+                },
+                DeployCluster {
+                    id: 1,
+                    members: vec!["c".into(), "d".into()],
+                    reps: vec!["c".into()],
+                    distance: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cluster_latency_takes_threshold_member() {
+        let mut m = SimMetrics::default();
+        m.machine_pass_time.insert("a".into(), 10);
+        m.machine_pass_time.insert("b".into(), 30);
+        m.machine_pass_time.insert("c".into(), 20);
+        // d never passed.
+        let lat = m.cluster_latencies(&plan2(), 1.0);
+        assert_eq!(lat[0].time, Some(30));
+        assert_eq!(lat[1].time, None, "cluster 1 incomplete at threshold 1.0");
+        let lat = m.cluster_latencies(&plan2(), 0.5);
+        assert_eq!(lat[0].time, Some(10));
+        assert_eq!(lat[1].time, Some(20));
+    }
+
+    #[test]
+    fn machine_cdf_counts_fleet_fraction() {
+        let mut m = SimMetrics::default();
+        m.machine_pass_time.insert("a".into(), 15);
+        m.machine_pass_time.insert("b".into(), 15);
+        m.machine_pass_time.insert("c".into(), 500);
+        // Fleet of 4; one machine never passed.
+        let cdf = m.machine_latency_cdf(4);
+        assert_eq!(cdf, vec![(15, 0.5), (500, 0.75)]);
+        assert!(m.machine_latency_cdf(0).is_empty());
+    }
+
+    #[test]
+    fn cdf_shape() {
+        let lat = vec![
+            ClusterLatency {
+                cluster: 0,
+                time: Some(10),
+            },
+            ClusterLatency {
+                cluster: 1,
+                time: Some(10),
+            },
+            ClusterLatency {
+                cluster: 2,
+                time: Some(40),
+            },
+            ClusterLatency {
+                cluster: 3,
+                time: None,
+            },
+        ];
+        let cdf = latency_cdf(&lat);
+        assert_eq!(cdf, vec![(10, 0.5), (40, 0.75)]);
+        assert!(latency_cdf(&[]).is_empty());
+    }
+}

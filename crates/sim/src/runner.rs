@@ -1,0 +1,401 @@
+//! The simulation driver.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use mirage_deploy::{Command, Protocol, Release, TestOutcome, TestReport};
+
+use crate::engine::{Event, EventQueue, SimTime};
+use crate::metrics::SimMetrics;
+use crate::scenario::Scenario;
+
+/// A running simulation binding a scenario to a protocol.
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    scenario: &'a Scenario,
+    queue: EventQueue,
+    now: SimTime,
+    /// Cumulative fixed-problem sets, indexed by release number.
+    fixed_by_release: Vec<BTreeSet<String>>,
+    fix_queue: VecDeque<String>,
+    fixing: Option<String>,
+    known_problems: BTreeSet<String>,
+    metrics: SimMetrics,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation over `scenario`.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        Simulation {
+            scenario,
+            queue: EventQueue::new(),
+            now: 0,
+            fixed_by_release: vec![BTreeSet::new()],
+            fix_queue: VecDeque::new(),
+            fixing: None,
+            known_problems: BTreeSet::new(),
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    fn latest_release(&self) -> Release {
+        Release((self.fixed_by_release.len() - 1) as u32)
+    }
+
+    fn passes(&self, machine: &str, release: u32) -> bool {
+        match self.scenario.machine_problem.get(machine) {
+            None => true,
+            Some(problem) => self.fixed_by_release[release as usize].contains(problem),
+        }
+    }
+
+    fn exec(&mut self, commands: Vec<Command>) {
+        for cmd in commands {
+            match cmd {
+                Command::Notify { machines, release } => {
+                    for m in machines {
+                        self.metrics.total_tests += 1;
+                        // A machine offline at notification time acts on
+                        // it when it comes back (the paper's late
+                        // arrivals).
+                        let start = self
+                            .scenario
+                            .offline_until
+                            .get(&m)
+                            .copied()
+                            .unwrap_or(0)
+                            .max(self.now);
+                        self.queue.schedule(
+                            start + self.scenario.timings.machine_cycle(),
+                            Event::TestDone {
+                                machine: m,
+                                release: release.0,
+                            },
+                        );
+                    }
+                }
+                Command::Complete => {
+                    if self.metrics.completion_time.is_none() {
+                        self.metrics.completion_time = Some(self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_next_fix(&mut self) {
+        if self.fixing.is_none() {
+            if let Some(problem) = self.fix_queue.pop_front() {
+                self.queue.schedule(
+                    self.now + self.scenario.timings.fix,
+                    Event::FixDone {
+                        problem: problem.clone(),
+                    },
+                );
+                self.fixing = Some(problem);
+            }
+        }
+    }
+
+    fn handle_test_done(&mut self, protocol: &mut dyn Protocol, machine: String, release: u32) {
+        let mut passed = self.passes(&machine, release);
+        if !passed && self.scenario.missed_detection.contains(&machine) {
+            // Imperfect user-machine testing: the problem escapes into
+            // production. The machine integrates the faulty release.
+            passed = true;
+            self.metrics.escaped_problems += 1;
+        }
+        let outcome = if passed {
+            self.metrics
+                .machine_pass_time
+                .entry(machine.clone())
+                .or_insert(self.now);
+            TestOutcome::Pass
+        } else {
+            self.metrics.failed_tests += 1;
+            let problem = self.scenario.machine_problem[&machine].clone();
+            if self.known_problems.insert(problem.clone()) {
+                self.metrics.problems_discovered.push(problem.clone());
+                self.fix_queue.push_back(problem.clone());
+                self.start_next_fix();
+            }
+            TestOutcome::Fail { problem }
+        };
+        let report = TestReport {
+            machine,
+            release: Release(release),
+            outcome,
+        };
+        let commands = protocol.on_report(&report);
+        self.exec(commands);
+        // Guard against stranding: if the machine failed a stale release
+        // whose problem a *newer* release already fixes, re-announce the
+        // latest release so the protocol re-notifies its failed machines.
+        if let TestOutcome::Fail { problem } = &report.outcome {
+            let latest = self.latest_release();
+            if latest.0 > release && self.fixed_by_release[latest.0 as usize].contains(problem) {
+                let fixed = self.fixed_by_release[latest.0 as usize].clone();
+                let commands = protocol.on_release(latest, &fixed);
+                self.exec(commands);
+            }
+        }
+    }
+
+    fn handle_fix_done(&mut self, protocol: &mut dyn Protocol, problem: String) {
+        debug_assert_eq!(self.fixing.as_deref(), Some(problem.as_str()));
+        self.fixing = None;
+        let mut fixed = self.fixed_by_release.last().cloned().unwrap_or_default();
+        fixed.insert(problem);
+        self.fixed_by_release.push(fixed);
+        self.metrics.releases_shipped += 1;
+        self.start_next_fix();
+        let release = self.latest_release();
+        let fixed = self.fixed_by_release[release.0 as usize].clone();
+        let commands = protocol.on_release(release, &fixed);
+        self.exec(commands);
+    }
+
+    /// Runs the simulation to completion, consuming it.
+    pub fn run(mut self, protocol: &mut dyn Protocol) -> SimMetrics {
+        let commands = protocol.start();
+        self.exec(commands);
+        while let Some((time, event)) = self.queue.pop() {
+            self.now = time;
+            match event {
+                Event::TestDone { machine, release } => {
+                    self.handle_test_done(protocol, machine, release)
+                }
+                Event::FixDone { problem } => self.handle_fix_done(protocol, problem),
+            }
+        }
+        self.metrics
+    }
+}
+
+/// Convenience: runs `protocol` against `scenario` and returns metrics.
+pub fn run(scenario: &Scenario, protocol: &mut dyn Protocol) -> SimMetrics {
+    Simulation::new(scenario).run(protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use mirage_deploy::{Balanced, FrontLoading, NoStaging};
+
+    /// 4 clusters × 3 machines; cluster 2 carries problem "p".
+    fn small_scenario() -> Scenario {
+        ScenarioBuilder::new()
+            .clusters(4, 3, 1)
+            .problem_in_clusters("p", &[2])
+            .build()
+    }
+
+    #[test]
+    fn nostaging_finishes_and_counts_overhead() {
+        let s = small_scenario();
+        let mut p = NoStaging::new(s.plan.clone());
+        let m = run(&s, &mut p);
+        assert!(p.done());
+        // All 3 machines of the problem cluster tested the faulty
+        // release: overhead = population of the problem.
+        assert_eq!(m.failed_tests, 3);
+        assert_eq!(m.releases_shipped, 1);
+        assert_eq!(m.machine_pass_time.len(), 12);
+        // Healthy machines pass at download+test = 15.
+        assert_eq!(m.machine_pass_time["c00-m00000"], 15);
+        // Problem machines: fail at 15, fix done at 515, retest at 530.
+        assert_eq!(m.machine_pass_time["c02-m00000"], 530);
+        assert_eq!(m.completion_time, Some(530));
+    }
+
+    #[test]
+    fn balanced_overhead_is_one_per_problem() {
+        let s = small_scenario();
+        let mut p = Balanced::new(s.plan.clone(), 1.0);
+        let m = run(&s, &mut p);
+        assert!(p.done());
+        // Only the problem cluster's representative failed.
+        assert_eq!(m.failed_tests, 1);
+        assert_eq!(m.problems_discovered, vec!["p".to_string()]);
+        // Clusters 0,1 complete before the problem cluster stalls:
+        // c0: rep 15, nonreps 30. c1: 45/60. c2 rep fails at 75;
+        // fix at 575; rep passes 590; nonreps 605. c3: 620/635.
+        assert_eq!(m.machine_pass_time["c00-m00001"], 30);
+        assert_eq!(m.machine_pass_time["c01-m00001"], 60);
+        assert_eq!(m.machine_pass_time["c02-m00000"], 590);
+        assert_eq!(m.machine_pass_time["c02-m00001"], 605);
+        assert_eq!(m.completion_time, Some(635));
+    }
+
+    #[test]
+    fn frontloading_front_loads_debugging() {
+        let s = small_scenario();
+        let mut p = FrontLoading::new(s.plan.clone(), 1.0);
+        let m = run(&s, &mut p);
+        assert!(p.done());
+        // Phase 1: all 4 reps test at 15; c2's rep fails; fix at 515;
+        // re-test passes at 530. Phase 2 (desc distance: c3, c2, c1, c0):
+        // c3 non-reps 545, c2 560, c1 575, c0 590.
+        assert_eq!(m.failed_tests, 1);
+        assert_eq!(m.machine_pass_time["c03-m00001"], 545);
+        assert_eq!(m.machine_pass_time["c02-m00001"], 560);
+        assert_eq!(m.machine_pass_time["c00-m00001"], 590);
+        assert_eq!(m.completion_time, Some(590));
+    }
+
+    #[test]
+    fn healthy_fleet_needs_no_fixes() {
+        let s = ScenarioBuilder::new().clusters(3, 4, 1).build();
+        let mut p = Balanced::new(s.plan.clone(), 1.0);
+        let m = run(&s, &mut p);
+        assert_eq!(m.failed_tests, 0);
+        assert_eq!(m.releases_shipped, 0);
+        assert_eq!(m.machine_pass_time.len(), 12);
+        // Sequential: cluster k completes at 30(k+1).
+        assert_eq!(m.completion_time, Some(90));
+    }
+
+    #[test]
+    fn misplaced_machine_fails_at_nonrep_stage() {
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .misplaced_machine(0, "odd")
+            .build();
+        let mut p = Balanced::new(s.plan.clone(), 1.0);
+        let m = run(&s, &mut p);
+        // The misplaced machine fails once; everyone eventually passes.
+        assert_eq!(m.failed_tests, 1);
+        assert_eq!(m.machine_pass_time.len(), 8);
+        // Cluster 0 rep passes at 15; non-reps test at 30: two pass, the
+        // misplaced fails. Fix at 530; it retests at 545. With threshold
+        // 1.0 cluster 1 waits: rep 560, nonreps 575.
+        assert_eq!(m.completion_time, Some(575));
+    }
+
+    #[test]
+    fn threshold_lets_deployment_pass_misplaced_machines() {
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .misplaced_machine(0, "odd")
+            .threshold(0.75)
+            .build();
+        let mut p = Balanced::new(s.plan.clone(), s.threshold);
+        let m = run(&s, &mut p);
+        // Cluster 1 proceeds at 30 without waiting for the fix: rep 45,
+        // non-reps 60. The misplaced machine still completes at 545.
+        assert_eq!(m.machine_pass_time["c01-m00003"], 60);
+        assert_eq!(m.completion_time, Some(545));
+    }
+
+    #[test]
+    fn multiple_problems_fix_sequentially() {
+        let s = ScenarioBuilder::new()
+            .clusters(3, 2, 1)
+            .problem_in_clusters("p0", &[0])
+            .problem_in_clusters("p1", &[1])
+            .problem_in_clusters("p2", &[2])
+            .build();
+        let mut p = NoStaging::new(s.plan.clone());
+        let m = run(&s, &mut p);
+        // All three problems discovered at t=15; fixes at 515, 1015, 1515;
+        // final passes at 1530. Each failed machine is re-notified only
+        // when *its* problem is fixed, so overhead = m = 6 (the paper's
+        // NoStaging overhead) rather than one failure per release wave.
+        assert_eq!(m.releases_shipped, 3);
+        assert_eq!(m.failed_tests, 6);
+        assert_eq!(m.completion_time, Some(1530));
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use mirage_deploy::{Balanced, NoStaging};
+
+    /// The paper-scale scenario must simulate quickly (it backs Fig 10).
+    #[test]
+    fn paper_scale_scenario_runs() {
+        let s = ScenarioBuilder::new()
+            .clusters(20, 5_000, 1)
+            .problem_in_clusters("prevalent", &[14, 15, 16])
+            .problem_in_clusters("rare-a", &[17])
+            .problem_in_clusters("rare-b", &[18])
+            .build();
+        let mut nostaging = NoStaging::new(s.plan.clone());
+        let m = run(&s, &mut nostaging);
+        assert_eq!(m.failed_tests, 25_000);
+        assert_eq!(m.machine_pass_time.len(), 100_000);
+
+        let mut balanced = Balanced::new(s.plan.clone(), 1.0);
+        let m = run(&s, &mut balanced);
+        assert_eq!(m.failed_tests, 3);
+        assert_eq!(m.machine_pass_time.len(), 100_000);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use mirage_deploy::{Balanced, NoStaging};
+
+    #[test]
+    fn offline_machines_are_late_arrivals() {
+        // One machine of cluster 0 is offline until t=200; with
+        // threshold 0.75 the deployment proceeds without it.
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .offline_machines(0, 1, 200)
+            .threshold(0.75)
+            .build();
+        let m = run(&s, &mut Balanced::new(s.plan.clone(), s.threshold));
+        // Everyone, including the late arrival, eventually passes.
+        assert_eq!(m.machine_pass_time.len(), 8);
+        let offline = s.offline_until.keys().next().unwrap();
+        assert_eq!(
+            m.machine_pass_time[offline], 215,
+            "online at 200 + cycle 15"
+        );
+        // The second cluster did not wait for it: its rep passed at 45.
+        assert_eq!(m.machine_pass_time["c01-m00000"], 45);
+    }
+
+    #[test]
+    fn offline_machine_blocks_full_threshold() {
+        // With threshold 1.0 the first cluster cannot complete until the
+        // late arrival reports, delaying the second cluster.
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .offline_machines(0, 1, 200)
+            .build();
+        let m = run(&s, &mut Balanced::new(s.plan.clone(), 1.0));
+        assert!(m.machine_pass_time["c01-m00000"] > 200);
+    }
+
+    #[test]
+    fn missed_detection_lets_problems_escape() {
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .problem_in_clusters("p", &[1])
+            .missed_detections(1, 2)
+            .build();
+        let m = run(&s, &mut NoStaging::new(s.plan.clone()));
+        // Two problem machines "pass" with the fault integrated; the
+        // other two fail and drive a fix.
+        assert_eq!(m.escaped_problems, 2);
+        assert_eq!(m.failed_tests, 2);
+        assert_eq!(m.releases_shipped, 1);
+        assert_eq!(m.machine_pass_time.len(), 8);
+    }
+
+    #[test]
+    fn perfect_testing_has_no_escapes() {
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .problem_in_clusters("p", &[1])
+            .build();
+        let m = run(&s, &mut NoStaging::new(s.plan.clone()));
+        assert_eq!(m.escaped_problems, 0);
+    }
+}

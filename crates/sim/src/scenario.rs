@@ -1,0 +1,334 @@
+//! Simulation scenarios: cluster structure, timings, problem placement.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mirage_deploy::{DeployCluster, DeployPlan};
+
+use crate::engine::SimTime;
+
+/// The three time constants of the paper's simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timings {
+    /// Time for a machine to download an upgrade.
+    pub download: u64,
+    /// Time for a machine to test an upgrade.
+    pub test: u64,
+    /// Time for the vendor to debug and fix one problem.
+    pub fix: u64,
+}
+
+impl Timings {
+    /// The paper's configuration: download 5, test 10, fix 500 — chosen
+    /// to mimic minutes of download/test against a day of debugging.
+    pub fn paper_default() -> Self {
+        Timings {
+            download: 5,
+            test: 10,
+            fix: 500,
+        }
+    }
+
+    /// Round-trip for one machine: download + test.
+    pub fn machine_cycle(&self) -> u64 {
+        self.download + self.test
+    }
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The deployment plan (clusters, reps, distances).
+    pub plan: DeployPlan,
+    /// Per-machine problem assignment: machines absent from the map are
+    /// healthy; a machine fails any release in which its problem is not
+    /// yet fixed.
+    pub machine_problem: BTreeMap<String, String>,
+    /// Time constants.
+    pub timings: Timings,
+    /// Fraction of a cluster's machines that must pass before staged
+    /// protocols advance.
+    pub threshold: f64,
+    /// Machines offline until a given time: a notification delivered
+    /// while offline is acted on when the machine comes back (the
+    /// paper's "late arrivals", which motivate the threshold).
+    pub offline_until: BTreeMap<String, SimTime>,
+    /// Machines whose user-machine testing *misses* their problem: the
+    /// faulty upgrade passes testing and integrates — the survey's
+    /// "problems that pass initial testing" phenomenon. The paper's
+    /// simulations assume perfect testing; this knob relaxes that.
+    pub missed_detection: BTreeSet<String>,
+}
+
+impl Scenario {
+    /// Total machine count.
+    pub fn machine_count(&self) -> usize {
+        self.plan.machine_count()
+    }
+
+    /// Number of machines carrying each problem.
+    pub fn problem_populations(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for p in self.machine_problem.values() {
+            *counts.entry(p.clone()).or_insert(0usize) += 1;
+        }
+        counts
+    }
+}
+
+/// Builder for synthetic scenarios like the paper's §4.3 setup.
+///
+/// # Examples
+///
+/// The paper's sound-clustering scenario: 100 000 machines in 20 equal
+/// clusters, one prevalent problem in three clusters, two non-prevalent
+/// problems in one cluster each:
+///
+/// ```
+/// use mirage_sim::ScenarioBuilder;
+/// let scenario = ScenarioBuilder::new()
+///     .clusters(20, 5_000, 1)
+///     .problem_in_clusters("prevalent", &[14, 15, 16])
+///     .problem_in_clusters("rare-a", &[17])
+///     .problem_in_clusters("rare-b", &[18])
+///     .build();
+/// assert_eq!(scenario.machine_count(), 100_000);
+/// assert_eq!(scenario.problem_populations()["prevalent"], 15_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cluster_count: usize,
+    cluster_size: usize,
+    reps_per_cluster: usize,
+    problems: Vec<(String, Vec<usize>)>,
+    misplaced: Vec<(usize, String)>,
+    offline: Vec<(usize, usize, SimTime)>,
+    missed: Vec<(usize, usize)>,
+    timings: Timings,
+    threshold: f64,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with paper-default timings and threshold 1.0.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            cluster_count: 0,
+            cluster_size: 0,
+            reps_per_cluster: 1,
+            problems: Vec::new(),
+            misplaced: Vec::new(),
+            offline: Vec::new(),
+            missed: Vec::new(),
+            timings: Timings::paper_default(),
+            threshold: 1.0,
+        }
+    }
+
+    /// Sets `count` equal-size clusters of `size` machines with
+    /// `reps` representatives each.
+    ///
+    /// Cluster `i` is given vendor distance `i as f64` — deployment-order
+    /// position doubles as distance, so `problem_in_clusters` indexes are
+    /// also positions in the Balanced order.
+    pub fn clusters(mut self, count: usize, size: usize, reps: usize) -> Self {
+        self.cluster_count = count;
+        self.cluster_size = size;
+        self.reps_per_cluster = reps;
+        self
+    }
+
+    /// Makes every machine of the given clusters exhibit `problem`.
+    pub fn problem_in_clusters(mut self, problem: &str, clusters: &[usize]) -> Self {
+        self.problems.push((problem.into(), clusters.to_vec()));
+        self
+    }
+
+    /// Injects one misplaced machine: a *non-representative* of
+    /// `cluster` that exhibits `problem` although the rest of its cluster
+    /// does not (the paper's imperfect-clustering experiment).
+    pub fn misplaced_machine(mut self, cluster: usize, problem: &str) -> Self {
+        self.misplaced.push((cluster, problem.into()));
+        self
+    }
+
+    /// Takes `count` non-representative machines of `cluster` offline
+    /// until `until`: they miss notifications delivered in the meantime
+    /// and catch up once back online.
+    pub fn offline_machines(mut self, cluster: usize, count: usize, until: SimTime) -> Self {
+        self.offline.push((cluster, count, until));
+        self
+    }
+
+    /// Makes testing on `count` problem-carrying machines of `cluster`
+    /// miss the problem (it integrates anyway).
+    pub fn missed_detections(mut self, cluster: usize, count: usize) -> Self {
+        self.missed.push((cluster, count));
+        self
+    }
+
+    /// Overrides the time constants.
+    pub fn timings(mut self, timings: Timings) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Overrides the advancement threshold.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a problem or misplaced-machine directive references a
+    /// cluster that does not exist, or if a misplaced machine is asked
+    /// for in a cluster with no non-representatives.
+    pub fn build(self) -> Scenario {
+        let mut clusters = Vec::with_capacity(self.cluster_count);
+        for c in 0..self.cluster_count {
+            let members: Vec<String> = (0..self.cluster_size)
+                .map(|i| format!("c{c:02}-m{i:05}"))
+                .collect();
+            let reps = members
+                .iter()
+                .take(self.reps_per_cluster.max(1).min(members.len()))
+                .cloned()
+                .collect();
+            clusters.push(DeployCluster {
+                id: c,
+                members,
+                reps,
+                distance: c as f64,
+            });
+        }
+        let plan = DeployPlan { clusters };
+
+        let mut machine_problem = BTreeMap::new();
+        for (problem, cluster_ids) in &self.problems {
+            for &cid in cluster_ids {
+                let cluster = plan
+                    .clusters
+                    .get(cid)
+                    .unwrap_or_else(|| panic!("problem references missing cluster {cid}"));
+                for m in &cluster.members {
+                    machine_problem.insert(m.clone(), problem.clone());
+                }
+            }
+        }
+        for (cid, problem) in &self.misplaced {
+            let cluster = plan
+                .clusters
+                .get(*cid)
+                .unwrap_or_else(|| panic!("misplaced machine in missing cluster {cid}"));
+            let victim = cluster
+                .non_reps()
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| panic!("cluster {cid} has no non-representatives"));
+            machine_problem.insert(victim, problem.clone());
+        }
+
+        let mut offline_until = BTreeMap::new();
+        for (cid, count, until) in &self.offline {
+            let cluster = plan
+                .clusters
+                .get(*cid)
+                .unwrap_or_else(|| panic!("offline directive for missing cluster {cid}"));
+            // Skip the first non-rep: misplaced_machine may have used it.
+            for m in cluster.non_reps().into_iter().skip(1).take(*count) {
+                offline_until.insert(m, *until);
+            }
+        }
+        let mut missed_detection = BTreeSet::new();
+        for (cid, count) in &self.missed {
+            let cluster = plan
+                .clusters
+                .get(*cid)
+                .unwrap_or_else(|| panic!("missed-detection directive for missing cluster {cid}"));
+            for m in cluster
+                .members
+                .iter()
+                .filter(|m| machine_problem.contains_key(*m))
+                .take(*count)
+            {
+                missed_detection.insert(m.clone());
+            }
+        }
+        Scenario {
+            plan,
+            machine_problem,
+            timings: self.timings,
+            threshold: self.threshold,
+            offline_until,
+            missed_detection,
+        }
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_plan() {
+        let s = ScenarioBuilder::new().clusters(3, 10, 2).build();
+        assert_eq!(s.plan.clusters.len(), 3);
+        assert_eq!(s.machine_count(), 30);
+        assert_eq!(s.plan.clusters[1].reps.len(), 2);
+        assert_eq!(s.plan.clusters[2].distance, 2.0);
+        assert!(s.machine_problem.is_empty());
+        assert_eq!(s.threshold, 1.0);
+    }
+
+    #[test]
+    fn problems_cover_whole_clusters() {
+        let s = ScenarioBuilder::new()
+            .clusters(4, 5, 1)
+            .problem_in_clusters("p", &[1, 3])
+            .build();
+        assert_eq!(s.problem_populations()["p"], 10);
+        // A machine in cluster 0 is healthy.
+        assert!(!s.machine_problem.contains_key("c00-m00000"));
+        assert!(s.machine_problem.contains_key("c01-m00000"));
+    }
+
+    #[test]
+    fn misplaced_machine_is_a_non_rep() {
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .misplaced_machine(0, "odd")
+            .build();
+        let victims: Vec<&String> = s
+            .machine_problem
+            .iter()
+            .filter(|(_, p)| *p == "odd")
+            .map(|(m, _)| m)
+            .collect();
+        assert_eq!(victims.len(), 1);
+        assert!(!s.plan.clusters[0].reps.contains(victims[0]));
+        assert!(s.plan.clusters[0].members.contains(victims[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cluster")]
+    fn bad_cluster_reference_panics() {
+        let _ = ScenarioBuilder::new()
+            .clusters(1, 2, 1)
+            .problem_in_clusters("p", &[5])
+            .build();
+    }
+
+    #[test]
+    fn timings_accessors() {
+        let t = Timings::paper_default();
+        assert_eq!(t.machine_cycle(), 15);
+        assert_eq!(t.fix, 500);
+    }
+}

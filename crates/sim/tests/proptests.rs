@@ -1,0 +1,156 @@
+//! Property-based tests of the simulator + protocols as a system:
+//! random small scenarios must always converge, and the paper's
+//! overhead relations must hold.
+
+use proptest::prelude::*;
+
+use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
+use mirage_sim::{run, Scenario, ScenarioBuilder};
+
+#[derive(Debug, Clone)]
+struct RandomScenario {
+    clusters: usize,
+    size: usize,
+    problem_clusters: Vec<usize>,
+    misplaced_cluster: Option<usize>,
+    threshold: f64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = RandomScenario> {
+    (2usize..6, 2usize..6)
+        .prop_flat_map(|(clusters, size)| {
+            (
+                Just(clusters),
+                Just(size),
+                proptest::collection::btree_set(0..clusters, 0..clusters),
+                proptest::option::of(0..clusters),
+                prop_oneof![Just(0.5f64), Just(0.75), Just(1.0)],
+            )
+        })
+        .prop_map(
+            |(clusters, size, problem_clusters, misplaced_cluster, threshold)| RandomScenario {
+                clusters,
+                size,
+                problem_clusters: problem_clusters.into_iter().collect(),
+                misplaced_cluster,
+                threshold,
+            },
+        )
+}
+
+fn build(spec: &RandomScenario) -> Scenario {
+    let mut builder = ScenarioBuilder::new()
+        .clusters(spec.clusters, spec.size, 1)
+        .threshold(spec.threshold);
+    if !spec.problem_clusters.is_empty() {
+        builder = builder.problem_in_clusters("p-main", &spec.problem_clusters);
+    }
+    if let Some(c) = spec.misplaced_cluster {
+        // Only inject where a non-representative exists and the cluster
+        // is otherwise healthy (that is what "misplaced" means).
+        if spec.size > 1 && !spec.problem_clusters.contains(&c) {
+            builder = builder.misplaced_machine(c, "p-misplaced");
+        }
+    }
+    builder.build()
+}
+
+fn protocols(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Protocol>)> {
+    vec![
+        ("NoStaging", Box::new(NoStaging::new(scenario.plan.clone()))),
+        (
+            "Balanced",
+            Box::new(Balanced::new(scenario.plan.clone(), scenario.threshold)),
+        ),
+        (
+            "FrontLoading",
+            Box::new(FrontLoading::new(scenario.plan.clone(), scenario.threshold)),
+        ),
+        (
+            "RandomStaging",
+            Box::new(Balanced::with_order(
+                scenario.plan.clone(),
+                scenario.plan.order_by_distance_desc(),
+                scenario.threshold,
+            )),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every protocol converges on every scenario: all machines pass,
+    /// completion is reported, and pass times are sane.
+    #[test]
+    fn all_protocols_converge(spec in arb_scenario()) {
+        let scenario = build(&spec);
+        let total = scenario.machine_count();
+        for (name, mut protocol) in protocols(&scenario) {
+            let metrics = run(&scenario, protocol.as_mut());
+            prop_assert_eq!(
+                metrics.machine_pass_time.len(),
+                total,
+                "{} left machines behind", name
+            );
+            prop_assert!(metrics.completion_time.is_some(), "{} never completed", name);
+            prop_assert!(protocol.done(), "{} not done", name);
+            let max_pass = metrics.machine_pass_time.values().max().copied().unwrap_or(0);
+            prop_assert!(
+                metrics.completion_time.unwrap() >= max_pass,
+                "{} completed before its last machine", name
+            );
+        }
+    }
+
+    /// NoStaging's overhead equals the problem population exactly, and
+    /// staged protocols never exceed it.
+    #[test]
+    fn staging_never_increases_overhead(spec in arb_scenario()) {
+        let scenario = build(&spec);
+        let m = scenario.machine_problem.len();
+        let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
+        prop_assert_eq!(nostaging.failed_tests, m);
+        for (name, mut protocol) in protocols(&scenario) {
+            let metrics = run(&scenario, protocol.as_mut());
+            prop_assert!(
+                metrics.failed_tests <= m,
+                "{} overhead {} exceeds NoStaging {}", name, metrics.failed_tests, m
+            );
+        }
+    }
+
+    /// The number of releases equals the number of distinct problems
+    /// present in the fleet (each needs exactly one fix).
+    #[test]
+    fn one_release_per_problem(spec in arb_scenario()) {
+        let scenario = build(&spec);
+        let distinct = scenario.problem_populations().len() as u32;
+        for (name, mut protocol) in protocols(&scenario) {
+            let metrics = run(&scenario, protocol.as_mut());
+            prop_assert_eq!(
+                metrics.releases_shipped, distinct,
+                "{} shipped a surprising number of releases", name
+            );
+        }
+    }
+
+    /// Healthy fleets complete with zero failures and zero releases at
+    /// the deterministic per-protocol time.
+    #[test]
+    fn healthy_fleet_timing(clusters in 1usize..6, size in 1usize..6) {
+        let scenario = ScenarioBuilder::new().clusters(clusters, size, 1).build();
+        let cycle = scenario.timings.machine_cycle();
+        let balanced = run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0));
+        prop_assert_eq!(balanced.failed_tests, 0);
+        // Sequential reps+nonreps per cluster (single-member clusters
+        // skip the empty non-rep stage).
+        let per_cluster = if size == 1 { cycle } else { 2 * cycle };
+        prop_assert_eq!(
+            balanced.completion_time,
+            Some(per_cluster * clusters as u64)
+        );
+        let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
+        prop_assert_eq!(nostaging.completion_time, Some(cycle));
+    }
+}

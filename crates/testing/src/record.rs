@@ -1,0 +1,44 @@
+//! Recorded application runs: inputs plus the traced event log.
+
+use mirage_env::RunInput;
+use mirage_trace::Trace;
+
+/// One recorded run of one application: the inputs that drove it and the
+/// full event log it produced.
+///
+/// The trace-collection subsystem "saves information about the parameters
+/// and environment variables that are passed to the applications" in
+/// addition to the I/O log (paper §3.3); keeping the [`RunInput`] beside
+/// the [`Trace`] is exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedRun {
+    /// The inputs of the run.
+    pub input: RunInput,
+    /// The recorded event log.
+    pub trace: Trace,
+}
+
+impl RecordedRun {
+    /// Creates a recorded run.
+    pub fn new(input: RunInput, trace: Trace) -> Self {
+        RecordedRun { input, trace }
+    }
+
+    /// The application this run belongs to.
+    pub fn app(&self) -> &str {
+        &self.trace.app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_trace::RunId;
+
+    #[test]
+    fn accessors() {
+        let run = RecordedRun::new(RunInput::new("w1"), Trace::new("m", "apache", RunId(0)));
+        assert_eq!(run.app(), "apache");
+        assert_eq!(run.input.id, "w1");
+    }
+}

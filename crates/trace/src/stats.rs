@@ -1,0 +1,117 @@
+//! Summary statistics over a set of traces.
+
+use std::collections::BTreeSet;
+
+use crate::event::SyscallEvent;
+use crate::trace::Trace;
+
+/// Aggregate statistics over the traces of one application.
+///
+/// These back the "Files total" style columns of the paper's Table 1 and
+/// give the vendor a feel for how much trace data its users collect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of traces aggregated.
+    pub runs: usize,
+    /// Total number of events across all traces.
+    pub events: usize,
+    /// Number of distinct file paths accessed in any trace.
+    pub distinct_files: usize,
+    /// Number of distinct environment variables read in any trace.
+    pub distinct_env_vars: usize,
+    /// Number of distinct network peers contacted in any trace.
+    pub distinct_peers: usize,
+    /// Total bytes of recorded output (file writes + network sends).
+    pub output_bytes: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `traces`.
+    pub fn over(traces: &[Trace]) -> Self {
+        let mut files = BTreeSet::new();
+        let mut env_vars = BTreeSet::new();
+        let mut peers = BTreeSet::new();
+        let mut events = 0usize;
+        let mut output_bytes = 0usize;
+        for t in traces {
+            events += t.events.len();
+            files.extend(t.accessed_paths());
+            env_vars.extend(t.env_vars_read());
+            for ev in &t.events {
+                match ev {
+                    SyscallEvent::Socket { peer }
+                    | SyscallEvent::NetSend { peer, .. }
+                    | SyscallEvent::NetRecv { peer, .. } => {
+                        peers.insert(peer.clone());
+                    }
+                    _ => {}
+                }
+                match ev {
+                    SyscallEvent::Write { data, .. } | SyscallEvent::NetSend { data, .. } => {
+                        output_bytes += data.len();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        TraceStats {
+            runs: traces.len(),
+            events,
+            distinct_files: files.len(),
+            distinct_env_vars: env_vars.len(),
+            distinct_peers: peers.len(),
+            output_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpenMode;
+    use crate::trace::RunId;
+
+    #[test]
+    fn stats_over_traces() {
+        let mut a = Trace::new("m", "app", RunId(0));
+        a.push(SyscallEvent::Open {
+            path: "/etc/a".into(),
+            mode: OpenMode::ReadOnly,
+        });
+        a.push(SyscallEvent::GetEnv {
+            name: "PATH".into(),
+            value: None,
+        });
+        a.push(SyscallEvent::NetSend {
+            peer: "p1".into(),
+            data: vec![0; 10],
+        });
+        let mut b = Trace::new("m", "app", RunId(1));
+        b.push(SyscallEvent::Open {
+            path: "/etc/a".into(),
+            mode: OpenMode::ReadOnly,
+        });
+        b.push(SyscallEvent::Open {
+            path: "/etc/b".into(),
+            mode: OpenMode::ReadOnly,
+        });
+        b.push(SyscallEvent::Write {
+            path: "/tmp/x".into(),
+            data: vec![0; 5],
+        });
+
+        let s = TraceStats::over(&[a, b]);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.events, 6);
+        assert_eq!(s.distinct_files, 3); // /etc/a, /etc/b, /tmp/x
+        assert_eq!(s.distinct_env_vars, 1);
+        assert_eq!(s.distinct_peers, 1);
+        assert_eq!(s.output_bytes, 15);
+    }
+
+    #[test]
+    fn stats_over_empty() {
+        let s = TraceStats::over(&[]);
+        assert_eq!(s, TraceStats::default());
+    }
+}

@@ -1,0 +1,127 @@
+//! Accumulation of traces per `(machine, application)` pair.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{RunId, Trace};
+
+/// Key identifying the trace collection of one application on one machine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceKey {
+    /// Machine identifier.
+    pub machine: String,
+    /// Application name.
+    pub app: String,
+}
+
+impl TraceKey {
+    /// Creates a key from machine and application names.
+    pub fn new(machine: impl Into<String>, app: impl Into<String>) -> Self {
+        TraceKey {
+            machine: machine.into(),
+            app: app.into(),
+        }
+    }
+}
+
+/// A store of recorded traces, grouped by `(machine, application)`.
+///
+/// The trace-collection subsystem appends here; the dependence subsystem and
+/// the validator read from here. Run identifiers are assigned sequentially
+/// per key.
+#[derive(Debug, Default, Clone)]
+pub struct TraceStore {
+    traces: BTreeMap<TraceKey, Vec<Trace>>,
+    next_run: u64,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next run identifier.
+    pub fn next_run_id(&mut self) -> RunId {
+        let id = RunId(self.next_run);
+        self.next_run += 1;
+        id
+    }
+
+    /// Records a finished trace.
+    pub fn record(&mut self, trace: Trace) {
+        let key = TraceKey::new(trace.machine.clone(), trace.app.clone());
+        self.traces.entry(key).or_default().push(trace);
+    }
+
+    /// Returns the traces recorded for `app` on `machine` (possibly empty).
+    pub fn traces_for(&self, machine: &str, app: &str) -> &[Trace] {
+        self.traces
+            .get(&TraceKey::new(machine, app))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Returns all keys with at least one trace.
+    pub fn keys(&self) -> impl Iterator<Item = &TraceKey> {
+        self.traces.keys()
+    }
+
+    /// Returns the total number of stored traces.
+    pub fn len(&self) -> usize {
+        self.traces.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no traces are stored.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Removes (and returns) all traces for `app` on `machine`.
+    ///
+    /// Used when a representative approves an upgrade that legitimately
+    /// changes I/O behaviour: stale traces are dropped and fresh ones
+    /// recorded against the new version (paper §3.5).
+    pub fn invalidate(&mut self, machine: &str, app: &str) -> Vec<Trace> {
+        self.traces
+            .remove(&TraceKey::new(machine, app))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut store = TraceStore::new();
+        assert!(store.is_empty());
+        let run = store.next_run_id();
+        store.record(Trace::new("m1", "apache", run));
+        let run = store.next_run_id();
+        store.record(Trace::new("m1", "apache", run));
+        store.record(Trace::new("m2", "apache", RunId(9)));
+        assert_eq!(store.traces_for("m1", "apache").len(), 2);
+        assert_eq!(store.traces_for("m2", "apache").len(), 1);
+        assert!(store.traces_for("m3", "apache").is_empty());
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.keys().count(), 2);
+    }
+
+    #[test]
+    fn run_ids_are_sequential() {
+        let mut store = TraceStore::new();
+        assert_eq!(store.next_run_id(), RunId(0));
+        assert_eq!(store.next_run_id(), RunId(1));
+    }
+
+    #[test]
+    fn invalidate_removes_traces() {
+        let mut store = TraceStore::new();
+        store.record(Trace::new("m1", "firefox", RunId(0)));
+        let removed = store.invalidate("m1", "firefox");
+        assert_eq!(removed.len(), 1);
+        assert!(store.traces_for("m1", "firefox").is_empty());
+        assert!(store.invalidate("m1", "firefox").is_empty());
+    }
+}

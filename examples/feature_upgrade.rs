@@ -1,0 +1,114 @@
+//! Handling an upgrade that legitimately changes I/O behaviour (§3.5).
+//!
+//! Mirage's validation compares replayed outputs byte for byte, so an
+//! upgrade that adds features — and therefore changes outputs — fails
+//! naive validation everywhere. The paper's answer: the cluster's
+//! *representative* reviews the difference and approves it (the human
+//! decision), then records fresh reference traces of the upgraded
+//! application; those traces ship to the other cluster members, which
+//! can then validate the upgrade automatically against the *new*
+//! expected behaviour.
+//!
+//! Run with: `cargo run --example feature_upgrade`
+
+use mirage::env::{
+    AppLogic, ApplicationSpec, File, MachineBuilder, Package, Repository, RunInput, Upgrade,
+    Version, VersionReq,
+};
+use mirage::testing::{refresh_runs, AcceptancePolicy, RecordedRun, Validator};
+use mirage::trace::RunId;
+
+fn spec() -> ApplicationSpec {
+    ApplicationSpec::new("reportd", "reportd", "/usr/bin/reportd").with_logic(AppLogic {
+        serves_net: true,
+        writes_data: false,
+        log_path: None,
+        output_path: Some("/var/tmp/report.out".into()),
+        // The daemon's outputs embed its version: upgrades change I/O.
+        version_sensitive: true,
+    })
+}
+
+fn main() {
+    let mut repo = Repository::new();
+    repo.publish(
+        Package::new("reportd", Version::new(1, 0, 0)).with_file(File::executable(
+            "/usr/bin/reportd",
+            "reportd",
+            1,
+        )),
+    );
+    let upgrade = Upgrade::new(
+        Package::new("reportd", Version::new(2, 0, 0)).with_file(File::executable(
+            "/usr/bin/reportd",
+            "reportd",
+            2,
+        )),
+        vec![], // Problem-free: the output change is the new feature.
+    );
+
+    // The representative and a non-representative peer with identical
+    // environments.
+    let build = |name: &str| {
+        MachineBuilder::new(name)
+            .install(&repo, "reportd", VersionReq::Any)
+            .app(spec())
+            .build()
+    };
+    let representative = build("rep");
+    let peer = build("peer");
+
+    // Both machines hold pre-upgrade traces.
+    let workload = || RunInput::new("daily").request("client", b"totals?".to_vec());
+    let old_runs: Vec<RecordedRun> = vec![RecordedRun::new(
+        workload(),
+        peer.run_app("reportd", &workload(), RunId(0)),
+    )];
+
+    // 1. Naive validation fails: outputs legitimately differ.
+    let strict = Validator::new().validate(&peer, &repo, &upgrade, &old_runs);
+    println!(
+        "strict validation on peer: {}",
+        if strict.passed() {
+            "PASS"
+        } else {
+            "FAIL (output mismatch)"
+        }
+    );
+    assert!(!strict.passed());
+
+    // 2. The representative reviews and accepts the new behaviour.
+    let review = Validator::with_policy(AcceptancePolicy::AcceptDifferences).validate(
+        &representative,
+        &repo,
+        &upgrade,
+        &old_runs,
+    );
+    println!(
+        "representative review: {}",
+        if review.passed() {
+            "APPROVED"
+        } else {
+            "rejected"
+        }
+    );
+    assert!(review.passed());
+
+    // 3. The representative records fresh reference traces against the
+    //    upgraded application and ships them to the cluster.
+    let fresh = refresh_runs(&representative, &repo, &upgrade, &[workload()], "reportd");
+    println!(
+        "representative recorded {} fresh reference run(s)",
+        fresh.len()
+    );
+
+    // 4. The peer now validates the same upgrade automatically — no
+    //    human involved — against the refreshed expectations.
+    let automatic = Validator::new().validate(&peer, &repo, &upgrade, &fresh);
+    println!(
+        "automatic validation on peer with refreshed traces: {}",
+        if automatic.passed() { "PASS" } else { "FAIL" }
+    );
+    assert!(automatic.passed());
+    println!("\nOK: major version upgrades flow through Mirage without per-user review.");
+}

@@ -1,0 +1,82 @@
+//! The Firefox 2.0 upgrade on the Table 3 fleet, with and without
+//! vendor parsers.
+//!
+//! Demonstrates the paper's §4.2.2 argument: content-based fingerprints
+//! cannot tell a relevant preference (Java disabled) from irrelevant
+//! noise (an update timestamp), so the clustering diameter becomes a
+//! blind knob — d = 4 happens to be ideal, d = 6 mixes problematic
+//! machines with healthy ones. The vendor's preferences parser makes
+//! the clustering sound by construction, and the FrontLoading campaign
+//! then confines the legacy-preferences problem to one representative.
+//!
+//! Run with: `cargo run --example firefox_staged`
+
+use mirage::cluster::ClusteringScore;
+use mirage::core::{Campaign, ProtocolKind};
+use mirage::deploy::DeployPlan;
+use mirage::scenarios::firefox::FirefoxScenario;
+
+fn main() {
+    // Without vendor parsers the diameter is a gamble.
+    for d in [4usize, 6] {
+        let scenario = FirefoxScenario::with_mirage_parsers(d);
+        let (clustering, score) = scenario.cluster_and_score();
+        println!("Mirage parsers only, diameter {d}:");
+        for cluster in &clustering.clusters {
+            println!("  {}: {:?}", cluster.id, cluster.members);
+        }
+        println!(
+            "  -> {} clusters, C = {}, w = {}\n",
+            score.clusters, score.unnecessary_clusters, score.misplaced
+        );
+    }
+
+    // With the vendor's prefs parser the clustering is sound.
+    let scenario = FirefoxScenario::with_full_parsers();
+    let behavior = scenario.behavior.clone();
+    let upgrade = scenario.upgrade.clone();
+    let inputs = scenario.fleet_inputs();
+    let clustering = scenario.vendor.cluster(&inputs);
+    let score = ClusteringScore::compute(&clustering, &behavior);
+    println!("Vendor prefs parser (Figure 8):");
+    for cluster in &clustering.clusters {
+        let mark = cluster
+            .members
+            .iter()
+            .filter_map(|m| behavior.get(m))
+            .next()
+            .map(|p| format!("  <-- {p}"))
+            .unwrap_or_default();
+        println!("  {}: {:?}{mark}", cluster.id, cluster.members);
+    }
+    println!(
+        "  -> {} clusters, C = {}, w = {} (paper: 4, 2, 0)\n",
+        score.clusters, score.unnecessary_clusters, score.misplaced
+    );
+
+    // Deploy Firefox 2.0 with FrontLoading: every representative tests
+    // first, so the vendor learns about the legacy-prefs problem before
+    // any non-representative is disturbed.
+    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
+
+    println!("FrontLoading campaign:");
+    println!(
+        "  releases: {:?}",
+        result
+            .releases
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    println!("  overhead: {}", result.failed_validations);
+    for group in campaign.urr.failure_groups() {
+        println!(
+            "  problem `{}` seen in clusters {:?}",
+            group.signature, group.clusters
+        );
+    }
+    assert!(result.converged(6));
+    println!("\nOK: all six machines converged on Firefox 2.0.x.");
+}

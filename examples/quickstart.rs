@@ -1,0 +1,147 @@
+//! Quickstart: cluster a small fleet and stage an upgrade through it.
+//!
+//! Builds a vendor with a reference machine, a five-machine fleet where
+//! two machines carry a legacy configuration file that breaks the
+//! upgrade, and runs a full Balanced staged deployment end to end:
+//! tracing → environmental-resource identification → fingerprinting →
+//! clustering → staged deployment with sandbox validation → structured
+//! reporting → vendor fix → convergence.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mirage::cluster::ClusteringScore;
+use mirage::core::{Campaign, ProtocolKind, UserAgent, Vendor};
+use mirage::env::{
+    ApplicationSpec, EnvPredicate, File, IniDoc, MachineBuilder, Package, ProblemEffect,
+    ProblemSpec, Repository, RunInput, Upgrade, Version, VersionReq,
+};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A repository with version 1 of "editor" and its upgrade to v2.
+    // ------------------------------------------------------------------
+    let mut repo = Repository::new();
+    repo.publish(
+        Package::new("editor", Version::new(1, 0, 0)).with_file(File::executable(
+            "/usr/bin/editor",
+            "editor",
+            1,
+        )),
+    );
+    let v2 = Package::new("editor", Version::new(2, 0, 0)).with_file(File::executable(
+        "/usr/bin/editor",
+        "editor",
+        2,
+    ));
+
+    // The v2 upgrade silently breaks on machines with a legacy config —
+    // the paper's "incompatibility with legacy configurations" class.
+    let upgrade = Upgrade::new(
+        v2,
+        vec![ProblemSpec::new(
+            "legacy-rc",
+            "v2 crashes when ~/.editorrc from v0.x is present",
+            EnvPredicate::FileExists("/home/u/.editorrc".into()),
+            ProblemEffect::CrashOnStart {
+                app: "editor".into(),
+            },
+        )],
+    );
+
+    // ------------------------------------------------------------------
+    // 2. The vendor's reference machine and the user fleet.
+    // ------------------------------------------------------------------
+    let spec =
+        || ApplicationSpec::new("editor", "editor", "/usr/bin/editor").probes("/home/u/.editorrc");
+    let reference = MachineBuilder::new("vendor-ref")
+        .install(&repo, "editor", VersionReq::Any)
+        .app(spec())
+        .build();
+    let vendor = Vendor::new(reference, repo).with_diameter(0);
+
+    let mut agents = Vec::new();
+    for i in 0..5 {
+        let mut builder = MachineBuilder::new(format!("user-{i}"))
+            .install(&vendor.repo, "editor", VersionReq::Any)
+            .app(spec());
+        if i >= 3 {
+            // Two machines kept a legacy config file around.
+            builder = builder.file(File::config(
+                "/home/u/.editorrc",
+                IniDoc::new().key("mode", "legacy"),
+            ));
+        }
+        let mut agent = UserAgent::new(builder.build());
+        // Each machine traces its own workloads before any upgrade.
+        agent.collect("editor", RunInput::new("open-file"));
+        agent.collect("editor", RunInput::new("save-file"));
+        agents.push(agent);
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Cluster the fleet by environment.
+    // ------------------------------------------------------------------
+    let mut campaign = Campaign::new(vendor, agents);
+    let classification = campaign
+        .vendor
+        .classify_reference("editor", &[RunInput::new("a"), RunInput::new("b")]);
+    let reference_fp = campaign.vendor.reference_fingerprint(&classification);
+    let (clustering, plan) = campaign.plan("editor", &reference_fp, 1);
+
+    println!("Clusters:");
+    for cluster in &clustering.clusters {
+        println!(
+            "  {} (distance {:.1}): {:?}",
+            cluster.id, cluster.vendor_distance, cluster.members
+        );
+    }
+    let score = ClusteringScore::compute(
+        &clustering,
+        &[
+            ("user-3".to_string(), "legacy-rc".to_string()),
+            ("user-4".to_string(), "legacy-rc".to_string()),
+        ]
+        .into_iter()
+        .collect(),
+    );
+    println!(
+        "Clustering: {} clusters, C = {}, w = {}\n",
+        score.clusters, score.unnecessary_clusters, score.misplaced
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Staged deployment with the Balanced protocol.
+    // ------------------------------------------------------------------
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    println!("Releases shipped: {:?}", result.releases);
+    println!(
+        "Machines that tested a faulty upgrade (overhead): {}",
+        result.failed_validations
+    );
+    for (machine, release) in &result.integrated {
+        println!("  {machine} integrated release r{release}");
+    }
+
+    // ------------------------------------------------------------------
+    // 5. The vendor inspects the deduplicated failure reports.
+    // ------------------------------------------------------------------
+    println!("\nUpgrade Report Repository:");
+    let stats = campaign.urr.stats();
+    println!(
+        "  {} reports ({} successes, {} failures, {} distinct problems)",
+        stats.total, stats.successes, stats.failures, stats.distinct_failures
+    );
+    for group in campaign.urr.failure_groups() {
+        println!(
+            "  problem `{}` reported by {:?} (clusters {:?})",
+            group.signature, group.machines, group.clusters
+        );
+    }
+
+    assert!(result.converged(5), "every machine must converge");
+    assert_eq!(
+        result.failed_validations, 1,
+        "staging confines the failure to one representative"
+    );
+    println!("\nOK: staged deployment converged with a single inconvenienced machine.");
+}

@@ -1,0 +1,90 @@
+//! Regenerates the §2 survey characterisation (Figures 1–3).
+//!
+//! Aggregates the 50-respondent dataset and prints every headline number
+//! the paper reports, next to the paper's value.
+//!
+//! Run with: `cargo run --example survey_report`
+
+use mirage::scenarios::survey;
+
+fn main() {
+    let rows = survey::dataset();
+    let stats = survey::stats(&rows);
+
+    println!(
+        "Survey of {} system administrators (paper §2)\n",
+        stats.respondents
+    );
+
+    println!("Demographics:");
+    println!(
+        "  >5 years experience:   {:>4.0}%   (paper: 82%)",
+        stats.experienced_fraction * 100.0
+    );
+    println!(
+        "  >20 machines managed:  {:>4.0}%   (paper: 78%)",
+        stats.large_fleet_fraction * 100.0
+    );
+    println!(
+        "  Linux/UNIX {}, Windows {}, macOS {}   (paper: 48 / 29 / 12)",
+        stats.linux_admins, stats.windows_admins, stats.mac_admins
+    );
+
+    println!("\nFigure 1 — upgrade frequencies:");
+    for (freq, by_exp) in survey::figure1(&rows) {
+        let total: usize = by_exp.iter().sum();
+        if total > 0 {
+            println!("  {:<28} {:>2}  {}", freq.label(), total, "#".repeat(total));
+        }
+    }
+    println!(
+        "  => upgrade monthly or more: {:.0}% (paper: 90%)",
+        stats.monthly_or_more * 100.0
+    );
+
+    let (security, bug_fix, user_request, new_feature) = survey::reason_rank_averages(&rows);
+    println!("\nReasons for upgrades (average rank, 1 = most important):");
+    println!("  security {security:.1}, bug fix {bug_fix:.1}, user request {user_request:.1}, new feature {new_feature:.1}");
+    println!("  (paper: 1.6 / 2.2 / 3.3 / 3.5)");
+
+    println!("\nFigure 2 — reluctance to upgrade:");
+    let fig2 = survey::figure2(&rows);
+    println!(
+        "  refrain+strategy {}, refrain+none {}, eager+strategy {}, eager+none {}",
+        fig2[&(true, true)],
+        fig2[&(true, false)],
+        fig2[&(false, true)],
+        fig2[&(false, false)]
+    );
+
+    println!("\nFigure 3 — perceived upgrade failure rate:");
+    for (pct, count) in survey::figure3(&rows) {
+        if count > 0 {
+            println!("  {pct:>3}%: {:<2} {}", count, "#".repeat(count));
+        }
+    }
+    println!(
+        "  => average {:.1}%, median {:.0}%, 5-10% bucket {:.0}% (paper: 8.6 / 5 / 66)",
+        stats.failure_rate_avg,
+        stats.failure_rate_median,
+        stats.failure_rate_5_to_10 * 100.0
+    );
+
+    let causes = survey::cause_rank_averages(&rows);
+    println!("\nCauses of failed upgrades (average rank):");
+    println!(
+        "  broken dependency {:.1}, removed behaviour {:.1}, buggy upgrade {:.1}, legacy config {:.1}, improper packaging {:.1}",
+        causes[0], causes[1], causes[2], causes[3], causes[4]
+    );
+    println!("  (paper: 2.5 / 2.5 / 2.6 / 3.1 / 3.2)");
+
+    println!("\nOther headlines:");
+    println!(
+        "  problems past testing {:.0}%, catastrophic {:.0}%, report to vendor {:.0}%, OS packaging {:.0}%",
+        stats.problems_past_testing * 100.0,
+        stats.catastrophic * 100.0,
+        stats.reports_to_vendor * 100.0,
+        stats.uses_os_packaging * 100.0
+    );
+    println!("  (paper: 48% / 18% / 50% / 86%)");
+}

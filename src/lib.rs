@@ -1,0 +1,28 @@
+//! Mirage: integrated software upgrade testing and staged distribution.
+//!
+//! This is the umbrella crate of the Mirage workspace, a production-quality
+//! reproduction of *"Staged Deployment in Mirage, an Integrated Software
+//! Upgrade Testing and Distribution System"* (Crameri et al., SOSP 2007).
+//! It re-exports every subsystem crate under a stable, discoverable path.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete fleet-clustering and staged
+//! deployment walk-through, and the `mirage-scenarios` crate for faithful
+//! reconstructions of the paper's MySQL (Table 2) and Firefox (Table 3)
+//! evaluation fleets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mirage_cluster as cluster;
+pub use mirage_core as core;
+pub use mirage_deploy as deploy;
+pub use mirage_env as env;
+pub use mirage_fingerprint as fingerprint;
+pub use mirage_heuristic as heuristic;
+pub use mirage_report as report;
+pub use mirage_scenarios as scenarios;
+pub use mirage_sim as sim;
+pub use mirage_testing as testing;
+pub use mirage_trace as trace;

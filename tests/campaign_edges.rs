@@ -1,0 +1,156 @@
+//! Edge-case behaviour of live campaigns.
+
+use mirage::core::{Campaign, ProtocolKind, UserAgent, Vendor};
+use mirage::env::{
+    AppLogic, ApplicationSpec, File, MachineBuilder, Package, Repository, RunInput, Upgrade,
+    Version, VersionReq,
+};
+use mirage::testing::refresh_runs;
+
+fn version_sensitive_world() -> (Campaign, mirage::fingerprint::MachineFingerprint, Upgrade) {
+    let mut repo = Repository::new();
+    repo.publish(
+        Package::new("app", Version::new(1, 0, 0)).with_file(File::executable(
+            "/usr/bin/app",
+            "app",
+            1,
+        )),
+    );
+    let spec = || {
+        ApplicationSpec::new("app", "app", "/usr/bin/app").with_logic(AppLogic {
+            serves_net: true,
+            writes_data: false,
+            log_path: None,
+            output_path: Some("/out".into()),
+            version_sensitive: true, // the upgrade legitimately changes I/O
+        })
+    };
+    let reference = MachineBuilder::new("ref")
+        .install(&repo, "app", VersionReq::Any)
+        .app(spec())
+        .build();
+    let vendor = Vendor::new(reference, repo).with_diameter(0);
+    let mut agents = Vec::new();
+    for i in 0..3 {
+        let mut agent = UserAgent::new(
+            MachineBuilder::new(format!("u{i}"))
+                .install(&vendor.repo, "app", VersionReq::Any)
+                .app(spec())
+                .build(),
+        );
+        agent.collect("app", RunInput::new("w").request("c", b"q".to_vec()));
+        agents.push(agent);
+    }
+    let upgrade = Upgrade::new(
+        Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+            "/usr/bin/app",
+            "app",
+            2,
+        )),
+        vec![],
+    );
+    let c = vendor.classify_reference("app", &[RunInput::new("w")]);
+    let fp = vendor.reference_fingerprint(&c);
+    (Campaign::new(vendor, agents), fp, upgrade)
+}
+
+/// A feature upgrade that changes I/O fails strict validation at the
+/// representative, and — because there is no *bug* for the vendor to
+/// fix — the campaign stalls rather than looping or mis-converging.
+/// This is exactly the situation the §3.5 refresh flow exists for.
+#[test]
+fn io_changing_upgrade_stalls_without_refresh() {
+    let (mut campaign, fp, upgrade) = version_sensitive_world();
+    let (_, plan) = campaign.plan("app", &fp, 1);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    assert!(!result.converged(3), "strict comparison must block it");
+    assert_eq!(result.releases.len(), 1, "nothing to fix, nothing shipped");
+    assert!(campaign.urr.stats().failures >= 1);
+    // The failure signature is an output mismatch, not a crash.
+    let groups = campaign.urr.failure_groups();
+    assert!(groups[0].signature.contains("output mismatch"));
+}
+
+/// The refresh flow unblocks it: a representative approves the new
+/// behaviour and records fresh traces; replacing the fleet's reference
+/// runs lets the same campaign converge with zero failures.
+#[test]
+fn refresh_flow_unblocks_io_changing_upgrade() {
+    let (mut campaign, fp, upgrade) = version_sensitive_world();
+    // The representative records the upgraded behaviour.
+    let rep_machine = campaign.agents[0].machine.clone();
+    let inputs = vec![RunInput::new("w").request("c", b"q".to_vec())];
+    let fresh = refresh_runs(
+        &rep_machine,
+        &campaign.vendor.repo,
+        &upgrade,
+        &inputs,
+        "app",
+    );
+    assert!(!fresh.is_empty());
+    // The cluster members adopt the refreshed reference traces.
+    for agent in &mut campaign.agents {
+        agent.runs = fresh
+            .iter()
+            .map(|r| {
+                let mut run = r.clone();
+                run.trace.machine = agent.machine.id.clone();
+                run
+            })
+            .collect();
+    }
+    let (_, plan) = campaign.plan("app", &fp, 1);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    assert!(result.converged(3));
+    assert_eq!(result.failed_validations, 0);
+}
+
+/// Machines named in the plan but missing from the fleet (retired
+/// hardware) are skipped without wedging the campaign, as long as the
+/// threshold tolerates them.
+#[test]
+fn missing_machines_are_tolerated_with_threshold() {
+    let mut repo = Repository::new();
+    repo.publish(
+        Package::new("app", Version::new(1, 0, 0)).with_file(File::executable(
+            "/usr/bin/app",
+            "app",
+            1,
+        )),
+    );
+    let spec = || ApplicationSpec::new("app", "app", "/usr/bin/app");
+    let reference = MachineBuilder::new("ref")
+        .install(&repo, "app", VersionReq::Any)
+        .app(spec())
+        .build();
+    let vendor = Vendor::new(reference, repo).with_diameter(0);
+    let mut agents = Vec::new();
+    for i in 0..3 {
+        let mut agent = UserAgent::new(
+            MachineBuilder::new(format!("u{i}"))
+                .install(&vendor.repo, "app", VersionReq::Any)
+                .app(spec())
+                .build(),
+        );
+        agent.collect("app", RunInput::new("w"));
+        agents.push(agent);
+    }
+    let c = vendor.classify_reference("app", &[RunInput::new("w")]);
+    let fp = vendor.reference_fingerprint(&c);
+    let mut campaign = Campaign::new(vendor, agents);
+    let clean = Upgrade::new(
+        Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+            "/usr/bin/app",
+            "app",
+            2,
+        )),
+        vec![],
+    );
+    let (_, mut plan) = campaign.plan("app", &fp, 1);
+    // A ghost machine appears in the plan's only cluster (it is not a
+    // representative).
+    plan.clusters[0].members.push("ghost".into());
+    let result = campaign.deploy(clean, &plan, ProtocolKind::Balanced, 0.75);
+    // The three real machines all converge; the ghost never reports.
+    assert_eq!(result.integrated.len(), 3);
+}

@@ -1,0 +1,111 @@
+//! End-to-end integration tests: the full Mirage cycle on the paper's
+//! evaluation fleets.
+
+use mirage::cluster::ClusteringScore;
+use mirage::core::{Campaign, ProtocolKind};
+use mirage::deploy::DeployPlan;
+use mirage::scenarios::{firefox, mysql};
+
+/// The complete MySQL campaign: trace → identify → fingerprint →
+/// cluster → staged deploy → sandbox test → report → fix → converge.
+#[test]
+fn mysql_campaign_with_balanced_protocol() {
+    let scenario = mysql::MySqlScenario::with_full_parsers();
+    let behavior = scenario.behavior.clone();
+    let upgrade = scenario.upgrade.clone();
+    let inputs = scenario.fleet_inputs();
+    let clustering = scenario.vendor.cluster(&inputs);
+    let score = ClusteringScore::compute(&clustering, &behavior);
+    assert_eq!(score.clusters, 15);
+    assert_eq!(score.misplaced, 0);
+
+    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+
+    assert!(result.converged(21), "all 21 machines converge");
+    // One representative per problem is inconvenienced; the PHP problem
+    // affects multiple clusters but the first failure halts deployment
+    // until the fix ships.
+    assert!(
+        (1..=3).contains(&result.failed_validations),
+        "staged overhead should be tiny, got {}",
+        result.failed_validations
+    );
+    // Three releases at most: original + one fix per problem (the fix
+    // batches all problems known at that point).
+    assert!(result.releases.len() <= 3);
+
+    // The URR has deduplicated failure groups covering both problems.
+    let groups = campaign.urr.failure_groups();
+    assert!(!groups.is_empty());
+    let stats = campaign.urr.stats();
+    assert_eq!(stats.failures, result.failed_validations);
+    // Every machine eventually filed a success report.
+    assert!(stats.successes >= 21);
+}
+
+/// NoStaging inconveniences every problem machine; staging avoids that.
+#[test]
+fn mysql_nostaging_pays_full_overhead() {
+    let scenario = mysql::MySqlScenario::with_full_parsers();
+    let upgrade = scenario.upgrade.clone();
+    let inputs = scenario.fleet_inputs();
+    let clustering = scenario.vendor.cluster(&inputs);
+    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::NoStaging, 1.0);
+    assert!(result.converged(21));
+    // All 5 PHP machines + 2 userconfig machines fail.
+    assert_eq!(result.failed_validations, 7, "m = 7 problem machines");
+}
+
+/// FrontLoading discovers every problem in phase 1 (all reps), so the
+/// failure groups cover all problem clusters before non-reps test.
+#[test]
+fn firefox_frontloading_campaign() {
+    let scenario = firefox::FirefoxScenario::with_full_parsers();
+    let upgrade = scenario.upgrade.clone();
+    let inputs = scenario.fleet_inputs();
+    let clustering = scenario.vendor.cluster(&inputs);
+    assert_eq!(clustering.len(), 4);
+    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
+    assert!(result.converged(6));
+    // Two clusters carry the problem → two representatives fail
+    // (p + Cp = 1 + 1).
+    assert_eq!(result.failed_validations, 2);
+    assert_eq!(result.releases.len(), 2);
+}
+
+/// The live machines are genuinely upgraded after a campaign, and
+/// machines that first saw a faulty release end up on the fixed one.
+#[test]
+fn campaign_upgrades_live_machines() {
+    let scenario = mysql::MySqlScenario::with_full_parsers();
+    let upgrade = scenario.upgrade.clone();
+    let inputs = scenario.fleet_inputs();
+    let clustering = scenario.vendor.cluster(&inputs);
+    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    assert!(result.converged(21));
+    for agent in &campaign.agents {
+        let v = agent
+            .machine
+            .pkgs
+            .installed_version("mysql")
+            .expect("mysql installed");
+        assert_eq!(v.major, 5, "{} still runs MySQL {v}", agent.machine.id);
+        // The new library is actually on disk.
+        assert_eq!(
+            agent
+                .machine
+                .fs
+                .get("/usr/lib/libmysqlclient.so")
+                .and_then(|f| f.content.library_version()),
+            Some("5.0")
+        );
+    }
+}

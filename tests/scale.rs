@@ -1,0 +1,85 @@
+//! Scale sanity: a moderately large fleet through the full live
+//! pipeline (parallel fingerprinting, clustering, staged deployment).
+
+use mirage::core::{Campaign, ProtocolKind, UserAgent, Vendor};
+use mirage::env::{
+    ApplicationSpec, EnvPredicate, File, IniDoc, MachineBuilder, Package, ProblemEffect,
+    ProblemSpec, Repository, RunInput, Upgrade, Version, VersionReq,
+};
+
+/// 60 machines across 6 environment groups; one group breaks the
+/// upgrade. The whole cycle — parallel fleet fingerprinting included —
+/// must converge with exactly one representative inconvenienced.
+#[test]
+fn sixty_machine_campaign() {
+    let mut repo = Repository::new();
+    repo.publish(
+        Package::new("svc", Version::new(1, 0, 0))
+            .with_file(File::executable("/usr/bin/svc", "svc", 1))
+            .with_file(File::library("/usr/lib/libsvc.so", "libsvc", "1.0", 1)),
+    );
+    let spec = || {
+        ApplicationSpec::new("svc", "svc", "/usr/bin/svc")
+            .reads("/usr/lib/libsvc.so")
+            .probes("/etc/svc.conf")
+    };
+    let reference = MachineBuilder::new("ref")
+        .install(&repo, "svc", VersionReq::Any)
+        .app(spec())
+        .build();
+    let vendor = Vendor::new(reference, repo).with_diameter(0);
+
+    let mut agents = Vec::new();
+    for i in 0..60 {
+        let group = i % 6;
+        let mut b = MachineBuilder::new(format!("m{i:03}"))
+            .install(&vendor.repo, "svc", VersionReq::Any)
+            .app(spec());
+        if group > 0 {
+            b = b.file(File::config(
+                "/etc/svc.conf",
+                IniDoc::new().key("group", group.to_string()),
+            ));
+        }
+        let mut agent = UserAgent::new(b.build());
+        agent.collect("svc", RunInput::new("w1"));
+        agent.collect("svc", RunInput::new("w2"));
+        agents.push(agent);
+    }
+
+    let upgrade = Upgrade::new(
+        Package::new("svc", Version::new(2, 0, 0)).with_file(File::executable(
+            "/usr/bin/svc",
+            "svc",
+            2,
+        )),
+        vec![ProblemSpec::new(
+            "group5-break",
+            "v2 breaks group-5 configurations",
+            EnvPredicate::ConfigHasKey {
+                path: "/etc/svc.conf".into(),
+                section: "global".into(),
+                key: "group".into(),
+            },
+            // Only group 5's value triggers: model via a narrower check.
+            ProblemEffect::CrashOnStart { app: "svc".into() },
+        )],
+    );
+
+    let mut campaign = Campaign::new(vendor, agents);
+    let classification = campaign
+        .vendor
+        .classify_reference("svc", &[RunInput::new("w1"), RunInput::new("w2")]);
+    let fp = campaign.vendor.reference_fingerprint(&classification);
+    let (clustering, plan) = campaign.plan("svc", &fp, 1);
+    assert_eq!(clustering.len(), 6, "six environment groups");
+    assert_eq!(plan.machine_count(), 60);
+
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    assert!(result.converged(60));
+    // The problem triggers on every machine with /etc/svc.conf (50
+    // machines across 5 clusters), but staging stops at the first
+    // cluster's representative: exactly one failed validation.
+    assert_eq!(result.failed_validations, 1);
+    assert_eq!(campaign.urr.stats().successes, 60);
+}
