@@ -5,8 +5,7 @@
 //! cluster — this bench exhibits both scalings, plus the end-to-end
 //! clustering of the paper's own MySQL and Firefox fleets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use mirage_bench::harness::Harness;
 use mirage_cluster::{ClusterEngine, MachineInfo};
 use mirage_fingerprint::{DiffSet, Item};
 use mirage_scenarios::{firefox, mysql};
@@ -27,47 +26,41 @@ fn population(n: usize, groups: usize) -> Vec<MachineInfo> {
         .collect()
 }
 
-fn bench_phase_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clustering/scaling");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("clustering");
+
     for &n in &[50usize, 100, 200] {
         // Many original clusters: phase 2 inputs stay small (linear-ish).
         let spread = population(n, n / 5);
-        group.bench_with_input(BenchmarkId::new("spread", n), &spread, |b, machines| {
-            let engine = ClusterEngine::new(2);
-            b.iter(|| engine.cluster(machines).len())
+        let engine = ClusterEngine::new(2);
+        h.bench(&format!("clustering/scaling/spread-{n}"), || {
+            engine.cluster(&spread).len()
         });
         // One original cluster: phase 2 dominates (quadratic).
         let dense = population(n, 1);
-        group.bench_with_input(BenchmarkId::new("dense", n), &dense, |b, machines| {
-            let engine = ClusterEngine::new(2);
-            b.iter(|| engine.cluster(machines).len())
+        h.bench(&format!("clustering/scaling/dense-{n}"), || {
+            engine.cluster(&dense).len()
         });
     }
-    group.finish();
-}
 
-fn bench_paper_fleets(c: &mut Criterion) {
     let mysql_scenario = mysql::MySqlScenario::with_full_parsers();
     let mysql_inputs = mysql_scenario.fleet_inputs();
-    c.bench_function("clustering/mysql-table2-full-parsers", |b| {
-        b.iter(|| mysql_scenario.vendor.cluster(&mysql_inputs).len())
+    h.bench("clustering/mysql-table2-full-parsers", || {
+        mysql_scenario.vendor.cluster(&mysql_inputs).len()
     });
 
     let mysql_rabin = mysql::MySqlScenario::with_mirage_parsers(3);
     let rabin_inputs = mysql_rabin.fleet_inputs();
-    c.bench_function("clustering/mysql-table2-mirage-parsers", |b| {
-        b.iter(|| mysql_rabin.vendor.cluster(&rabin_inputs).len())
+    h.bench("clustering/mysql-table2-mirage-parsers", || {
+        mysql_rabin.vendor.cluster(&rabin_inputs).len()
     });
 
     let ff = firefox::FirefoxScenario::with_mirage_parsers(4);
     let ff_inputs = ff.fleet_inputs();
-    c.bench_function("clustering/firefox-table3-d4", |b| {
-        b.iter(|| ff.vendor.cluster(&ff_inputs).len())
+    h.bench("clustering/firefox-table3-d4", || {
+        ff.vendor.cluster(&ff_inputs).len()
     });
-}
 
-fn bench_fingerprint_pipeline(c: &mut Criterion) {
     // End-to-end per-machine cost: trace -> classify -> fingerprint ->
     // diff. This is the distributed user-side work.
     let scenario = mysql::MySqlScenario::with_full_parsers();
@@ -80,20 +73,10 @@ fn bench_fingerprint_pipeline(c: &mut Criterion) {
     );
     let reference = scenario.vendor.reference_fingerprint(&classification);
     let agent = &scenario.agents[7];
-    c.bench_function("clustering/per-machine-pipeline", |b| {
-        b.iter(|| {
-            agent
-                .clustering_input("mysqld", &scenario.vendor, &reference)
-                .diff
-                .len()
-        })
+    h.bench("clustering/per-machine-pipeline", || {
+        agent
+            .clustering_input("mysqld", &scenario.vendor, &reference)
+            .diff
+            .len()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_phase_scaling,
-    bench_paper_fleets,
-    bench_fingerprint_pipeline
-);
-criterion_main!(benches);

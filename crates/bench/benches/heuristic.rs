@@ -4,21 +4,10 @@
 //! isolates the longest-common-prefix computation's scaling in trace
 //! count and length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use mirage_bench::harness::Harness;
 use mirage_heuristic::identify::{init_phase_paths, read_only_everywhere};
 use mirage_scenarios::apps;
 use mirage_trace::{OpenMode, RunId, SyscallEvent, Trace};
-
-fn bench_table1_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristic/table1");
-    for model in apps::all_models() {
-        group.bench_function(model.name, |b| {
-            b.iter(|| model.table1_row().false_positives)
-        });
-    }
-    group.finish();
-}
 
 fn synthetic_traces(runs: usize, files: usize) -> Vec<Trace> {
     (0..runs)
@@ -40,28 +29,24 @@ fn synthetic_traces(runs: usize, files: usize) -> Vec<Trace> {
         .collect()
 }
 
-fn bench_lcp_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristic/lcp");
-    for &files in &[100usize, 1_000, 10_000] {
-        let traces = synthetic_traces(4, files);
-        group.bench_with_input(BenchmarkId::new("files", files), &traces, |b, traces| {
-            b.iter(|| init_phase_paths(traces).len())
+fn main() {
+    let mut h = Harness::new("heuristic");
+
+    for model in apps::all_models() {
+        h.bench(&format!("heuristic/table1/{}", model.name), || {
+            model.table1_row().false_positives
         });
     }
-    group.finish();
-}
 
-fn bench_readonly_scaling(c: &mut Criterion) {
+    for &files in &[100usize, 1_000, 10_000] {
+        let traces = synthetic_traces(4, files);
+        h.bench(&format!("heuristic/lcp/files-{files}"), || {
+            init_phase_paths(&traces).len()
+        });
+    }
+
     let traces = synthetic_traces(8, 2_000);
-    c.bench_function("heuristic/read-only-all-traces", |b| {
-        b.iter(|| read_only_everywhere(&traces).len())
+    h.bench("heuristic/read-only-all-traces", || {
+        read_only_everywhere(&traces).len()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_table1_models,
-    bench_lcp_scaling,
-    bench_readonly_scaling
-);
-criterion_main!(benches);

@@ -5,8 +5,7 @@
 //! below the minimum chunk size always collapses to one chunk, which is
 //! exactly the imprecision behind Figure 7's unsound clustering.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use mirage_bench::harness::Harness;
 use mirage_fingerprint::{Chunker, ChunkerParams, RabinHasher};
 
 fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
@@ -21,27 +20,20 @@ fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
         .collect()
 }
 
-fn bench_rolling_hash(c: &mut Criterion) {
-    let data = pseudo_random(1 << 20, 7);
-    let mut group = c.benchmark_group("rabin/rolling-hash");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("1MiB", |b| {
-        b.iter(|| {
-            let mut hasher = RabinHasher::new(48);
-            let mut acc = 0u64;
-            for &byte in &data {
-                acc ^= hasher.push(byte);
-            }
-            acc
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let mut h = Harness::new("rabin");
 
-fn bench_chunking(c: &mut Criterion) {
+    let data = pseudo_random(1 << 20, 7);
+    h.bench_bytes("rabin/rolling-hash/1MiB", data.len() as u64, || {
+        let mut hasher = RabinHasher::new(48);
+        let mut acc = 0u64;
+        for &byte in &data {
+            acc ^= hasher.push(byte);
+        }
+        acc
+    });
+
     let data = pseudo_random(1 << 20, 11);
-    let mut group = c.benchmark_group("rabin/chunking");
-    group.throughput(Throughput::Bytes(data.len() as u64));
     for avg in [1024usize, 4096, 16384] {
         let params = ChunkerParams {
             window: 48,
@@ -49,28 +41,17 @@ fn bench_chunking(c: &mut Criterion) {
             avg_size: avg,
             max_size: avg * 4,
         };
-        group.bench_with_input(BenchmarkId::new("avg", avg), &params, |b, params| {
-            let chunker = Chunker::new(*params);
-            b.iter(|| chunker.chunk(&data).len())
-        });
+        let chunker = Chunker::new(params);
+        h.bench_bytes(
+            &format!("rabin/chunking/avg-{avg}"),
+            data.len() as u64,
+            || chunker.chunk(&data).len(),
+        );
     }
-    group.finish();
-}
 
-fn bench_small_config_files(c: &mut Criterion) {
     // Typical my.cnf-sized inputs: the chunker must be cheap on the
     // fleet's many small resources, not just bulk data.
     let small = pseudo_random(600, 3);
     let chunker = Chunker::paper_default();
-    c.bench_function("rabin/small-config", |b| {
-        b.iter(|| chunker.chunk(&small).len())
-    });
+    h.bench("rabin/small-config", || chunker.chunk(&small).len());
 }
-
-criterion_group!(
-    benches,
-    bench_rolling_hash,
-    bench_chunking,
-    bench_small_config_files
-);
-criterion_main!(benches);

@@ -4,53 +4,65 @@
 //! sweeps the two design knobs DESIGN.md calls out for ablation:
 //! representatives per cluster and the advancement threshold.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 
+use mirage_bench::harness::Harness;
 use mirage_deploy::{Balanced, FrontLoading, NoStaging};
 use mirage_scenarios::deployment::{sound_scenario, ProblemPlacement};
-use mirage_sim::{run, ScenarioBuilder};
+use mirage_sim::{run, run_with_telemetry, ScenarioBuilder};
+use mirage_telemetry::{Registry, Telemetry};
 
-fn bench_protocols_full_scale(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("simulator");
+
     let scenario = sound_scenario(ProblemPlacement::Late);
-    let mut group = c.benchmark_group("simulator/fig10-100k");
-    group.sample_size(10);
-    group.bench_function("NoStaging", |b| {
-        b.iter(|| run(&scenario, &mut NoStaging::new(scenario.plan.clone())).failed_tests)
+    h.bench("simulator/fig10-100k/NoStaging", || {
+        run(&scenario, &mut NoStaging::new(scenario.plan.clone())).failed_tests
     });
-    group.bench_function("Balanced", |b| {
-        b.iter(|| run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0)).failed_tests)
+    h.bench("simulator/fig10-100k/Balanced", || {
+        run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0)).failed_tests
     });
-    group.bench_function("FrontLoading", |b| {
-        b.iter(|| {
-            run(
-                &scenario,
-                &mut FrontLoading::new(scenario.plan.clone(), 1.0),
-            )
-            .failed_tests
-        })
+    h.bench("simulator/fig10-100k/FrontLoading", || {
+        run(
+            &scenario,
+            &mut FrontLoading::new(scenario.plan.clone(), 1.0),
+        )
+        .failed_tests
     });
-    group.finish();
-}
 
-fn bench_reps_per_cluster(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator/reps-sweep");
-    group.sample_size(10);
+    // Telemetry overhead on the same 100k-machine run: the noop handle
+    // (instrumentation compiled in, recorder absent) and a live registry
+    // recording counters, spans, gauges and flight events.
+    h.bench("simulator/fig10-100k/Balanced-telemetry-noop", || {
+        run_with_telemetry(
+            &scenario,
+            &mut Balanced::new(scenario.plan.clone(), 1.0).with_telemetry(Telemetry::noop()),
+            Telemetry::noop(),
+        )
+        .failed_tests
+    });
+    h.bench("simulator/fig10-100k/Balanced-telemetry-live", || {
+        let registry = Arc::new(Registry::new(8192));
+        let telemetry = Telemetry::from_registry(registry);
+        run_with_telemetry(
+            &scenario,
+            &mut Balanced::new(scenario.plan.clone(), 1.0).with_telemetry(telemetry.clone()),
+            telemetry,
+        )
+        .failed_tests
+    });
+
     for reps in [1usize, 3, 10] {
         let scenario = ScenarioBuilder::new()
             .clusters(20, 1_000, reps)
             .problem_in_clusters("prevalent", &[15, 16, 17])
             .problem_in_clusters("rare", &[19])
             .build();
-        group.bench_with_input(BenchmarkId::new("reps", reps), &scenario, |b, s| {
-            b.iter(|| run(s, &mut Balanced::new(s.plan.clone(), 1.0)).completion_time)
+        h.bench(&format!("simulator/reps-sweep/reps-{reps}"), || {
+            run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0)).completion_time
         });
     }
-    group.finish();
-}
 
-fn bench_threshold(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator/threshold-sweep");
-    group.sample_size(10);
     for threshold in [0.5f64, 0.9, 1.0] {
         let scenario = ScenarioBuilder::new()
             .clusters(20, 1_000, 1)
@@ -58,21 +70,12 @@ fn bench_threshold(c: &mut Criterion) {
             .misplaced_machine(2, "odd")
             .threshold(threshold)
             .build();
-        group.bench_with_input(
-            BenchmarkId::new("threshold", format!("{threshold}")),
-            &scenario,
-            |b, s| {
-                b.iter(|| run(s, &mut Balanced::new(s.plan.clone(), s.threshold)).completion_time)
-            },
-        );
+        h.bench(&format!("simulator/threshold-sweep/{threshold}"), || {
+            run(
+                &scenario,
+                &mut Balanced::new(scenario.plan.clone(), scenario.threshold),
+            )
+            .completion_time
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_protocols_full_scale,
-    bench_reps_per_cluster,
-    bench_threshold
-);
-criterion_main!(benches);

@@ -5,22 +5,19 @@
 //! testing that staged deployment tries to spend on as few machines as
 //! possible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use mirage_bench::harness::Harness;
 use mirage_scenarios::{firefox, mysql};
 use mirage_testing::{Sandbox, Validator};
 
-fn bench_sandbox_boot(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("validation");
+
     let scenario = mysql::MySqlScenario::with_full_parsers();
     let machine = &scenario.agents[0].machine;
-    c.bench_function("validation/sandbox-boot", |b| {
-        b.iter(|| Sandbox::boot(machine).base_file_count())
+    h.bench("validation/sandbox-boot", || {
+        Sandbox::boot(machine).base_file_count()
     });
-}
 
-fn bench_validate_mysql_upgrade(c: &mut Criterion) {
-    let scenario = mysql::MySqlScenario::with_full_parsers();
-    let mut group = c.benchmark_group("validation/mysql-upgrade");
     // A healthy machine and a problem machine (the PHP one).
     for id in ["ubt-ms4", "ubt-ms4/php4"] {
         let agent = scenario
@@ -28,31 +25,7 @@ fn bench_validate_mysql_upgrade(c: &mut Criterion) {
             .iter()
             .find(|a| a.machine.id == id)
             .expect("agent");
-        group.bench_function(id, |b| {
-            b.iter(|| {
-                Validator::new()
-                    .validate(
-                        &agent.machine,
-                        &scenario.vendor.repo,
-                        &scenario.upgrade,
-                        &agent.runs,
-                    )
-                    .passed()
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_validate_firefox_upgrade(c: &mut Criterion) {
-    let scenario = firefox::FirefoxScenario::with_full_parsers();
-    let agent = scenario
-        .agents
-        .iter()
-        .find(|a| a.machine.id == "firefox15-from10")
-        .expect("agent");
-    c.bench_function("validation/firefox-2.0-legacy", |b| {
-        b.iter(|| {
+        h.bench(&format!("validation/mysql-upgrade/{id}"), || {
             Validator::new()
                 .validate(
                     &agent.machine,
@@ -61,14 +34,23 @@ fn bench_validate_firefox_upgrade(c: &mut Criterion) {
                     &agent.runs,
                 )
                 .passed()
-        })
+        });
+    }
+
+    let scenario = firefox::FirefoxScenario::with_full_parsers();
+    let agent = scenario
+        .agents
+        .iter()
+        .find(|a| a.machine.id == "firefox15-from10")
+        .expect("agent");
+    h.bench("validation/firefox-2.0-legacy", || {
+        Validator::new()
+            .validate(
+                &agent.machine,
+                &scenario.vendor.repo,
+                &scenario.upgrade,
+                &agent.runs,
+            )
+            .passed()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_sandbox_boot,
-    bench_validate_mysql_upgrade,
-    bench_validate_firefox_upgrade
-);
-criterion_main!(benches);

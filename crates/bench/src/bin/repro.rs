@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [experiment] [--csv <dir>]
+//! repro [experiment] [--csv <dir>] [--telemetry <path>]
 //!
 //! experiments:
 //!   fig1 fig2 fig3     survey figures (§2.2)
@@ -10,11 +10,19 @@
 //!   fig8 fig9          Firefox clustering (§4.2.2)
 //!   fig10 fig11        deployment latency CDFs (§4.3.2)
 //!   overhead           upgrade-overhead comparison (§4.3.2)
+//!   telemetry          instrumented campaign + simulation flight dump
 //!   all                everything (default)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
 //! Table 1 writes `table1.csv`.
+//!
+//! With `--telemetry <path>`, an instrumented deployment simulation and
+//! a full instrumented Apache ACL campaign are run, and the combined
+//! metrics snapshot — phase span timings, named counters, the sim's
+//! queue-depth high-water gauge, and the campaign flight-event log — is
+//! written to `<path>` as pretty-printed JSON. Passing `--telemetry`
+//! alone selects the `telemetry` experiment.
 //! ```
 
 use mirage_bench::{bar, render_cdf, render_table};
@@ -24,20 +32,33 @@ use mirage_scenarios::{apps, deployment, firefox, mysql, survey};
 fn main() {
     // Arguments: an optional experiment name plus optional `--csv <dir>`.
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut arg = "all".to_string();
+    let mut arg: Option<String> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
             let dir = it.next().expect("--csv requires a directory");
             csv_dir = Some(std::path::PathBuf::from(dir));
+        } else if a == "--telemetry" {
+            let path = it.next().expect("--telemetry requires a file path");
+            telemetry_path = Some(std::path::PathBuf::from(path));
         } else {
-            arg = a;
+            arg = Some(a);
         }
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv output directory");
     }
+    // `repro --telemetry out.json` with no experiment runs just the
+    // telemetry dump; otherwise default to everything.
+    let arg = arg.unwrap_or_else(|| {
+        if telemetry_path.is_some() {
+            "telemetry".to_string()
+        } else {
+            "all".to_string()
+        }
+    });
     let all = arg == "all";
     if all || arg == "fig1" {
         fig1(csv_dir.as_deref());
@@ -75,6 +96,74 @@ fn main() {
     if all || arg == "overhead" {
         overhead();
     }
+    if arg == "telemetry" || (all && telemetry_path.is_some()) {
+        let path = telemetry_path
+            .as_deref()
+            .expect("the telemetry experiment requires --telemetry <path>");
+        telemetry_dump(path);
+    }
+}
+
+/// Runs an instrumented deployment simulation plus a full instrumented
+/// Apache ACL campaign and writes the combined registry snapshot (span
+/// timings, counters, gauges, flight-event log) as JSON to `path`.
+///
+/// The simulation runs first so its high-volume per-machine events
+/// cannot evict the campaign's flight log from the bounded ring; exact
+/// per-kind event *counts* include evicted events either way.
+fn telemetry_dump(path: &std::path::Path) {
+    use std::sync::Arc;
+
+    use mirage_core::{Campaign, ProtocolKind};
+    use mirage_deploy::Balanced;
+    use mirage_env::RunInput;
+    use mirage_scenarios::apache::ApacheScenario;
+    use mirage_sim::run_with_telemetry;
+    use mirage_telemetry::{Registry, Telemetry};
+
+    heading("Telemetry: instrumented simulation + Apache ACL campaign");
+    let registry = Arc::new(Registry::new(8192));
+    let telemetry = Telemetry::from_registry(Arc::clone(&registry));
+
+    // 1. The paper's 100k-machine deployment simulation under Balanced.
+    let sim_scenario = deployment::sound_scenario(deployment::ProblemPlacement::Late);
+    let mut protocol =
+        Balanced::new(sim_scenario.plan.clone(), 1.0).with_telemetry(telemetry.clone());
+    let metrics = run_with_telemetry(&sim_scenario, &mut protocol, telemetry.clone());
+    println!(
+        "  sim: overhead {}, completion {:?}",
+        metrics.failed_tests, metrics.completion_time
+    );
+
+    // 2. The full Apache ACL campaign (§4.2 world, real validation).
+    let scenario = ApacheScenario::new();
+    let upgrade = scenario.upgrade.clone();
+    let mut campaign =
+        Campaign::new(scenario.vendor, scenario.agents).with_telemetry(telemetry.clone());
+    let classification = campaign
+        .vendor
+        .classify_reference("apache", &[RunInput::new("a"), RunInput::new("b")]);
+    let reference = campaign.vendor.reference_fingerprint(&classification);
+    let (_, plan) = campaign.plan("apache", &reference, 1);
+    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    println!(
+        "  campaign: converged {}, rounds {}, releases {}, failed validations {}",
+        result.converged(8),
+        result.rounds,
+        result.releases.len(),
+        result.failed_validations
+    );
+
+    let snap = registry.snapshot();
+    std::fs::write(path, snap.to_json()).expect("write telemetry snapshot");
+    println!(
+        "  wrote {} ({} counters, {} span paths, {} gauges, {} flight events)",
+        path.display(),
+        snap.counters.len(),
+        snap.spans.len(),
+        snap.gauges.len(),
+        snap.events_total
+    );
 }
 
 fn heading(title: &str) {

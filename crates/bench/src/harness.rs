@@ -1,0 +1,189 @@
+//! A minimal, std-only micro-benchmark harness.
+//!
+//! The bench targets in `benches/` are plain binaries (`harness =
+//! false`); each builds a [`Harness`], registers closures with
+//! [`Harness::bench`], and prints one aligned result row per benchmark:
+//! sample count, min / median / mean times, and optional throughput.
+//!
+//! Timing uses [`std::time::Instant`] around whole closure invocations.
+//! Each benchmark warms up once, then samples until either
+//! [`Harness::target`] wall time is spent or a sample cap is reached,
+//! so sub-microsecond and multi-second workloads both finish promptly.
+//! Set `MIRAGE_BENCH_MS` to grow or shrink the per-benchmark budget.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmark, all times in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name, e.g. `rabin/chunking/avg-4096`.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Median sample.
+    pub p50_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Bytes processed per iteration (for throughput rows).
+    pub bytes: Option<u64>,
+}
+
+impl BenchStats {
+    /// Throughput in MiB/s based on the minimum (best) sample.
+    pub fn mib_per_sec(&self) -> Option<f64> {
+        let bytes = self.bytes? as f64;
+        if self.min_ns == 0 {
+            return None;
+        }
+        Some(bytes / (1 << 20) as f64 / (self.min_ns as f64 / 1e9))
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A benchmark suite: runs closures and prints aligned result rows.
+pub struct Harness {
+    target: Duration,
+    max_samples: usize,
+    results: Vec<BenchStats>,
+}
+
+impl Harness {
+    /// Creates a suite and prints its header.
+    ///
+    /// The per-benchmark time budget defaults to 150 ms and can be
+    /// overridden with the `MIRAGE_BENCH_MS` environment variable.
+    pub fn new(suite: &str) -> Self {
+        let ms = std::env::var("MIRAGE_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(150);
+        println!("== {suite} (budget {ms} ms/bench) ==");
+        println!(
+            "{:<44} {:>8} {:>12} {:>12} {:>12}",
+            "benchmark", "samples", "min", "median", "mean"
+        );
+        Harness {
+            target: Duration::from_millis(ms),
+            max_samples: 1_000,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, records its statistics, and prints one result row.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimiser cannot delete the measured work.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &BenchStats {
+        self.run(name, None, f)
+    }
+
+    /// Like [`Harness::bench`], additionally reporting MiB/s throughput
+    /// for a workload that processes `bytes` bytes per iteration.
+    pub fn bench_bytes<R>(&mut self, name: &str, bytes: u64, f: impl FnMut() -> R) -> &BenchStats {
+        self.run(name, Some(bytes), f)
+    }
+
+    fn run<R>(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut() -> R) -> &BenchStats {
+        // One untimed warmup to populate caches and lazy state.
+        black_box(f());
+        let started = Instant::now();
+        let mut samples_ns: Vec<u64> = Vec::new();
+        // Always take at least one timed sample; keep sampling while
+        // budget remains.
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            samples_ns.push(t0.elapsed().as_nanos() as u64);
+            if started.elapsed() >= self.target || samples_ns.len() >= self.max_samples {
+                break;
+            }
+        }
+        samples_ns.sort_unstable();
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: samples_ns.len(),
+            min_ns: samples_ns[0],
+            p50_ns: samples_ns[samples_ns.len() / 2],
+            mean_ns: samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64,
+            max_ns: *samples_ns.last().expect("non-empty"),
+            bytes,
+        };
+        let throughput = stats
+            .mib_per_sec()
+            .map(|t| format!("  {t:.0} MiB/s"))
+            .unwrap_or_default();
+        println!(
+            "{:<44} {:>8} {:>12} {:>12} {:>12}{throughput}",
+            stats.name,
+            stats.samples,
+            fmt_ns(stats.min_ns as f64),
+            fmt_ns(stats.p50_ns as f64),
+            fmt_ns(stats.mean_ns),
+        );
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_sane_stats() {
+        std::env::set_var("MIRAGE_BENCH_MS", "5");
+        let mut h = Harness::new("test-suite");
+        let mut count = 0u64;
+        let stats = h.bench("busy-loop", || {
+            count += 1;
+            (0..1000u64).sum::<u64>()
+        });
+        assert!(stats.samples >= 1);
+        assert!(stats.min_ns <= stats.p50_ns);
+        assert!(stats.p50_ns <= stats.max_ns);
+        assert!(count as usize >= stats.samples);
+        assert_eq!(h.results().len(), 1);
+        std::env::remove_var("MIRAGE_BENCH_MS");
+    }
+
+    #[test]
+    fn throughput_and_formatting() {
+        let stats = BenchStats {
+            name: "x".into(),
+            samples: 1,
+            min_ns: 1_000_000, // 1 ms
+            p50_ns: 1_000_000,
+            mean_ns: 1_000_000.0,
+            max_ns: 1_000_000,
+            bytes: Some(1 << 20), // 1 MiB in 1 ms = 1000 MiB/s
+        };
+        let t = stats.mib_per_sec().unwrap();
+        assert!((t - 1000.0).abs() < 1e-6, "{t}");
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

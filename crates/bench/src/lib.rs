@@ -3,10 +3,13 @@
 //! The `repro` binary (see `src/bin/repro.rs`) regenerates every table
 //! and figure of the paper's evaluation and prints them in the same
 //! row/series structure the paper reports; this library holds the plain
-//! text rendering utilities it uses.
+//! text rendering utilities it uses plus the std-only micro-benchmark
+//! [`harness`] the `benches/` targets are built on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use mirage_sim::SimTime;
 

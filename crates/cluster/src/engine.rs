@@ -3,10 +3,11 @@
 use std::collections::BTreeSet;
 
 use mirage_fingerprint::{ImportanceFilter, ItemSet};
+use mirage_telemetry::Telemetry;
 
 use crate::cluster::{Cluster, ClusterId, Clustering, MachineInfo};
 use crate::phase1::original_clusters;
-use crate::qt::qt_cluster;
+use crate::qt::qt_cluster_instrumented;
 use crate::split::split_by_app_set;
 
 /// Configuration and entry point for clustering a machine population.
@@ -30,6 +31,8 @@ pub struct ClusterEngine {
     pub diameter: usize,
     /// Vendor importance filter applied to diff sets before clustering.
     pub importance: ImportanceFilter,
+    /// Telemetry handle (no-op by default).
+    pub telemetry: Telemetry,
 }
 
 impl ClusterEngine {
@@ -38,6 +41,7 @@ impl ClusterEngine {
         ClusterEngine {
             diameter,
             importance: ImportanceFilter::new(),
+            telemetry: Telemetry::noop(),
         }
     }
 
@@ -47,28 +51,53 @@ impl ClusterEngine {
         self
     }
 
+    /// Attaches a telemetry handle timing each pipeline phase and
+    /// counting distance evaluations and QT merges.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Runs the full pipeline: importance filtering → phase 1 → phase 2 →
     /// app-overlap split → labelling.
     pub fn cluster(&self, machines: &[MachineInfo]) -> Clustering {
+        let _pipeline = self.telemetry.span("cluster.pipeline");
+        self.telemetry
+            .counter("cluster.machines_in", machines.len() as u64);
+
         // Apply the vendor's importance directives up front.
-        let filtered: Vec<MachineInfo> = machines
-            .iter()
-            .map(|m| MachineInfo {
-                diff: self.importance.apply(&m.diff),
-                overlapping_apps: m.overlapping_apps.clone(),
-            })
-            .collect();
+        let filtered: Vec<MachineInfo> = {
+            let _span = self.telemetry.span("importance");
+            machines
+                .iter()
+                .map(|m| MachineInfo {
+                    diff: self.importance.apply(&m.diff),
+                    overlapping_apps: m.overlapping_apps.clone(),
+                })
+                .collect()
+        };
         let refs: Vec<&MachineInfo> = filtered.iter().collect();
 
+        let originals = {
+            let _span = self.telemetry.span("phase1");
+            original_clusters(&refs)
+        };
+
         let mut final_groups: Vec<Vec<&MachineInfo>> = Vec::new();
-        for original in original_clusters(&refs) {
-            for sub in qt_cluster(&original, self.diameter) {
-                for split in split_by_app_set(&sub) {
-                    final_groups.push(split);
+        {
+            let _span = self.telemetry.span("phase2");
+            for original in originals {
+                for sub in qt_cluster_instrumented(&original, self.diameter, &self.telemetry) {
+                    for split in split_by_app_set(&sub) {
+                        final_groups.push(split);
+                    }
                 }
             }
         }
 
+        let _span = self.telemetry.span("label");
+        self.telemetry
+            .counter("cluster.clusters_out", final_groups.len() as u64);
         let clusters = final_groups
             .into_iter()
             .enumerate()
@@ -183,5 +212,44 @@ mod tests {
         let clustering = ClusterEngine::new(3).cluster(&[]);
         assert!(clustering.is_empty());
         assert_eq!(clustering.machine_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_counters() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::{Registry, Telemetry};
+
+        let machines = vec![
+            machine("base1", &[], &[], &[]),
+            machine("base2", &[], &[], &[]),
+            machine("cfg", &[], &["my.cnf-chunk"], &[]),
+        ];
+        let registry = Arc::new(Registry::new(64));
+        let instrumented = ClusterEngine::new(1)
+            .with_telemetry(Telemetry::from_registry(Arc::clone(&registry)))
+            .cluster(&machines);
+        // Instrumentation must not change the clustering.
+        let plain = ClusterEngine::new(1).cluster(&machines);
+        assert_eq!(instrumented.len(), plain.len());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cluster.machines_in"], 3);
+        assert_eq!(
+            snap.counters["cluster.clusters_out"],
+            instrumented.len() as u64
+        );
+        // base1/base2/cfg form one phase-1 cluster: 3 pairwise distances.
+        assert_eq!(snap.counters["cluster.distance_evals"], 3);
+        assert!(snap.counters["cluster.qt_merges"] >= 1);
+        for span in [
+            "cluster.pipeline",
+            "cluster.pipeline/importance",
+            "cluster.pipeline/phase1",
+            "cluster.pipeline/phase2",
+            "cluster.pipeline/label",
+        ] {
+            assert_eq!(snap.spans[span].count, 1, "missing span {span}");
+        }
     }
 }

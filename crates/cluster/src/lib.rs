@@ -41,4 +41,4 @@ pub use engine::ClusterEngine;
 pub use incremental::recluster_one;
 pub use metrics::{ClusterQuality, ClusteringScore};
 pub use privacy::{machine_token, ClusterToken, PrivateClustering};
-pub use qt::qt_cluster;
+pub use qt::{qt_cluster, qt_cluster_instrumented};

@@ -11,6 +11,8 @@
 //! non-determinism; this implementation breaks all ties on input order,
 //! making it fully deterministic.
 
+use mirage_telemetry::Telemetry;
+
 use crate::cluster::MachineInfo;
 
 /// Clusters `machines` with diameter bound `diameter`.
@@ -20,6 +22,20 @@ use crate::cluster::MachineInfo;
 /// deterministic order. `diameter = 0` merges only machines with
 /// identical content items.
 pub fn qt_cluster_indices(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec<usize>> {
+    qt_cluster_indices_instrumented(machines, diameter, &Telemetry::noop())
+}
+
+/// [`qt_cluster_indices`] with instrumentation attached.
+///
+/// Records the `cluster.distance_evals` counter (pairwise fingerprint
+/// distance computations) and one `cluster.qt_merges` count per greedy
+/// merge iteration. The clustering result is identical to the
+/// uninstrumented call.
+pub fn qt_cluster_indices_instrumented(
+    machines: &[&MachineInfo],
+    diameter: usize,
+    telemetry: &Telemetry,
+) -> Vec<Vec<usize>> {
     let n = machines.len();
     // Pairwise distance matrix (symmetric, zero diagonal).
     let mut dist = vec![vec![0usize; n]; n];
@@ -29,6 +45,9 @@ pub fn qt_cluster_indices(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec
             dist[i][j] = d;
             dist[j][i] = d;
         }
+    }
+    if n > 1 {
+        telemetry.counter("cluster.distance_evals", (n * (n - 1) / 2) as u64);
     }
 
     let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
@@ -75,6 +94,7 @@ pub fn qt_cluster_indices(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec
         }
         match best {
             Some((_, _, a, b)) => {
+                telemetry.counter("cluster.qt_merges", 1);
                 let merged_b = clusters.remove(b);
                 clusters[a].extend(merged_b);
                 clusters[a].sort_unstable();
@@ -88,7 +108,17 @@ pub fn qt_cluster_indices(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec
 
 /// Like [`qt_cluster_indices`], returning machine references.
 pub fn qt_cluster<'a>(machines: &[&'a MachineInfo], diameter: usize) -> Vec<Vec<&'a MachineInfo>> {
-    qt_cluster_indices(machines, diameter)
+    qt_cluster_instrumented(machines, diameter, &Telemetry::noop())
+}
+
+/// Like [`qt_cluster_indices_instrumented`], returning machine
+/// references.
+pub fn qt_cluster_instrumented<'a>(
+    machines: &[&'a MachineInfo],
+    diameter: usize,
+    telemetry: &Telemetry,
+) -> Vec<Vec<&'a MachineInfo>> {
+    qt_cluster_indices_instrumented(machines, diameter, telemetry)
         .into_iter()
         .map(|group| group.into_iter().map(|i| machines[i]).collect())
         .collect()

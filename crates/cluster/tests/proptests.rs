@@ -1,53 +1,81 @@
-//! Property-based tests for the clustering pipeline.
+//! Randomised property tests for the clustering pipeline.
+//!
+//! Populations are generated with a seeded xorshift generator, so every
+//! run exercises the same cases deterministically and offline.
 
 use std::collections::BTreeSet;
-
-use proptest::prelude::*;
 
 use mirage_cluster::{ClusterEngine, MachineInfo};
 use mirage_fingerprint::{DiffSet, Item};
 
-/// Strategy: a machine with a random small parsed/content diff and an
-/// optional overlapping-app marker.
-fn machine_strategy(id: usize) -> impl Strategy<Value = MachineInfo> {
-    (
-        proptest::collection::btree_set("[a-d]", 0..4),
-        proptest::collection::btree_set("[w-z]", 0..4),
-        proptest::bool::ANY,
-    )
-        .prop_map(move |(parsed, content, has_php)| {
-            let mut diff = DiffSet::empty(format!("m{id}"));
-            diff.parsed = parsed.iter().map(|s| Item::new([s.as_str()])).collect();
-            diff.content = content.iter().map(|s| Item::new([s.as_str()])).collect();
-            let mut info = MachineInfo::new(diff);
-            if has_php {
-                info.overlapping_apps.insert("php".into());
-            }
-            info
-        })
-}
+/// Deterministic xorshift64 generator for test populations.
+struct Rng(u64);
 
-fn population(n: usize) -> impl Strategy<Value = Vec<MachineInfo>> {
-    (0..n)
-        .map(machine_strategy)
-        .collect::<Vec<_>>()
-        .prop_map(|v| v)
-}
-
-proptest! {
-    /// Every machine lands in exactly one cluster.
-    #[test]
-    fn clustering_is_a_partition(machines in population(12), d in 0usize..6) {
-        let clustering = ClusterEngine::new(d).cluster(&machines);
-        let seen = clustering.validate_partition().expect("partition");
-        prop_assert_eq!(seen.len(), machines.len());
-        prop_assert_eq!(clustering.machine_count(), machines.len());
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
     }
 
-    /// The diameter bound holds: no two members of a cluster are farther
-    /// apart (content distance) than `d`.
-    #[test]
-    fn diameter_bound_holds(machines in population(10), d in 0usize..6) {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A machine with a random small parsed/content diff and an optional
+/// overlapping-app marker. Parsed items come from `a..=d`, content
+/// items from `w..=z`.
+fn random_machine(rng: &mut Rng, id: usize) -> MachineInfo {
+    let mut diff = DiffSet::empty(format!("m{id}"));
+    let parsed_letters = ["a", "b", "c", "d"];
+    let content_letters = ["w", "x", "y", "z"];
+    for _ in 0..rng.below(4) {
+        diff.parsed
+            .insert(Item::new([parsed_letters[rng.below(4)]]));
+    }
+    for _ in 0..rng.below(4) {
+        diff.content
+            .insert(Item::new([content_letters[rng.below(4)]]));
+    }
+    let mut info = MachineInfo::new(diff);
+    if rng.below(2) == 0 {
+        info.overlapping_apps.insert("php".into());
+    }
+    info
+}
+
+fn population(rng: &mut Rng, n: usize) -> Vec<MachineInfo> {
+    (0..n).map(|i| random_machine(rng, i)).collect()
+}
+
+/// Every machine lands in exactly one cluster.
+#[test]
+fn clustering_is_a_partition() {
+    let mut rng = Rng::new(0xc1);
+    for case in 0..48 {
+        let machines = population(&mut rng, 12);
+        let d = rng.below(6);
+        let clustering = ClusterEngine::new(d).cluster(&machines);
+        let seen = clustering.validate_partition().expect("partition");
+        assert_eq!(seen.len(), machines.len(), "case {case}");
+        assert_eq!(clustering.machine_count(), machines.len(), "case {case}");
+    }
+}
+
+/// The diameter bound holds: no two members of a cluster are farther
+/// apart (content distance) than `d`.
+#[test]
+fn diameter_bound_holds() {
+    let mut rng = Rng::new(0xc2);
+    for case in 0..48 {
+        let machines = population(&mut rng, 10);
+        let d = rng.below(6);
         let clustering = ClusterEngine::new(d).cluster(&machines);
         let by_id = |id: &str| machines.iter().find(|m| m.id() == id).unwrap();
         for c in &clustering.clusters {
@@ -55,30 +83,46 @@ proptest! {
                 for b in &c.members {
                     let da = by_id(a);
                     let db = by_id(b);
-                    prop_assert!(da.diff.content_distance(&db.diff) <= d);
+                    assert!(
+                        da.diff.content_distance(&db.diff) <= d,
+                        "case {case}: {a} and {b} violate diameter {d}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Members of one cluster share parsed diffs and app sets exactly.
-    #[test]
-    fn cluster_members_agree_on_parsed_and_apps(machines in population(10), d in 0usize..6) {
+/// Members of one cluster share parsed diffs and app sets exactly.
+#[test]
+fn cluster_members_agree_on_parsed_and_apps() {
+    let mut rng = Rng::new(0xc3);
+    for case in 0..48 {
+        let machines = population(&mut rng, 10);
+        let d = rng.below(6);
         let clustering = ClusterEngine::new(d).cluster(&machines);
         let by_id = |id: &str| machines.iter().find(|m| m.id() == id).unwrap();
         for c in &clustering.clusters {
             let first = by_id(&c.members[0]);
             for m in &c.members[1..] {
                 let other = by_id(m);
-                prop_assert_eq!(&first.diff.parsed, &other.diff.parsed);
-                prop_assert_eq!(&first.overlapping_apps, &other.overlapping_apps);
+                assert_eq!(&first.diff.parsed, &other.diff.parsed, "case {case}");
+                assert_eq!(
+                    &first.overlapping_apps, &other.overlapping_apps,
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    /// Clustering is invariant under input permutation (same member sets).
-    #[test]
-    fn deterministic_under_permutation(machines in population(8), d in 0usize..5) {
+/// Clustering is invariant under input permutation (same member sets).
+#[test]
+fn deterministic_under_permutation() {
+    let mut rng = Rng::new(0xc4);
+    for case in 0..48 {
+        let machines = population(&mut rng, 8);
+        let d = rng.below(5);
         let a = ClusterEngine::new(d).cluster(&machines);
         let mut reversed = machines.clone();
         reversed.reverse();
@@ -86,33 +130,41 @@ proptest! {
         let sets = |c: &mirage_cluster::Clustering| -> BTreeSet<Vec<String>> {
             c.clusters.iter().map(|cl| cl.members.clone()).collect()
         };
-        prop_assert_eq!(sets(&a), sets(&b));
+        assert_eq!(sets(&a), sets(&b), "case {case}");
     }
+}
 
-    /// Diameter 0 yields clusters of machines with identical diffs.
-    #[test]
-    fn zero_diameter_is_equality_grouping(machines in population(10)) {
+/// Diameter 0 yields clusters of machines with identical diffs.
+#[test]
+fn zero_diameter_is_equality_grouping() {
+    let mut rng = Rng::new(0xc5);
+    for case in 0..48 {
+        let machines = population(&mut rng, 10);
         let clustering = ClusterEngine::new(0).cluster(&machines);
         let by_id = |id: &str| machines.iter().find(|m| m.id() == id).unwrap();
         for c in &clustering.clusters {
             let first = by_id(&c.members[0]);
             for m in &c.members[1..] {
                 let other = by_id(m);
-                prop_assert_eq!(&first.diff.content, &other.diff.content);
+                assert_eq!(&first.diff.content, &other.diff.content, "case {case}");
             }
         }
     }
+}
 
-    /// With an unbounded diameter, phase 2 never splits an original
-    /// cluster: cluster count is determined by parsed diffs and app sets
-    /// alone.
-    #[test]
-    fn huge_diameter_collapses_phase2(machines in population(10)) {
+/// With an unbounded diameter, phase 2 never splits an original
+/// cluster: cluster count is determined by parsed diffs and app sets
+/// alone.
+#[test]
+fn huge_diameter_collapses_phase2() {
+    let mut rng = Rng::new(0xc6);
+    for case in 0..48 {
+        let machines = population(&mut rng, 10);
         let clustering = ClusterEngine::new(10_000).cluster(&machines);
         let mut keys = BTreeSet::new();
         for m in &machines {
             keys.insert((m.diff.parsed.clone(), m.overlapping_apps.clone()));
         }
-        prop_assert_eq!(clustering.len(), keys.len());
+        assert_eq!(clustering.len(), keys.len(), "case {case}");
     }
 }

@@ -10,6 +10,7 @@ use mirage_deploy::{
 use mirage_env::{ProblemId, Upgrade, UpgradeId};
 use mirage_fingerprint::MachineFingerprint;
 use mirage_report::{Report, Urr};
+use mirage_telemetry::{FlightEvent, Telemetry};
 
 use crate::agent::UserAgent;
 use crate::vendor::Vendor;
@@ -91,6 +92,8 @@ pub struct Campaign {
     pub agents: Vec<UserAgent>,
     /// The upgrade report repository.
     pub urr: Urr,
+    /// Telemetry handle (no-op by default).
+    pub telemetry: Telemetry,
 }
 
 impl Campaign {
@@ -100,7 +103,17 @@ impl Campaign {
             vendor,
             agents,
             urr: Urr::new(),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry handle to the campaign *and* its vendor, so
+    /// planning spans, clustering counters, per-round flight events, and
+    /// protocol wave events all land in one recorder.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.vendor.telemetry = telemetry.clone();
+        self.telemetry = telemetry;
+        self
     }
 
     /// Computes every agent's clustering input in parallel.
@@ -108,19 +121,21 @@ impl Campaign {
     /// The per-machine work (tracing, classification, fingerprinting,
     /// diffing) is independent, so it fans out across OS threads.
     pub fn fleet_inputs(&self, app: &str, reference: &MachineFingerprint) -> Vec<MachineInfo> {
+        let _span = self.telemetry.span("campaign.fleet_inputs");
+        self.telemetry
+            .counter("campaign.fleet_size", self.agents.len() as u64);
         let vendor = &self.vendor;
         let chunk = (self.agents.len() / num_threads().max(1)).max(1);
         let mut results: Vec<Option<MachineInfo>> = vec![None; self.agents.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (agents, outs) in self.agents.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (agent, out) in agents.iter().zip(outs.iter_mut()) {
                         *out = Some(agent.clustering_input(app, vendor, reference));
                     }
                 });
             }
-        })
-        .expect("fingerprinting thread panicked");
+        });
         results.into_iter().map(|o| o.expect("filled")).collect()
     }
 
@@ -131,6 +146,7 @@ impl Campaign {
         reference: &MachineFingerprint,
         reps_per_cluster: usize,
     ) -> (Clustering, DeployPlan) {
+        let _span = self.telemetry.span("campaign.plan");
         let inputs = self.fleet_inputs(app, reference);
         let clustering = self.vendor.cluster(&inputs);
         let plan = DeployPlan::from_clustering(&clustering, reps_per_cluster);
@@ -151,14 +167,24 @@ impl Campaign {
         kind: ProtocolKind,
         threshold: f64,
     ) -> CampaignResult {
+        let _deploy_span = self.telemetry.span("campaign.deploy");
         let mut protocol: Box<dyn Protocol> = match kind {
-            ProtocolKind::NoStaging => Box::new(NoStaging::new(plan.clone())),
-            ProtocolKind::Balanced => Box::new(Balanced::new(plan.clone(), threshold)),
-            ProtocolKind::FrontLoading => Box::new(FrontLoading::new(plan.clone(), threshold)),
+            ProtocolKind::NoStaging => {
+                Box::new(NoStaging::new(plan.clone()).with_telemetry(self.telemetry.clone()))
+            }
+            ProtocolKind::Balanced => Box::new(
+                Balanced::new(plan.clone(), threshold).with_telemetry(self.telemetry.clone()),
+            ),
+            ProtocolKind::FrontLoading => Box::new(
+                FrontLoading::new(plan.clone(), threshold).with_telemetry(self.telemetry.clone()),
+            ),
             ProtocolKind::RandomStaging { seed } => {
                 let mut order: Vec<usize> = (0..plan.clusters.len()).collect();
                 seeded_shuffle(&mut order, seed);
-                Box::new(Balanced::with_order(plan.clone(), order, threshold))
+                Box::new(
+                    Balanced::with_order(plan.clone(), order, threshold)
+                        .with_telemetry(self.telemetry.clone()),
+                )
             }
         };
         let mut releases: Vec<Upgrade> = vec![upgrade];
@@ -170,6 +196,8 @@ impl Campaign {
 
         while let Some(cmd) = pending.pop_front() {
             rounds += 1;
+            let _round_span = self.telemetry.span("round");
+            self.telemetry.counter("campaign.rounds", 1);
             let Command::Notify { machines, release } = cmd else {
                 // Complete: drain (protocol may have queued it before
                 // trailing notifications; none follow by construction).
@@ -183,12 +211,21 @@ impl Campaign {
                 else {
                     continue;
                 };
+                self.telemetry.event_with(|| FlightEvent::MachineNotified {
+                    machine: machine_id.clone(),
+                    release: release.0,
+                });
                 let cluster = plan.cluster_of(&machine_id).map(|c| c.id).unwrap_or(0);
                 let validation = {
                     let agent = &self.agents[agent_idx];
                     agent.test_upgrade(&self.vendor.repo, current)
                 };
+                self.telemetry.counter("campaign.validations", 1);
                 if validation.passed() {
+                    self.telemetry.event_with(|| FlightEvent::TestPassed {
+                        machine: machine_id.clone(),
+                        release: release.0,
+                    });
                     let agent = &mut self.agents[agent_idx];
                     agent.integrate(&self.vendor.repo, current);
                     integrated.insert(machine_id.clone(), release.0);
@@ -205,9 +242,15 @@ impl Campaign {
                     });
                 } else {
                     failed_validations += 1;
+                    self.telemetry.counter("campaign.failed_validations", 1);
                     let agent = &self.agents[agent_idx];
                     let (app, kind) = validation.first_failure().expect("failed validation");
                     let signature = format!("{app}/{kind}");
+                    self.telemetry.event_with(|| FlightEvent::TestFailed {
+                        machine: machine_id.clone(),
+                        release: release.0,
+                        problem: signature.clone(),
+                    });
                     let image = agent.report_image(&validation);
                     self.urr.deposit(Report::failure(
                         &machine_id,
@@ -222,6 +265,11 @@ impl Campaign {
                     // identifies the underlying problems.
                     for pid in self.vendor.diagnose(current, &agent.machine) {
                         if !fixed.contains(&pid) && !new_problems.iter().any(|p| p.0 == pid) {
+                            self.telemetry.counter("campaign.problems_discovered", 1);
+                            self.telemetry
+                                .event_with(|| FlightEvent::ProblemDiscovered {
+                                    problem: pid.clone(),
+                                });
                             new_problems.push(ProblemId(pid));
                         }
                     }
@@ -243,6 +291,10 @@ impl Campaign {
                     fixed.insert(p.0.clone());
                 }
                 releases.push(next);
+                self.telemetry.counter("campaign.releases_shipped", 1);
+                self.telemetry.event_with(|| FlightEvent::ReleaseShipped {
+                    release: (releases.len() - 1) as u32,
+                });
                 // The protocol matches failure *signatures* (app/detail
                 // strings), while fixes are tracked by problem id. A
                 // corrected release here fixes every diagnosed problem,
@@ -413,6 +465,62 @@ mod tests {
         let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
         assert!(result.converged(6));
         assert_eq!(result.failed_validations, 1);
+    }
+
+    #[test]
+    fn telemetry_records_campaign_flight() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::{Registry, Telemetry};
+
+        let (campaign, upgrade, ref_fp) = build_campaign();
+        let registry = Arc::new(Registry::new(1024));
+        let mut campaign = campaign.with_telemetry(Telemetry::from_registry(Arc::clone(&registry)));
+        let (_, plan) = campaign.plan("app", &ref_fp, 1);
+        let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        assert!(result.converged(6));
+
+        let snap = registry.snapshot();
+        // Campaign counters.
+        assert_eq!(snap.counters["campaign.fleet_size"], 6);
+        assert_eq!(snap.counters["campaign.rounds"], result.rounds as u64);
+        assert_eq!(snap.counters["campaign.failed_validations"], 1);
+        assert_eq!(snap.counters["campaign.problems_discovered"], 1);
+        assert_eq!(snap.counters["campaign.releases_shipped"], 1);
+        assert!(snap.counters["campaign.validations"] >= 6);
+        // Clustering counters flow through the vendor's engine.
+        assert_eq!(snap.counters["cluster.machines_in"], 6);
+        // Protocol counters flow through the deploy crate.
+        assert!(snap.counters["deploy.machines_notified"] >= 6);
+        // Spans nest: plan wraps fleet_inputs wraps the cluster pipeline.
+        for span in [
+            "campaign.plan",
+            "campaign.plan/campaign.fleet_inputs",
+            "campaign.plan/cluster.pipeline",
+            "campaign.deploy",
+        ] {
+            assert!(snap.spans.contains_key(span), "missing span {span}");
+        }
+        assert_eq!(
+            snap.spans["campaign.deploy/round"].count,
+            result.rounds as u64
+        );
+        // Flight events: every kind of campaign event appears.
+        for kind in [
+            "machine_notified",
+            "test_passed",
+            "test_failed",
+            "problem_discovered",
+            "release_shipped",
+            "wave_advanced",
+        ] {
+            assert!(
+                snap.event_counts.get(kind).copied().unwrap_or(0) >= 1,
+                "missing flight event kind {kind}"
+            );
+        }
+        assert_eq!(snap.event_counts["test_failed"], 1);
+        assert_eq!(snap.event_counts["release_shipped"], 1);
     }
 
     #[test]

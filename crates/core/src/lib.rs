@@ -20,7 +20,7 @@
 //!   fleet converges.
 //!
 //! Fleet-wide fingerprinting fans out across OS threads with
-//! `crossbeam::scope` — the user-side comparison work is "efficient and
+//! `std::thread::scope` — the user-side comparison work is "efficient and
 //! distributed" in the paper, and embarrassingly parallel here.
 //!
 //! # Examples

@@ -6,6 +6,7 @@ use mirage_cluster::{ClusterEngine, Clustering, MachineInfo};
 use mirage_env::{Machine, Repository, RunInput, Upgrade};
 use mirage_fingerprint::{HashValue, ImportanceFilter, Item, MachineFingerprint, ParserRegistry};
 use mirage_heuristic::{identify, Classification, HeuristicConfig, RuleSet};
+use mirage_telemetry::Telemetry;
 use mirage_trace::{RunId, Trace};
 
 /// The vendor: reference machine, fingerprinting policy, repository.
@@ -24,6 +25,8 @@ pub struct Vendor {
     pub diameter: usize,
     /// Item-importance filter applied before clustering.
     pub importance: ImportanceFilter,
+    /// Telemetry handle threaded into clustering (no-op by default).
+    pub telemetry: Telemetry,
 }
 
 impl Vendor {
@@ -37,6 +40,7 @@ impl Vendor {
             repo,
             diameter: 3,
             importance: ImportanceFilter::new(),
+            telemetry: Telemetry::noop(),
         }
     }
 
@@ -61,6 +65,13 @@ impl Vendor {
     /// Sets the importance filter.
     pub fn with_importance(mut self, importance: ImportanceFilter) -> Self {
         self.importance = importance;
+        self
+    }
+
+    /// Attaches a telemetry handle; clustering runs are instrumented
+    /// with it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -90,6 +101,7 @@ impl Vendor {
     pub fn cluster(&self, machines: &[MachineInfo]) -> Clustering {
         ClusterEngine::new(self.diameter)
             .with_importance(self.importance.clone())
+            .with_telemetry(self.telemetry.clone())
             .cluster(machines)
     }
 

@@ -2,11 +2,24 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use mirage_telemetry::{FlightEvent, Telemetry};
+
 use crate::plan::DeployPlan;
 use crate::protocol::{Command, MachineStatus, Protocol, Release, TestOutcome, TestReport};
 
+/// How many members of a `total`-machine cluster must pass before the
+/// deployment wave advances, at pass-fraction `threshold`.
+///
+/// Clamped to at least one machine for non-empty clusters — a
+/// `threshold` of `0.0` must not let a wave skip a cluster nobody has
+/// tested (this mirrors the `.max(1.0)` in `mirage-sim`'s latency
+/// accounting, keeping protocol advancement and latency scoring
+/// consistent). Empty clusters need zero passes.
 fn ceil_threshold(total: usize, threshold: f64) -> usize {
-    ((total as f64) * threshold).ceil() as usize
+    if total == 0 {
+        return 0;
+    }
+    (((total as f64) * threshold).ceil() as usize).max(1)
 }
 
 /// The NoStaging baseline: one giant cluster, everyone a representative.
@@ -23,6 +36,7 @@ pub struct NoStaging {
     passed: usize,
     release: Release,
     completed: bool,
+    telemetry: Telemetry,
 }
 
 impl NoStaging {
@@ -39,7 +53,14 @@ impl NoStaging {
             passed: 0,
             release: Release(0),
             completed: false,
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry handle recording notification counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     fn completion(&mut self) -> Vec<Command> {
@@ -66,6 +87,9 @@ impl Protocol for NoStaging {
             self.completed = true;
             return vec![Command::Complete];
         }
+        self.telemetry.counter("deploy.notify_commands", 1);
+        self.telemetry
+            .counter("deploy.machines_notified", machines.len() as u64);
         vec![Command::Notify {
             machines,
             release: self.release,
@@ -109,6 +133,9 @@ impl Protocol for NoStaging {
         if failed.is_empty() {
             return self.completion();
         }
+        self.telemetry.counter("deploy.notify_commands", 1);
+        self.telemetry
+            .counter("deploy.machines_notified", failed.len() as u64);
         vec![Command::Notify {
             machines: failed,
             release,
@@ -159,6 +186,7 @@ struct StagedEngine {
     /// Last failure signature per machine, for targeted re-notification.
     failed_problem: BTreeMap<String, String>,
     completed: bool,
+    telemetry: Telemetry,
 }
 
 impl StagedEngine {
@@ -203,6 +231,7 @@ impl StagedEngine {
             stage: ClusterStage::Reps,
             failed_problem: BTreeMap::new(),
             completed: false,
+            telemetry: Telemetry::noop(),
         }
     }
 
@@ -222,6 +251,9 @@ impl StagedEngine {
         for m in &fresh {
             self.status.insert(m.clone(), MachineStatus::Testing);
         }
+        self.telemetry.counter("deploy.notify_commands", 1);
+        self.telemetry
+            .counter("deploy.machines_notified", fresh.len() as u64);
         out.push(Command::Notify {
             machines: fresh,
             release: self.release,
@@ -251,6 +283,11 @@ impl StagedEngine {
                         self.phase = Phase::Cluster(0);
                         self.stage = ClusterStage::NonReps;
                         if let Some(&cid) = self.order.first() {
+                            self.telemetry.counter("deploy.waves_advanced", 1);
+                            self.telemetry.event(FlightEvent::WaveAdvanced {
+                                wave: 0,
+                                cluster: cid,
+                            });
                             let non_reps = self.plan.clusters[cid].non_reps();
                             self.notify(non_reps, out);
                         }
@@ -282,6 +319,11 @@ impl StagedEngine {
                                 if i + 1 < self.order.len() {
                                     self.phase = Phase::Cluster(i + 1);
                                     let next = self.order[i + 1];
+                                    self.telemetry.counter("deploy.waves_advanced", 1);
+                                    self.telemetry.event(FlightEvent::WaveAdvanced {
+                                        wave: i + 1,
+                                        cluster: next,
+                                    });
                                     if self.global_rep_phase {
                                         // Representatives already passed in
                                         // phase 1; go straight to non-reps.
@@ -413,6 +455,13 @@ impl Balanced {
             name: "RandomStaging",
         }
     }
+
+    /// Attaches a telemetry handle recording notification counters and
+    /// wave-advance events.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.engine.telemetry = telemetry;
+        self
+    }
 }
 
 impl Protocol for Balanced {
@@ -460,6 +509,13 @@ impl FrontLoading {
         FrontLoading {
             engine: StagedEngine::new(plan, order, threshold, true),
         }
+    }
+
+    /// Attaches a telemetry handle recording notification counters and
+    /// wave-advance events.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.engine.telemetry = telemetry;
+        self
     }
 }
 
@@ -692,6 +748,98 @@ mod tests {
     #[should_panic(expected = "order must cover")]
     fn mismatched_order_panics() {
         let _ = Balanced::with_order(plan(&[(&["a"], 1, 1.0)]), vec![0, 1], 1.0);
+    }
+
+    #[test]
+    fn ceil_threshold_clamps_to_one_for_nonempty_clusters() {
+        // Empty clusters need zero passes.
+        assert_eq!(ceil_threshold(0, 0.0), 0);
+        assert_eq!(ceil_threshold(0, 1.0), 0);
+        // A zero threshold must still require one pass.
+        assert_eq!(ceil_threshold(4, 0.0), 1);
+        assert_eq!(ceil_threshold(1, 0.0), 1);
+        // Ordinary fractions round up.
+        assert_eq!(ceil_threshold(4, 0.5), 2);
+        assert_eq!(ceil_threshold(5, 0.5), 3);
+        assert_eq!(ceil_threshold(4, 1.0), 4);
+        // Tiny thresholds on large clusters clamp up to one, not zero.
+        assert_eq!(ceil_threshold(1_000, 0.0), 1);
+    }
+
+    #[test]
+    fn zero_threshold_waits_for_first_pass() {
+        // With threshold 0.0 the wave must not skip a cluster before at
+        // least one of its machines (the rep) has passed.
+        let mut p = Balanced::new(plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]), 0.0);
+        let cmds = p.start();
+        assert_eq!(notified(&cmds), vec!["a"]);
+        // Only once the rep passes does the wave advance (threshold met
+        // by that single pass) — and the non-rep is still notified.
+        let cmds = p.on_report(&pass("a", 0));
+        let mut next = notified(&cmds);
+        next.sort();
+        assert_eq!(next, vec!["b", "z"]);
+    }
+
+    #[test]
+    fn empty_cluster_in_plan_is_skipped() {
+        // A degenerate plan containing an empty cluster must cascade
+        // straight through it rather than stalling forever.
+        let mut p = Balanced::new(
+            DeployPlan {
+                clusters: vec![
+                    DeployCluster {
+                        id: 0,
+                        members: vec!["a".into()],
+                        reps: vec!["a".into()],
+                        distance: 0.0,
+                    },
+                    DeployCluster {
+                        id: 1,
+                        members: vec![],
+                        reps: vec![],
+                        distance: 1.0,
+                    },
+                    DeployCluster {
+                        id: 2,
+                        members: vec!["c".into()],
+                        reps: vec!["c".into()],
+                        distance: 2.0,
+                    },
+                ],
+            },
+            1.0,
+        );
+        let cmds = p.start();
+        assert_eq!(notified(&cmds), vec!["a"]);
+        // Passing "a" advances through the empty cluster to "c".
+        let cmds = p.on_report(&pass("a", 0));
+        assert_eq!(notified(&cmds), vec!["c"]);
+        let cmds = p.on_report(&pass("c", 0));
+        assert_eq!(cmds, vec![Command::Complete]);
+        assert!(p.done());
+    }
+
+    #[test]
+    fn telemetry_counts_notifications_and_waves() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::Registry;
+
+        let registry = Arc::new(Registry::new(64));
+        let t = Telemetry::from_registry(Arc::clone(&registry));
+        let mut p =
+            Balanced::new(plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]), 1.0).with_telemetry(t);
+        p.start();
+        p.on_report(&pass("a", 0));
+        p.on_report(&pass("b", 0));
+        p.on_report(&pass("z", 0));
+        let snap = registry.snapshot();
+        // start→a, a→b, cluster advance→z: three Notify commands.
+        assert_eq!(snap.counters["deploy.notify_commands"], 3);
+        assert_eq!(snap.counters["deploy.machines_notified"], 3);
+        assert_eq!(snap.counters["deploy.waves_advanced"], 1);
+        assert_eq!(snap.event_counts["wave_advanced"], 1);
     }
 }
 

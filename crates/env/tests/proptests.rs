@@ -1,8 +1,9 @@
-//! Property-based tests for the environment substrate.
+//! Randomised property tests for the environment substrate.
+//!
+//! Inputs are generated with a seeded xorshift generator, so every run
+//! exercises the same cases deterministically and offline.
 
 use std::collections::BTreeMap;
-
-use proptest::prelude::*;
 
 use mirage_env::app::{execute, RunBehavior};
 use mirage_env::{
@@ -11,8 +12,32 @@ use mirage_env::{
 };
 use mirage_trace::RunId;
 
-fn arb_version() -> impl Strategy<Value = Version> {
-    (0u32..5, 0u32..5, 0u32..5).prop_map(|(a, b, c)| Version::new(a, b, c))
+/// Deterministic xorshift64 generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn version(&mut self) -> Version {
+        Version::new(
+            self.below(5) as u32,
+            self.below(5) as u32,
+            self.below(5) as u32,
+        )
+    }
 }
 
 fn textfile(path: &str, text: &str) -> File {
@@ -23,13 +48,12 @@ fn textfile(path: &str, text: &str) -> File {
     )
 }
 
-proptest! {
-    /// Snapshots never observe later mutations of the base, and vice
-    /// versa, for any interleaving of inserts/removes.
-    #[test]
-    fn snapshot_isolation(
-        ops in proptest::collection::vec((0u8..3, 0usize..8), 0..24),
-    ) {
+/// Snapshots never observe later mutations of the base, and vice
+/// versa, for any interleaving of inserts/removes.
+#[test]
+fn snapshot_isolation() {
+    let mut rng = Rng::new(0xe1);
+    for case in 0..48 {
         let mut base = FileSystem::new();
         for i in 0..4 {
             base.insert(textfile(&format!("/f{i}"), "orig"));
@@ -39,7 +63,9 @@ proptest! {
             .iter()
             .map(|f| (f.path.clone(), f.content.clone()))
             .collect();
-        for (op, slot) in ops {
+        for _ in 0..rng.below(24) {
+            let op = rng.below(3);
+            let slot = rng.below(8);
             let path = format!("/f{slot}");
             match op {
                 0 => {
@@ -54,64 +80,88 @@ proptest! {
             }
         }
         // The snapshot still shows exactly its frozen view.
-        prop_assert_eq!(snap.len(), frozen.len());
+        assert_eq!(snap.len(), frozen.len(), "case {case}");
         for (path, content) in frozen {
-            prop_assert_eq!(&snap.get(&path).unwrap().content, &content);
+            assert_eq!(&snap.get(&path).unwrap().content, &content, "case {case}");
         }
     }
+}
 
-    /// Version parsing round-trips through Display.
-    #[test]
-    fn version_roundtrip(v in arb_version()) {
+/// Version parsing round-trips through Display.
+#[test]
+fn version_roundtrip() {
+    let mut rng = Rng::new(0xe2);
+    for _ in 0..60 {
+        let v = rng.version();
         let s = v.to_string();
-        prop_assert_eq!(s.parse::<Version>().unwrap(), v);
+        assert_eq!(s.parse::<Version>().unwrap(), v);
     }
+}
 
-    /// VersionReq::Compatible implies AtLeast and same-major.
-    #[test]
-    fn compatible_implies_at_least(a in arb_version(), b in arb_version()) {
+/// VersionReq::Compatible implies AtLeast and same-major.
+#[test]
+fn compatible_implies_at_least() {
+    let mut rng = Rng::new(0xe3);
+    for _ in 0..200 {
+        let a = rng.version();
+        let b = rng.version();
         if VersionReq::Compatible(a).matches(b) {
-            prop_assert!(VersionReq::AtLeast(a).matches(b));
-            prop_assert_eq!(a.major, b.major);
+            assert!(VersionReq::AtLeast(a).matches(b), "{a} vs {b}");
+            assert_eq!(a.major, b.major, "{a} vs {b}");
         }
     }
+}
 
-    /// Installing the same package twice is idempotent on the
-    /// filesystem and the package database.
-    #[test]
-    fn install_idempotent(v in arb_version()) {
+/// Installing the same package twice is idempotent on the
+/// filesystem and the package database.
+#[test]
+fn install_idempotent() {
+    let mut rng = Rng::new(0xe4);
+    for _ in 0..30 {
+        let v = rng.version();
         let mut repo = Repository::new();
-        repo.publish(
-            Package::new("pkg", v).with_file(File::executable("/bin/pkg", "pkg", 1)),
-        );
+        repo.publish(Package::new("pkg", v).with_file(File::executable("/bin/pkg", "pkg", 1)));
         let mut fs = FileSystem::new();
         let mut pm = PackageManager::new();
-        pm.install(&mut fs, &repo, "pkg", VersionReq::Exact(v)).unwrap();
+        pm.install(&mut fs, &repo, "pkg", VersionReq::Exact(v))
+            .unwrap();
         let files_before = fs.len();
-        let report = pm.install(&mut fs, &repo, "pkg", VersionReq::Exact(v)).unwrap();
-        prop_assert!(report.installed.is_empty());
-        prop_assert_eq!(fs.len(), files_before);
+        let report = pm
+            .install(&mut fs, &repo, "pkg", VersionReq::Exact(v))
+            .unwrap();
+        assert!(report.installed.is_empty());
+        assert_eq!(fs.len(), files_before);
     }
+}
 
-    /// The application interpreter is deterministic for arbitrary
-    /// inputs, and a crash behaviour always suppresses outputs.
-    #[test]
-    fn interpreter_determinism(
-        args in proptest::collection::vec("[a-z]{1,6}", 0..3),
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..3),
-    ) {
+/// The application interpreter is deterministic for arbitrary
+/// inputs, and a crash behaviour always suppresses outputs.
+#[test]
+fn interpreter_determinism() {
+    let mut rng = Rng::new(0xe5);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz".chars().collect();
+    for case in 0..40 {
+        let args: Vec<String> = (0..rng.below(3))
+            .map(|_| {
+                let len = 1 + rng.below(6);
+                (0..len)
+                    .map(|_| alphabet[rng.below(alphabet.len())])
+                    .collect()
+            })
+            .collect();
+        let payloads: Vec<Vec<u8>> = (0..rng.below(3))
+            .map(|_| (0..rng.below(16)).map(|_| rng.next() as u8).collect())
+            .collect();
         let mut fs = FileSystem::new();
         fs.insert(File::executable("/bin/app", "app", 1));
         let env = BTreeMap::new();
-        let app = ApplicationSpec::new("app", "app", "/bin/app").with_logic(
-            mirage_env::AppLogic {
-                serves_net: true,
-                writes_data: false,
-                log_path: Some("/log".into()),
-                output_path: None,
-                version_sensitive: false,
-            },
-        );
+        let app = ApplicationSpec::new("app", "app", "/bin/app").with_logic(mirage_env::AppLogic {
+            serves_net: true,
+            writes_data: false,
+            log_path: Some("/log".into()),
+            output_path: None,
+            version_sensitive: false,
+        });
         let mut input = RunInput::new("w");
         for a in &args {
             input = input.arg(a.clone());
@@ -122,41 +172,50 @@ proptest! {
         let healthy = RunBehavior::healthy();
         let t1 = execute("m", &fs, &env, &app, &input, RunId(0), &healthy);
         let t2 = execute("m", &fs, &env, &app, &input, RunId(0), &healthy);
-        prop_assert_eq!(&t1, &t2);
-        prop_assert!(t1.succeeded());
+        assert_eq!(&t1, &t2, "case {case}");
+        assert!(t1.succeeded(), "case {case}");
 
-        let crash = RunBehavior { crash_on_start: true, ..Default::default() };
+        let crash = RunBehavior {
+            crash_on_start: true,
+            ..Default::default()
+        };
         let tc = execute("m", &fs, &env, &app, &input, RunId(0), &crash);
-        prop_assert!(!tc.succeeded());
-        prop_assert!(tc.outputs().is_empty());
+        assert!(!tc.succeeded(), "case {case}");
+        assert!(tc.outputs().is_empty(), "case {case}");
     }
+}
 
-    /// De Morgan on environment predicates: ¬(A ∧ B) ≡ (¬A ∨ ¬B).
-    #[test]
-    fn predicate_de_morgan(file_a in proptest::bool::ANY, file_b in proptest::bool::ANY) {
-        let mut builder = mirage_env::MachineBuilder::new("m");
-        if file_a {
-            builder = builder.file(File::config("/a", IniDoc::new()));
+/// De Morgan on environment predicates: ¬(A ∧ B) ≡ (¬A ∨ ¬B).
+#[test]
+fn predicate_de_morgan() {
+    for file_a in [false, true] {
+        for file_b in [false, true] {
+            let mut builder = mirage_env::MachineBuilder::new("m");
+            if file_a {
+                builder = builder.file(File::config("/a", IniDoc::new()));
+            }
+            if file_b {
+                builder = builder.file(File::config("/b", IniDoc::new()));
+            }
+            let m = builder.build();
+            let a = EnvPredicate::FileExists("/a".into());
+            let b = EnvPredicate::FileExists("/b".into());
+            let lhs = EnvPredicate::Not(Box::new(EnvPredicate::AllOf(vec![a.clone(), b.clone()])));
+            let rhs = EnvPredicate::AnyOf(vec![
+                EnvPredicate::Not(Box::new(a)),
+                EnvPredicate::Not(Box::new(b)),
+            ]);
+            assert_eq!(lhs.eval(&m), rhs.eval(&m), "a={file_a} b={file_b}");
         }
-        if file_b {
-            builder = builder.file(File::config("/b", IniDoc::new()));
-        }
-        let m = builder.build();
-        let a = EnvPredicate::FileExists("/a".into());
-        let b = EnvPredicate::FileExists("/b".into());
-        let lhs = EnvPredicate::Not(Box::new(EnvPredicate::AllOf(vec![a.clone(), b.clone()])));
-        let rhs = EnvPredicate::AnyOf(vec![
-            EnvPredicate::Not(Box::new(a)),
-            EnvPredicate::Not(Box::new(b)),
-        ]);
-        prop_assert_eq!(lhs.eval(&m), rhs.eval(&m));
     }
+}
 
-    /// Fixing problems one at a time or in one batch yields the same
-    /// final problem set, and versions advance monotonically.
-    #[test]
-    fn fix_all_equals_sequential_fixes(n in 1usize..5) {
-        use mirage_env::{ProblemEffect, ProblemId, ProblemSpec, Upgrade};
+/// Fixing problems one at a time or in one batch yields the same
+/// final problem set, and versions advance monotonically.
+#[test]
+fn fix_all_equals_sequential_fixes() {
+    use mirage_env::{ProblemEffect, ProblemId, ProblemSpec, Upgrade};
+    for n in 1usize..5 {
         let problems: Vec<ProblemSpec> = (0..n)
             .map(|i| {
                 ProblemSpec::new(
@@ -174,9 +233,9 @@ proptest! {
         for id in &ids {
             seq = seq.fix(id).unwrap();
         }
-        prop_assert!(batch.problems.is_empty());
-        prop_assert_eq!(batch.problems.len(), seq.problems.len());
-        prop_assert_eq!(batch.package.version, seq.package.version);
-        prop_assert!(batch.package.version > upgrade.package.version);
+        assert!(batch.problems.is_empty());
+        assert_eq!(batch.problems.len(), seq.problems.len());
+        assert_eq!(batch.package.version, seq.package.version);
+        assert!(batch.package.version > upgrade.package.version);
     }
 }

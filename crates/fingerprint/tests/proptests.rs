@@ -1,54 +1,99 @@
-//! Property-based tests for the fingerprinting substrate.
-
-use proptest::prelude::*;
+//! Randomised property tests for the fingerprinting substrate.
+//!
+//! Inputs are generated with a seeded xorshift generator, so every run
+//! exercises the same cases: failures reproduce exactly, offline, with
+//! no external test-framework dependency.
 
 use mirage_fingerprint::{fnv1a, Chunker, ChunkerParams, Glob, Item, RabinHasher};
 
-proptest! {
-    /// Chunks must tile the input exactly: contiguous, complete, in order.
-    #[test]
-    fn chunks_tile_input(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
-        let chunker = Chunker::new(ChunkerParams::tiny());
+/// Deterministic xorshift64 generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// A value in `0..n` (`n > 0`).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    /// A byte vector whose length is drawn from `min..max`.
+    fn bytes_in(&mut self, min: usize, max: usize) -> Vec<u8> {
+        let len = min + self.below(max - min);
+        self.bytes(len)
+    }
+}
+
+/// Chunks must tile the input exactly: contiguous, complete, in order.
+#[test]
+fn chunks_tile_input() {
+    let mut rng = Rng::new(0xf1);
+    let chunker = Chunker::new(ChunkerParams::tiny());
+    for case in 0..40 {
+        let data = rng.bytes_in(0, 20_000);
         let chunks = chunker.chunk(&data);
         let mut offset = 0;
         for c in &chunks {
-            prop_assert_eq!(c.offset, offset);
-            prop_assert!(c.len > 0);
+            assert_eq!(c.offset, offset, "case {case}");
+            assert!(c.len > 0, "case {case}");
             offset += c.len;
         }
-        prop_assert_eq!(offset, data.len());
+        assert_eq!(offset, data.len(), "case {case}");
     }
+}
 
-    /// All chunks except the last respect the minimum size; all chunks
-    /// respect the maximum.
-    #[test]
-    fn chunk_bounds(data in proptest::collection::vec(any::<u8>(), 1..20_000)) {
-        let params = ChunkerParams::tiny();
+/// All chunks except the last respect the minimum size; all chunks
+/// respect the maximum.
+#[test]
+fn chunk_bounds() {
+    let mut rng = Rng::new(0xf2);
+    let params = ChunkerParams::tiny();
+    for case in 0..40 {
+        let data = rng.bytes_in(1, 20_000);
         let chunks = Chunker::new(params).chunk(&data);
         for (i, c) in chunks.iter().enumerate() {
-            prop_assert!(c.len <= params.max_size);
+            assert!(c.len <= params.max_size, "case {case}");
             if i + 1 < chunks.len() {
-                prop_assert!(c.len >= params.min_size);
+                assert!(c.len >= params.min_size, "case {case}");
             }
         }
     }
+}
 
-    /// Chunking is a pure function of the content.
-    #[test]
-    fn chunking_deterministic(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
-        let chunker = Chunker::new(ChunkerParams::tiny());
-        prop_assert_eq!(chunker.chunk(&data), chunker.chunk(&data));
+/// Chunking is a pure function of the content.
+#[test]
+fn chunking_deterministic() {
+    let mut rng = Rng::new(0xf3);
+    let chunker = Chunker::new(ChunkerParams::tiny());
+    for _ in 0..30 {
+        let data = rng.bytes_in(0, 8_000);
+        assert_eq!(chunker.chunk(&data), chunker.chunk(&data));
     }
+}
 
-    /// Appending a suffix never changes chunk boundaries that were sealed
-    /// more than one max-chunk before the old end of input.
-    #[test]
-    fn chunking_is_prefix_stable(
-        data in proptest::collection::vec(any::<u8>(), 1000..8_000),
-        suffix in proptest::collection::vec(any::<u8>(), 1..2_000),
-    ) {
-        let params = ChunkerParams::tiny();
-        let chunker = Chunker::new(params);
+/// Appending a suffix never changes chunk boundaries that were sealed
+/// more than one max-chunk before the old end of input.
+#[test]
+fn chunking_is_prefix_stable() {
+    let mut rng = Rng::new(0xf4);
+    let params = ChunkerParams::tiny();
+    let chunker = Chunker::new(params);
+    for case in 0..30 {
+        let data = rng.bytes_in(1_000, 8_000);
+        let suffix = rng.bytes_in(1, 2_000);
         let base = chunker.chunk(&data);
         let mut extended_data = data.clone();
         extended_data.extend_from_slice(&suffix);
@@ -57,20 +102,23 @@ proptest! {
         // old EOF must appear identically in the extended chunking.
         for c in &base {
             if c.offset + c.len + params.max_size <= data.len() {
-                prop_assert!(
+                assert!(
                     extended.iter().any(|e| e == c),
-                    "sealed chunk at {} vanished", c.offset
+                    "case {case}: sealed chunk at {} vanished",
+                    c.offset
                 );
             }
         }
     }
+}
 
-    /// The rolling hash depends only on the final window of bytes.
-    #[test]
-    fn rabin_window_locality(
-        prefix in proptest::collection::vec(any::<u8>(), 0..200),
-        window in proptest::collection::vec(any::<u8>(), 16..17),
-    ) {
+/// The rolling hash depends only on the final window of bytes.
+#[test]
+fn rabin_window_locality() {
+    let mut rng = Rng::new(0xf5);
+    for _ in 0..50 {
+        let prefix = rng.bytes_in(0, 200);
+        let window = rng.bytes(16);
         let mut a = RabinHasher::new(16);
         for &b in prefix.iter().chain(window.iter()) {
             a.push(b);
@@ -79,40 +127,76 @@ proptest! {
         for &byte in &window {
             b.push(byte);
         }
-        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
+}
 
-    /// FNV is deterministic and content-sensitive in the common case.
-    #[test]
-    fn fnv_deterministic(data in proptest::collection::vec(any::<u8>(), 0..500)) {
-        prop_assert_eq!(fnv1a(&data), fnv1a(&data));
+/// FNV is deterministic and content-sensitive in the common case.
+#[test]
+fn fnv_deterministic() {
+    let mut rng = Rng::new(0xf6);
+    for _ in 0..50 {
+        let data = rng.bytes_in(0, 500);
+        assert_eq!(fnv1a(&data), fnv1a(&data));
+        let mut flipped = data.clone();
+        if !flipped.is_empty() {
+            flipped[0] ^= 0xff;
+            assert_ne!(fnv1a(&data), fnv1a(&flipped));
+        }
     }
+}
 
-    /// A literal glob (no metacharacters) matches exactly itself.
-    #[test]
-    fn literal_glob_matches_self(path in "[a-z/]{0,30}") {
+/// A literal glob (no metacharacters) matches exactly itself.
+#[test]
+fn literal_glob_matches_self() {
+    let mut rng = Rng::new(0xf7);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz/".chars().collect();
+    for _ in 0..60 {
+        let len = rng.below(31);
+        let path: String = (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect();
         let g = Glob::new(path.clone());
-        prop_assert!(g.matches(&path));
+        assert!(g.matches(&path));
         let other = format!("{path}x");
-        prop_assert!(!g.matches(&other));
+        assert!(!g.matches(&other));
     }
+}
 
-    /// `**` matches any path at all when used alone.
-    #[test]
-    fn double_star_matches_everything(path in "[ -~]{0,40}") {
-        prop_assert!(Glob::new("**").matches(&path));
+/// `**` matches any path at all when used alone.
+#[test]
+fn double_star_matches_everything() {
+    let mut rng = Rng::new(0xf8);
+    for _ in 0..60 {
+        let len = rng.below(41);
+        // Printable ASCII: ' ' (0x20) through '~' (0x7e).
+        let path: String = (0..len)
+            .map(|_| char::from(0x20 + rng.below(0x5f) as u8))
+            .collect();
+        assert!(Glob::new("**").matches(&path));
     }
+}
 
-    /// Item truncation produces a prefix of the original item.
-    #[test]
-    fn truncation_is_prefix(
-        segs in proptest::collection::vec("[a-z0-9]{1,8}", 1..6),
-        keep in 1usize..6,
-    ) {
+/// Item truncation produces a prefix of the original item.
+#[test]
+fn truncation_is_prefix() {
+    let mut rng = Rng::new(0xf9);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789".chars().collect();
+    for _ in 0..60 {
+        let depth = 1 + rng.below(5);
+        let segs: Vec<String> = (0..depth)
+            .map(|_| {
+                let len = 1 + rng.below(8);
+                (0..len)
+                    .map(|_| alphabet[rng.below(alphabet.len())])
+                    .collect()
+            })
+            .collect();
+        let keep = 1 + rng.below(5);
         let item = Item::new(segs.clone());
         let keep = keep.min(item.depth());
         let t = item.truncated(keep);
-        prop_assert_eq!(t.depth(), keep);
-        prop_assert!(item.starts_with(t.segments()));
+        assert_eq!(t.depth(), keep);
+        assert!(item.starts_with(t.segments()));
     }
 }

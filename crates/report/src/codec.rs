@@ -1,0 +1,110 @@
+//! JSON (de)serialisation plumbing shared by the report types.
+//!
+//! The repository serialises through [`mirage_telemetry::json`] — the
+//! workspace's dependency-free JSON module — so transfer and storage
+//! work without any external crates.
+
+use std::fmt;
+
+use mirage_telemetry::json::{ParseError, Value};
+
+/// Why decoding a report document failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The text was not valid JSON at all.
+    Parse(ParseError),
+    /// The JSON was valid but not shaped like the expected type.
+    Shape(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse(e) => write!(f, "{e}"),
+            JsonError::Shape(msg) => write!(f, "malformed report document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonError::Parse(e) => Some(e),
+            JsonError::Shape(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for JsonError {
+    fn from(e: ParseError) -> Self {
+        JsonError::Parse(e)
+    }
+}
+
+pub(crate) fn shape(msg: impl Into<String>) -> JsonError {
+    JsonError::Shape(msg.into())
+}
+
+pub(crate) fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+    v.get(key)
+        .ok_or_else(|| shape(format!("missing field '{key}'")))
+}
+
+pub(crate) fn str_field(v: &Value, key: &str) -> Result<String, JsonError> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| shape(format!("field '{key}' must be a string")))
+}
+
+pub(crate) fn u64_field(v: &Value, key: &str) -> Result<u64, JsonError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| shape(format!("field '{key}' must be a non-negative integer")))
+}
+
+pub(crate) fn string_list(v: &Value, key: &str) -> Result<Vec<String>, JsonError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| shape(format!("field '{key}' must be an array")))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| shape(format!("field '{key}' must contain only strings")))
+        })
+        .collect()
+}
+
+pub(crate) fn string_array(items: &[String]) -> Value {
+    Value::arr(items.iter().map(Value::str))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let parse = JsonError::from(ParseError {
+            offset: 3,
+            message: "boom".into(),
+        });
+        assert!(parse.to_string().contains("byte 3"));
+        assert!(std::error::Error::source(&parse).is_some());
+        let shape_err = shape("bad");
+        assert!(shape_err.to_string().contains("bad"));
+        assert!(std::error::Error::source(&shape_err).is_none());
+    }
+
+    #[test]
+    fn field_helpers_report_shape_errors() {
+        let v = Value::obj([("a", Value::from(1u64)), ("s", Value::str("x"))]);
+        assert_eq!(u64_field(&v, "a").unwrap(), 1);
+        assert_eq!(str_field(&v, "s").unwrap(), "x");
+        assert!(field(&v, "missing").is_err());
+        assert!(str_field(&v, "a").is_err());
+        assert!(u64_field(&v, "s").is_err());
+        assert!(string_list(&v, "a").is_err());
+    }
+}

@@ -1,6 +1,8 @@
 //! Report images: what the vendor needs to reproduce a failure.
 
-use serde::{Deserialize, Serialize};
+use mirage_telemetry::json::Value;
+
+use crate::codec::{str_field, string_array, string_list, JsonError};
 
 /// A reproduction image attached to a failure report.
 ///
@@ -8,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// state, including recorded inputs and outputs used during replay". In
 /// the simulated environment that corresponds to a digest of the sandbox
 /// filesystem, the environment diff context, and the replayed I/O.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReportImage {
     /// Digest of the sandbox filesystem after the upgrade (stands in for
     /// the full VM state).
@@ -45,6 +47,26 @@ impl ReportImage {
             + self.replayed_inputs.iter().map(String::len).sum::<usize>()
             + self.observed_outputs.iter().map(String::len).sum::<usize>()
     }
+
+    /// Serialises the image as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("sandbox_digest", Value::str(self.sandbox_digest.clone())),
+            ("env_context", string_array(&self.env_context)),
+            ("replayed_inputs", string_array(&self.replayed_inputs)),
+            ("observed_outputs", string_array(&self.observed_outputs)),
+        ])
+    }
+
+    /// Restores an image from its JSON object form.
+    pub fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ReportImage {
+            sandbox_digest: str_field(v, "sandbox_digest")?,
+            env_context: string_list(v, "env_context")?,
+            replayed_inputs: string_list(v, "replayed_inputs")?,
+            observed_outputs: string_list(v, "observed_outputs")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -63,9 +85,22 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let img = ReportImage::new("d", vec!["e".into()], vec![], vec!["o".into()]);
-        let json = serde_json::to_string(&img).unwrap();
-        assert_eq!(img, serde_json::from_str::<ReportImage>(&json).unwrap());
+        let v = Value::parse(&img.to_json().to_compact()).unwrap();
+        assert_eq!(img, ReportImage::from_json(&v).unwrap());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let missing = Value::obj([("sandbox_digest", Value::str("d"))]);
+        assert!(ReportImage::from_json(&missing).is_err());
+        let wrong_type = Value::obj([
+            ("sandbox_digest", Value::str("d")),
+            ("env_context", Value::str("not-an-array")),
+            ("replayed_inputs", Value::arr([])),
+            ("observed_outputs", Value::arr([])),
+        ]);
+        assert!(ReportImage::from_json(&wrong_type).is_err());
     }
 }

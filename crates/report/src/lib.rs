@@ -16,18 +16,21 @@
 //! vendor querying [`Urr::failure_groups`] sees each distinct problem
 //! once, with the affected machine/cluster population attached.
 //!
-//! The repository is thread-safe (`parking_lot::RwLock`) because reports
-//! arrive concurrently from many user machines, and serialisable
-//! (`serde_json`) because in deployment it would be transferred or
-//! co-located with the vendor.
+//! The repository is thread-safe (`std::sync::RwLock`) because reports
+//! arrive concurrently from many user machines, and serialisable via
+//! the workspace's dependency-free JSON module
+//! ([`mirage_telemetry::json`]) because in deployment it would be
+//! transferred or co-located with the vendor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod image;
 pub mod report;
 pub mod urr;
 
+pub use codec::JsonError;
 pub use image::ReportImage;
 pub use report::{Report, ReportOutcome};
 pub use urr::{FailureGroup, ReleaseSummary, Urr, UrrStats};

@@ -1,11 +1,12 @@
 //! Report records.
 
-use serde::{Deserialize, Serialize};
+use mirage_telemetry::json::Value;
 
+use crate::codec::{field, shape, str_field, u64_field, JsonError};
 use crate::image::ReportImage;
 
 /// The succinct outcome of one upgrade test.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReportOutcome {
     /// The upgrade passed testing and was integrated.
     Success,
@@ -32,10 +33,34 @@ impl ReportOutcome {
             ReportOutcome::Failure { signature, .. } => Some(signature),
         }
     }
+
+    /// Serialises the outcome as a tagged JSON object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            ReportOutcome::Success => Value::obj([("kind", Value::str("success"))]),
+            ReportOutcome::Failure { signature, detail } => Value::obj([
+                ("kind", Value::str("failure")),
+                ("signature", Value::str(signature.clone())),
+                ("detail", Value::str(detail.clone())),
+            ]),
+        }
+    }
+
+    /// Restores an outcome from its tagged JSON form.
+    pub fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match str_field(v, "kind")?.as_str() {
+            "success" => Ok(ReportOutcome::Success),
+            "failure" => Ok(ReportOutcome::Failure {
+                signature: str_field(v, "signature")?,
+                detail: str_field(v, "detail")?,
+            }),
+            other => Err(shape(format!("unknown outcome kind '{other}'"))),
+        }
+    }
 }
 
 /// One report deposited in the URR.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     /// Reporting machine.
     pub machine: String,
@@ -95,6 +120,44 @@ impl Report {
             image: Some(image),
         }
     }
+
+    /// Serialises the report as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("machine", Value::str(self.machine.clone())),
+            ("cluster", Value::from(self.cluster)),
+            ("package", Value::str(self.package.clone())),
+            ("version", Value::str(self.version.clone())),
+            ("outcome", self.outcome.to_json()),
+            ("seq", Value::from(self.seq)),
+            (
+                "image",
+                match &self.image {
+                    Some(img) => img.to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Restores a report from its JSON object form.
+    pub fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let image_value = field(v, "image")?;
+        let image = if image_value.is_null() {
+            None
+        } else {
+            Some(ReportImage::from_json(image_value)?)
+        };
+        Ok(Report {
+            machine: str_field(v, "machine")?,
+            cluster: u64_field(v, "cluster")? as usize,
+            package: str_field(v, "package")?,
+            version: str_field(v, "version")?,
+            outcome: ReportOutcome::from_json(field(v, "outcome")?)?,
+            seq: u64_field(v, "seq")?,
+            image,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -123,18 +186,28 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let r = Report::failure(
-            "m",
-            1,
-            "firefox",
-            "2.0.0",
-            "firefox/prefs",
-            "output mismatch",
-            ReportImage::default(),
-        );
-        let json = serde_json::to_string(&r).unwrap();
-        let back: Report = serde_json::from_str(&json).unwrap();
-        assert_eq!(r, back);
+    fn json_roundtrip() {
+        for r in [
+            Report::success("m0", 0, "mysql", "5.0.27"),
+            Report::failure(
+                "m",
+                1,
+                "firefox",
+                "2.0.0",
+                "firefox/prefs",
+                "output mismatch",
+                ReportImage::default(),
+            ),
+        ] {
+            let json = r.to_json().to_compact();
+            let back = Report::from_json(&Value::parse(&json).unwrap()).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn unknown_outcome_kind_is_rejected() {
+        let v = Value::obj([("kind", Value::str("maybe"))]);
+        assert!(ReportOutcome::from_json(&v).is_err());
     }
 }

@@ -1,14 +1,15 @@
 //! The Upgrade Report Repository.
 
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use mirage_telemetry::json::Value;
 
+use crate::codec::JsonError;
 use crate::report::{Report, ReportOutcome};
 
 /// A group of duplicate failure reports sharing one signature.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureGroup {
     /// The shared failure signature.
     pub signature: String,
@@ -23,7 +24,7 @@ pub struct FailureGroup {
 }
 
 /// Aggregate repository statistics.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UrrStats {
     /// Total reports deposited.
     pub total: usize,
@@ -72,7 +73,7 @@ impl Urr {
     ///
     /// Returns the assigned sequence number.
     pub fn deposit(&self, mut report: Report) -> u64 {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("urr poisoned");
         let seq = inner.next_seq;
         inner.next_seq += 1;
         report.seq = seq;
@@ -82,13 +83,14 @@ impl Urr {
 
     /// Returns a snapshot of all reports (in deposit order).
     pub fn all(&self) -> Vec<Report> {
-        self.inner.read().reports.clone()
+        self.inner.read().expect("urr poisoned").reports.clone()
     }
 
     /// Returns the reports for one package version.
     pub fn for_version(&self, package: &str, version: &str) -> Vec<Report> {
         self.inner
             .read()
+            .expect("urr poisoned")
             .reports
             .iter()
             .filter(|r| r.package == package && r.version == version)
@@ -100,6 +102,7 @@ impl Urr {
     pub fn for_cluster(&self, cluster: usize) -> Vec<Report> {
         self.inner
             .read()
+            .expect("urr poisoned")
             .reports
             .iter()
             .filter(|r| r.cluster == cluster)
@@ -110,7 +113,7 @@ impl Urr {
     /// Groups failure reports by signature — the vendor's deduplicated
     /// problem list, in discovery order.
     pub fn failure_groups(&self) -> Vec<FailureGroup> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("urr poisoned");
         let mut groups: BTreeMap<&str, FailureGroup> = BTreeMap::new();
         for r in &inner.reports {
             if let ReportOutcome::Failure { signature, .. } = &r.outcome {
@@ -140,7 +143,7 @@ impl Urr {
 
     /// Computes aggregate statistics.
     pub fn stats(&self) -> UrrStats {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("urr poisoned");
         let mut stats = UrrStats {
             total: inner.reports.len(),
             ..Default::default()
@@ -162,15 +165,23 @@ impl Urr {
         stats
     }
 
-    /// Serialises the full repository to JSON.
+    /// Serialises the full repository to pretty-printed JSON (an array
+    /// of report objects, in deposit order).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.inner.read().reports)
-            .expect("reports are always serialisable")
+        let inner = self.inner.read().expect("urr poisoned");
+        Value::Arr(inner.reports.iter().map(Report::to_json).collect()).to_pretty()
     }
 
-    /// Restores a repository from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let reports: Vec<Report> = serde_json::from_str(json)?;
+    /// Restores a repository from JSON produced by [`Urr::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let parsed = Value::parse(json)?;
+        let items = parsed
+            .as_array()
+            .ok_or_else(|| JsonError::Shape("expected an array of reports".into()))?;
+        let reports = items
+            .iter()
+            .map(Report::from_json)
+            .collect::<Result<Vec<Report>, JsonError>>()?;
         let next_seq = reports.iter().map(|r| r.seq + 1).max().unwrap_or(0);
         Ok(Urr {
             inner: RwLock::new(Inner { reports, next_seq }),
@@ -283,7 +294,7 @@ mod tests {
 }
 
 /// Per-release outcome summary.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReleaseSummary {
     /// Package name.
     pub package: String,
@@ -302,7 +313,7 @@ impl Urr {
     /// each release it has shipped: the original upgrade accumulating
     /// failures, the corrected releases accumulating successes.
     pub fn release_summaries(&self) -> Vec<ReleaseSummary> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("urr poisoned");
         let mut order: Vec<(String, String)> = Vec::new();
         let mut map: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
         for r in &inner.reports {
@@ -335,7 +346,7 @@ impl Urr {
     /// *first* seen. Values near 0 mean the vendor learned about the
     /// problem early (FrontLoading's goal); values near 1 mean late.
     pub fn discovery_profile(&self) -> Vec<(String, f64)> {
-        let total = self.inner.read().reports.len();
+        let total = self.inner.read().expect("urr poisoned").reports.len();
         if total == 0 {
             return Vec::new();
         }

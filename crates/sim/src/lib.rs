@@ -25,5 +25,5 @@ pub mod scenario;
 
 pub use engine::{Event, EventQueue, SimTime};
 pub use metrics::{latency_cdf, ClusterLatency, SimMetrics};
-pub use runner::{run, Simulation};
+pub use runner::{run, run_with_telemetry, Simulation};
 pub use scenario::{Scenario, ScenarioBuilder, Timings};

@@ -17,7 +17,11 @@ pub struct ClusterLatency {
 }
 
 /// Aggregate results of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq`/`Eq` so determinism tests can assert that two
+/// runs (e.g. instrumented vs uninstrumented) produced identical
+/// results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimMetrics {
     /// First successful-integration time per machine.
     pub machine_pass_time: BTreeMap<String, SimTime>,

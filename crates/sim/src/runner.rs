@@ -3,6 +3,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use mirage_deploy::{Command, Protocol, Release, TestOutcome, TestReport};
+use mirage_telemetry::{FlightEvent, Telemetry};
 
 use crate::engine::{Event, EventQueue, SimTime};
 use crate::metrics::SimMetrics;
@@ -20,6 +21,7 @@ pub struct Simulation<'a> {
     fixing: Option<String>,
     known_problems: BTreeSet<String>,
     metrics: SimMetrics,
+    telemetry: Telemetry,
 }
 
 impl<'a> Simulation<'a> {
@@ -34,7 +36,25 @@ impl<'a> Simulation<'a> {
             fixing: None,
             known_problems: BTreeSet::new(),
             metrics: SimMetrics::default(),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry handle.
+    ///
+    /// Telemetry is strictly observational: an instrumented run
+    /// produces bit-identical [`SimMetrics`] to an uninstrumented one
+    /// (wall-clock span timings never feed back into simulated time).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Records the current queue depth (its high-water mark survives in
+    /// the gauge).
+    fn note_queue_depth(&self) {
+        self.telemetry
+            .gauge("sim.queue_depth", self.queue.len() as i64);
     }
 
     fn latest_release(&self) -> Release {
@@ -52,8 +72,14 @@ impl<'a> Simulation<'a> {
         for cmd in commands {
             match cmd {
                 Command::Notify { machines, release } => {
+                    self.telemetry
+                        .counter("sim.machines_notified", machines.len() as u64);
                     for m in machines {
                         self.metrics.total_tests += 1;
+                        self.telemetry.event_with(|| FlightEvent::MachineNotified {
+                            machine: m.clone(),
+                            release: release.0,
+                        });
                         // A machine offline at notification time acts on
                         // it when it comes back (the paper's late
                         // arrivals).
@@ -103,18 +129,35 @@ impl<'a> Simulation<'a> {
             // production. The machine integrates the faulty release.
             passed = true;
             self.metrics.escaped_problems += 1;
+            self.telemetry.counter("sim.escaped_problems", 1);
         }
         let outcome = if passed {
             self.metrics
                 .machine_pass_time
                 .entry(machine.clone())
                 .or_insert(self.now);
+            self.telemetry.counter("sim.tests_passed", 1);
+            self.telemetry.event_with(|| FlightEvent::TestPassed {
+                machine: machine.clone(),
+                release,
+            });
             TestOutcome::Pass
         } else {
             self.metrics.failed_tests += 1;
+            self.telemetry.counter("sim.tests_failed", 1);
             let problem = self.scenario.machine_problem[&machine].clone();
+            self.telemetry.event_with(|| FlightEvent::TestFailed {
+                machine: machine.clone(),
+                release,
+                problem: problem.clone(),
+            });
             if self.known_problems.insert(problem.clone()) {
                 self.metrics.problems_discovered.push(problem.clone());
+                self.telemetry.counter("sim.problems_discovered", 1);
+                self.telemetry
+                    .event_with(|| FlightEvent::ProblemDiscovered {
+                        problem: problem.clone(),
+                    });
                 self.fix_queue.push_back(problem.clone());
                 self.start_next_fix();
             }
@@ -147,8 +190,11 @@ impl<'a> Simulation<'a> {
         fixed.insert(problem);
         self.fixed_by_release.push(fixed);
         self.metrics.releases_shipped += 1;
+        self.telemetry.counter("sim.releases_shipped", 1);
         self.start_next_fix();
         let release = self.latest_release();
+        self.telemetry
+            .event(FlightEvent::ReleaseShipped { release: release.0 });
         let fixed = self.fixed_by_release[release.0 as usize].clone();
         let commands = protocol.on_release(release, &fixed);
         self.exec(commands);
@@ -156,16 +202,20 @@ impl<'a> Simulation<'a> {
 
     /// Runs the simulation to completion, consuming it.
     pub fn run(mut self, protocol: &mut dyn Protocol) -> SimMetrics {
+        let _span = self.telemetry.span("sim.run");
         let commands = protocol.start();
         self.exec(commands);
+        self.note_queue_depth();
         while let Some((time, event)) = self.queue.pop() {
             self.now = time;
+            self.telemetry.counter("sim.events_processed", 1);
             match event {
                 Event::TestDone { machine, release } => {
                     self.handle_test_done(protocol, machine, release)
                 }
                 Event::FixDone { problem } => self.handle_fix_done(protocol, problem),
             }
+            self.note_queue_depth();
         }
         self.metrics
     }
@@ -174,6 +224,20 @@ impl<'a> Simulation<'a> {
 /// Convenience: runs `protocol` against `scenario` and returns metrics.
 pub fn run(scenario: &Scenario, protocol: &mut dyn Protocol) -> SimMetrics {
     Simulation::new(scenario).run(protocol)
+}
+
+/// Runs `protocol` against `scenario` with telemetry attached.
+///
+/// Equivalent to [`run`] in every observable simulation output; the
+/// telemetry handle only records what happened.
+pub fn run_with_telemetry(
+    scenario: &Scenario,
+    protocol: &mut dyn Protocol,
+    telemetry: Telemetry,
+) -> SimMetrics {
+    Simulation::new(scenario)
+        .with_telemetry(telemetry)
+        .run(protocol)
 }
 
 #[cfg(test)]
@@ -241,6 +305,62 @@ mod tests {
         assert_eq!(m.machine_pass_time["c02-m00001"], 560);
         assert_eq!(m.machine_pass_time["c00-m00001"], 590);
         assert_eq!(m.completion_time, Some(590));
+    }
+
+    /// Telemetry must be deterministic-neutral: an instrumented run
+    /// produces bit-identical metrics to an uninstrumented one, for
+    /// every protocol, and the recorder's own counters agree with the
+    /// metrics it observed.
+    #[test]
+    fn instrumented_run_is_bit_identical() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::Registry;
+
+        type ProtocolFactory = Box<dyn Fn() -> Box<dyn Protocol>>;
+
+        let s = small_scenario();
+        let protocols: Vec<(&str, ProtocolFactory)> = vec![
+            (
+                "NoStaging",
+                Box::new(|| Box::new(NoStaging::new(small_scenario().plan))),
+            ),
+            (
+                "Balanced",
+                Box::new(|| Box::new(Balanced::new(small_scenario().plan, 1.0))),
+            ),
+            (
+                "FrontLoading",
+                Box::new(|| Box::new(FrontLoading::new(small_scenario().plan, 1.0))),
+            ),
+        ];
+        for (name, make) in protocols {
+            let plain = run(&s, make().as_mut());
+            let registry = Arc::new(Registry::new(4096));
+            let instrumented = run_with_telemetry(
+                &s,
+                make().as_mut(),
+                Telemetry::from_registry(Arc::clone(&registry)),
+            );
+            assert_eq!(plain, instrumented, "{name} diverged under instrumentation");
+
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counters["sim.tests_failed"] as usize, plain.failed_tests,
+                "{name}"
+            );
+            assert_eq!(
+                snap.counters["sim.releases_shipped"] as u32, plain.releases_shipped,
+                "{name}"
+            );
+            assert_eq!(
+                snap.counters["sim.tests_passed"] as usize,
+                plain.machine_pass_time.len(),
+                "{name}"
+            );
+            assert!(snap.gauges["sim.queue_depth"].high_water >= 1, "{name}");
+            assert_eq!(snap.spans["sim.run"].count, 1, "{name}");
+        }
     }
 
     #[test]

@@ -1,11 +1,34 @@
-//! Property-based tests of the simulator + protocols as a system:
-//! random small scenarios must always converge, and the paper's
-//! overhead relations must hold.
+//! Randomised tests of the simulator + protocols as a system: random
+//! small scenarios must always converge, and the paper's overhead
+//! relations must hold.
+//!
+//! Scenarios are generated with a seeded xorshift generator, so every
+//! run exercises the same cases deterministically and offline.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
 use mirage_sim::{run, Scenario, ScenarioBuilder};
+
+/// Deterministic xorshift64 generator for scenario specs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 struct RandomScenario {
@@ -16,26 +39,26 @@ struct RandomScenario {
     threshold: f64,
 }
 
-fn arb_scenario() -> impl Strategy<Value = RandomScenario> {
-    (2usize..6, 2usize..6)
-        .prop_flat_map(|(clusters, size)| {
-            (
-                Just(clusters),
-                Just(size),
-                proptest::collection::btree_set(0..clusters, 0..clusters),
-                proptest::option::of(0..clusters),
-                prop_oneof![Just(0.5f64), Just(0.75), Just(1.0)],
-            )
-        })
-        .prop_map(
-            |(clusters, size, problem_clusters, misplaced_cluster, threshold)| RandomScenario {
-                clusters,
-                size,
-                problem_clusters: problem_clusters.into_iter().collect(),
-                misplaced_cluster,
-                threshold,
-            },
-        )
+fn random_scenario(rng: &mut Rng) -> RandomScenario {
+    let clusters = 2 + rng.below(4);
+    let size = 2 + rng.below(4);
+    let mut problem_clusters = BTreeSet::new();
+    for _ in 0..rng.below(clusters) {
+        problem_clusters.insert(rng.below(clusters));
+    }
+    let misplaced_cluster = if rng.below(2) == 0 {
+        Some(rng.below(clusters))
+    } else {
+        None
+    };
+    let threshold = [0.5f64, 0.75, 1.0][rng.below(3)];
+    RandomScenario {
+        clusters,
+        size,
+        problem_clusters: problem_clusters.into_iter().collect(),
+        misplaced_cluster,
+        threshold,
+    }
 }
 
 fn build(spec: &RandomScenario) -> Scenario {
@@ -77,80 +100,102 @@ fn protocols(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Protocol>)> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every protocol converges on every scenario: all machines pass,
-    /// completion is reported, and pass times are sane.
-    #[test]
-    fn all_protocols_converge(spec in arb_scenario()) {
+/// Every protocol converges on every scenario: all machines pass,
+/// completion is reported, and pass times are sane.
+#[test]
+fn all_protocols_converge() {
+    let mut rng = Rng::new(0x51);
+    for case in 0..64 {
+        let spec = random_scenario(&mut rng);
         let scenario = build(&spec);
         let total = scenario.machine_count();
         for (name, mut protocol) in protocols(&scenario) {
             let metrics = run(&scenario, protocol.as_mut());
-            prop_assert_eq!(
+            assert_eq!(
                 metrics.machine_pass_time.len(),
                 total,
-                "{} left machines behind", name
+                "case {case}: {name} left machines behind ({spec:?})"
             );
-            prop_assert!(metrics.completion_time.is_some(), "{} never completed", name);
-            prop_assert!(protocol.done(), "{} not done", name);
-            let max_pass = metrics.machine_pass_time.values().max().copied().unwrap_or(0);
-            prop_assert!(
+            assert!(
+                metrics.completion_time.is_some(),
+                "case {case}: {name} never completed ({spec:?})"
+            );
+            assert!(protocol.done(), "case {case}: {name} not done ({spec:?})");
+            let max_pass = metrics
+                .machine_pass_time
+                .values()
+                .max()
+                .copied()
+                .unwrap_or(0);
+            assert!(
                 metrics.completion_time.unwrap() >= max_pass,
-                "{} completed before its last machine", name
+                "case {case}: {name} completed before its last machine ({spec:?})"
             );
         }
     }
+}
 
-    /// NoStaging's overhead equals the problem population exactly, and
-    /// staged protocols never exceed it.
-    #[test]
-    fn staging_never_increases_overhead(spec in arb_scenario()) {
+/// NoStaging's overhead equals the problem population exactly, and
+/// staged protocols never exceed it.
+#[test]
+fn staging_never_increases_overhead() {
+    let mut rng = Rng::new(0x52);
+    for case in 0..64 {
+        let spec = random_scenario(&mut rng);
         let scenario = build(&spec);
         let m = scenario.machine_problem.len();
         let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
-        prop_assert_eq!(nostaging.failed_tests, m);
+        assert_eq!(nostaging.failed_tests, m, "case {case} ({spec:?})");
         for (name, mut protocol) in protocols(&scenario) {
             let metrics = run(&scenario, protocol.as_mut());
-            prop_assert!(
+            assert!(
                 metrics.failed_tests <= m,
-                "{} overhead {} exceeds NoStaging {}", name, metrics.failed_tests, m
+                "case {case}: {name} overhead {} exceeds NoStaging {m} ({spec:?})",
+                metrics.failed_tests
             );
         }
     }
+}
 
-    /// The number of releases equals the number of distinct problems
-    /// present in the fleet (each needs exactly one fix).
-    #[test]
-    fn one_release_per_problem(spec in arb_scenario()) {
+/// The number of releases equals the number of distinct problems
+/// present in the fleet (each needs exactly one fix).
+#[test]
+fn one_release_per_problem() {
+    let mut rng = Rng::new(0x53);
+    for case in 0..64 {
+        let spec = random_scenario(&mut rng);
         let scenario = build(&spec);
         let distinct = scenario.problem_populations().len() as u32;
         for (name, mut protocol) in protocols(&scenario) {
             let metrics = run(&scenario, protocol.as_mut());
-            prop_assert_eq!(
+            assert_eq!(
                 metrics.releases_shipped, distinct,
-                "{} shipped a surprising number of releases", name
+                "case {case}: {name} shipped a surprising number of releases ({spec:?})"
             );
         }
     }
+}
 
-    /// Healthy fleets complete with zero failures and zero releases at
-    /// the deterministic per-protocol time.
-    #[test]
-    fn healthy_fleet_timing(clusters in 1usize..6, size in 1usize..6) {
-        let scenario = ScenarioBuilder::new().clusters(clusters, size, 1).build();
-        let cycle = scenario.timings.machine_cycle();
-        let balanced = run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0));
-        prop_assert_eq!(balanced.failed_tests, 0);
-        // Sequential reps+nonreps per cluster (single-member clusters
-        // skip the empty non-rep stage).
-        let per_cluster = if size == 1 { cycle } else { 2 * cycle };
-        prop_assert_eq!(
-            balanced.completion_time,
-            Some(per_cluster * clusters as u64)
-        );
-        let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
-        prop_assert_eq!(nostaging.completion_time, Some(cycle));
+/// Healthy fleets complete with zero failures and zero releases at
+/// the deterministic per-protocol time.
+#[test]
+fn healthy_fleet_timing() {
+    for clusters in 1usize..6 {
+        for size in 1usize..6 {
+            let scenario = ScenarioBuilder::new().clusters(clusters, size, 1).build();
+            let cycle = scenario.timings.machine_cycle();
+            let balanced = run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0));
+            assert_eq!(balanced.failed_tests, 0);
+            // Sequential reps+nonreps per cluster (single-member clusters
+            // skip the empty non-rep stage).
+            let per_cluster = if size == 1 { cycle } else { 2 * cycle };
+            assert_eq!(
+                balanced.completion_time,
+                Some(per_cluster * clusters as u64),
+                "clusters {clusters}, size {size}"
+            );
+            let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
+            assert_eq!(nostaging.completion_time, Some(cycle));
+        }
     }
 }

@@ -1,0 +1,294 @@
+//! The campaign flight-recorder: a bounded ring of structured events.
+//!
+//! Campaigns and simulations emit one [`FlightEvent`] per interesting
+//! state transition. The recorder keeps the most recent `capacity`
+//! events (older ones are dropped but still *counted*), so memory stays
+//! bounded on 100k-machine runs while the event taxonomy totals remain
+//! exact.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::json::Value;
+
+/// One structured event in a campaign or simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A machine was told to download and test a release.
+    MachineNotified {
+        /// Machine id.
+        machine: String,
+        /// Release number it was notified about.
+        release: u32,
+    },
+    /// A machine's sandbox validation passed and it integrated.
+    TestPassed {
+        /// Machine id.
+        machine: String,
+        /// Release that passed.
+        release: u32,
+    },
+    /// A machine's sandbox validation failed.
+    TestFailed {
+        /// Machine id.
+        machine: String,
+        /// Release that failed.
+        release: u32,
+        /// The failure signature / problem id.
+        problem: String,
+    },
+    /// A staged protocol advanced its deployment wave to a new cluster.
+    WaveAdvanced {
+        /// Position in the deployment order (0-based).
+        wave: usize,
+        /// Cluster id the wave advanced to.
+        cluster: usize,
+    },
+    /// The vendor shipped a (corrected) release.
+    ReleaseShipped {
+        /// The release number.
+        release: u32,
+    },
+    /// A previously unknown problem was discovered.
+    ProblemDiscovered {
+        /// The problem id / failure signature.
+        problem: String,
+    },
+}
+
+impl FlightEvent {
+    /// The event's taxonomy name (stable, snake_case).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlightEvent::MachineNotified { .. } => "machine_notified",
+            FlightEvent::TestPassed { .. } => "test_passed",
+            FlightEvent::TestFailed { .. } => "test_failed",
+            FlightEvent::WaveAdvanced { .. } => "wave_advanced",
+            FlightEvent::ReleaseShipped { .. } => "release_shipped",
+            FlightEvent::ProblemDiscovered { .. } => "problem_discovered",
+        }
+    }
+
+    /// Serialises the event payload (without the sequence number).
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![("event".to_string(), Value::str(self.kind()))];
+        match self {
+            FlightEvent::MachineNotified { machine, release }
+            | FlightEvent::TestPassed { machine, release } => {
+                pairs.push(("machine".into(), Value::str(machine.clone())));
+                pairs.push(("release".into(), Value::from(*release)));
+            }
+            FlightEvent::TestFailed {
+                machine,
+                release,
+                problem,
+            } => {
+                pairs.push(("machine".into(), Value::str(machine.clone())));
+                pairs.push(("release".into(), Value::from(*release)));
+                pairs.push(("problem".into(), Value::str(problem.clone())));
+            }
+            FlightEvent::WaveAdvanced { wave, cluster } => {
+                pairs.push(("wave".into(), Value::from(*wave)));
+                pairs.push(("cluster".into(), Value::from(*cluster)));
+            }
+            FlightEvent::ReleaseShipped { release } => {
+                pairs.push(("release".into(), Value::from(*release)));
+            }
+            FlightEvent::ProblemDiscovered { problem } => {
+                pairs.push(("problem".into(), Value::str(problem.clone())));
+            }
+        }
+        Value::Obj(pairs)
+    }
+}
+
+/// An event stamped with its global sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Zero-based position in the run's full event stream.
+    pub seq: u64,
+    /// The event.
+    pub event: FlightEvent,
+}
+
+impl TimedEvent {
+    /// Serialises the event with its sequence number.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![("seq".to_string(), Value::from(self.seq))];
+        if let Value::Obj(rest) = self.event.to_json() {
+            pairs.extend(rest);
+        }
+        Value::Obj(pairs)
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    buf: VecDeque<TimedEvent>,
+    counts: BTreeMap<&'static str, u64>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`FlightEvent`]s with exact per-kind counts.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(FlightInner::default()),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    pub fn record(&self, event: FlightEvent) {
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        *inner.counts.entry(event.kind()).or_insert(0) += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(TimedEvent { seq, event });
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Exact number of events recorded per kind (including evicted).
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .counts
+            .clone()
+    }
+
+    /// Total events ever recorded.
+    pub fn total(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .next_seq
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("flight recorder poisoned").dropped
+    }
+
+    /// Exports the retained events as JSON-lines (one object per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notified(i: u32) -> FlightEvent {
+        FlightEvent::MachineNotified {
+            machine: format!("m{i}"),
+            release: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let r = FlightRecorder::new(8);
+        r.record(notified(1));
+        r.record(FlightEvent::ReleaseShipped { release: 1 });
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].event.kind(), "release_shipped");
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_but_counts_stay_exact() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(notified(i));
+        }
+        r.record(FlightEvent::ProblemDiscovered {
+            problem: "p".into(),
+        });
+        let events = r.events();
+        // Only the newest 4 retained, sequence numbers preserved.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.first().unwrap().seq, 7);
+        assert_eq!(events.last().unwrap().seq, 10);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.total(), 11);
+        // Counts include evicted events.
+        let counts = r.counts();
+        assert_eq!(counts["machine_notified"], 10);
+        assert_eq!(counts["problem_discovered"], 1);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let r = FlightRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.record(notified(0));
+        r.record(notified(1));
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn json_lines_export() {
+        let r = FlightRecorder::new(8);
+        r.record(FlightEvent::TestFailed {
+            machine: "m1".into(),
+            release: 2,
+            problem: "php/crash".into(),
+        });
+        r.record(FlightEvent::WaveAdvanced {
+            wave: 1,
+            cluster: 3,
+        });
+        let exported = r.to_json_lines();
+        let lines: Vec<&str> = exported.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = crate::json::Value::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("test_failed"));
+        assert_eq!(first.get("problem").unwrap().as_str(), Some("php/crash"));
+        let second = crate::json::Value::parse(lines[1]).unwrap();
+        assert_eq!(second.get("wave").unwrap().as_u64(), Some(1));
+        assert_eq!(second.get("cluster").unwrap().as_u64(), Some(3));
+    }
+}

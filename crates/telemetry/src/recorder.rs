@@ -1,0 +1,185 @@
+//! The `Recorder` trait and the cheap `Telemetry` handle.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::flight::FlightEvent;
+use crate::span::Span;
+
+/// The sink instrumentation writes to.
+///
+/// All methods default to no-ops so implementations only override what
+/// they store. Implementations must be thread-safe: campaigns fan
+/// fingerprinting out across OS threads.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder stores anything. Instrumented code uses
+    /// this to skip building event payloads entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named counter.
+    fn add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the named gauge (tracking its high-water mark).
+    fn gauge_set(&self, name: &str, value: i64) {
+        let _ = (name, value);
+    }
+
+    /// Records one sample into the named histogram.
+    fn observe(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records a completed span at `path` lasting `nanos`.
+    fn record_span(&self, path: &str, nanos: u64) {
+        let _ = (path, nanos);
+    }
+
+    /// Records a flight-recorder event.
+    fn record_event(&self, event: FlightEvent) {
+        let _ = event;
+    }
+}
+
+/// A recorder that stores nothing. [`Telemetry::noop`] avoids even the
+/// virtual call; this type exists for APIs that want a `&dyn Recorder`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A cheap, cloneable handle to a recorder.
+///
+/// The default handle is a no-op: every method is a single `Option`
+/// branch, so structs can hold a `Telemetry` unconditionally and
+/// uninstrumented runs pay nothing measurable. Handles are plumbed by
+/// value (they are one pointer wide) and shared freely across threads.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle.
+    pub fn noop() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Wraps an arbitrary recorder.
+    pub fn from_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        Telemetry {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Wraps a shared [`crate::Registry`].
+    pub fn from_registry(registry: Arc<crate::Registry>) -> Self {
+        Telemetry {
+            inner: Some(registry),
+        }
+    }
+
+    /// Whether events will actually be stored.
+    pub fn enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.add(name, delta);
+        }
+    }
+
+    /// Sets the named gauge (its high-water mark is kept).
+    pub fn gauge(&self, name: &str, value: i64) {
+        if let Some(r) = &self.inner {
+            r.gauge_set(name, value);
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, value);
+        }
+    }
+
+    /// Records a flight-recorder event.
+    ///
+    /// Prefer [`Telemetry::event_with`] on hot paths so the payload is
+    /// only built when telemetry is live.
+    pub fn event(&self, event: FlightEvent) {
+        if let Some(r) = &self.inner {
+            r.record_event(event);
+        }
+    }
+
+    /// Records an event built lazily — `make` runs only when enabled.
+    pub fn event_with(&self, make: impl FnOnce() -> FlightEvent) {
+        if self.enabled() {
+            if let Some(r) = &self.inner {
+                r.record_event(make());
+            }
+        }
+    }
+
+    /// Opens a hierarchical timing span; the returned RAII guard records
+    /// the elapsed time under the nested span path on drop.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::enter(self.clone(), name)
+    }
+
+    pub(crate) fn record_span(&self, path: &str, nanos: u64) {
+        if let Some(r) = &self.inner {
+            r.record_span(path, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let t = Telemetry::noop();
+        assert!(!t.enabled());
+        t.counter("c", 1);
+        t.gauge("g", 5);
+        t.observe("h", 10);
+        t.event(FlightEvent::ReleaseShipped { release: 0 });
+        let _span = t.span("nothing");
+        // event_with must not even build the payload.
+        t.event_with(|| unreachable!("noop handle built an event"));
+    }
+
+    #[test]
+    fn default_is_noop() {
+        assert!(!Telemetry::default().enabled());
+        let dbg = format!("{:?}", Telemetry::default());
+        assert!(dbg.contains("enabled: false"));
+    }
+
+    #[test]
+    fn noop_recorder_type_is_inert() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        r.add("x", 1);
+        r.gauge_set("x", 1);
+        r.observe("x", 1);
+        r.record_span("x", 1);
+        r.record_event(FlightEvent::ReleaseShipped { release: 0 });
+    }
+}

@@ -1,0 +1,330 @@
+//! The metrics registry and its exportable snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::flight::{FlightEvent, FlightRecorder, TimedEvent};
+use crate::json::Value;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
+use crate::recorder::Recorder;
+
+/// A point-in-time gauge reading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Last value set.
+    pub value: i64,
+    /// Highest value ever set.
+    pub high_water: i64,
+}
+
+/// The live metrics store behind an instrumented run.
+///
+/// Lookup uses a read-lock fast path; the write lock is taken only the
+/// first time a metric name appears. Recording itself is lock-free
+/// atomics (counters, gauges, histograms) or a short critical section
+/// (flight events).
+#[derive(Debug)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    flight: FlightRecorder,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("registry poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut write = map.write().expect("registry poisoned");
+    Arc::clone(write.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// Creates a registry whose flight recorder keeps `event_capacity`
+    /// events.
+    pub fn new(event_capacity: usize) -> Self {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            spans: RwLock::new(BTreeMap::new()),
+            flight: FlightRecorder::new(event_capacity),
+        }
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Takes a consistent-enough point-in-time snapshot of everything.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    GaugeSnapshot {
+                        value: v.get(),
+                        high_water: v.high_water(),
+                    },
+                )
+            })
+            .collect();
+        let summarize = |map: &RwLock<BTreeMap<String, Arc<Histogram>>>| {
+            map.read()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect::<BTreeMap<String, HistogramSummary>>()
+        };
+        Snapshot {
+            counters,
+            gauges,
+            histograms: summarize(&self.histograms),
+            spans: summarize(&self.spans),
+            event_counts: self
+                .flight
+                .counts()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            events_total: self.flight.total(),
+            events_dropped: self.flight.dropped(),
+            events: self.flight.events(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(65_536)
+    }
+}
+
+impl Recorder for Registry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        get_or_insert(&self.counters, name).add(delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: i64) {
+        get_or_insert(&self.gauges, name).set(value);
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        get_or_insert(&self.histograms, name).observe(value);
+    }
+
+    fn record_span(&self, path: &str, nanos: u64) {
+        get_or_insert(&self.spans, path).observe(nanos);
+    }
+
+    fn record_event(&self, event: FlightEvent) {
+        self.flight.record(event);
+    }
+}
+
+/// A frozen, serialisable view of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge readings by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span timing summaries by nested path (values in nanoseconds).
+    pub spans: BTreeMap<String, HistogramSummary>,
+    /// Exact flight-event counts by kind (includes evicted events).
+    pub event_counts: BTreeMap<String, u64>,
+    /// Total flight events recorded.
+    pub events_total: u64,
+    /// Flight events evicted from the ring.
+    pub events_dropped: u64,
+    /// The retained flight events, oldest first.
+    pub events: Vec<TimedEvent>,
+}
+
+fn summary_json(s: &HistogramSummary) -> Value {
+    Value::obj([
+        ("count", Value::from(s.count)),
+        ("sum", Value::from(s.sum)),
+        ("min", Value::from(s.min)),
+        ("max", Value::from(s.max)),
+        ("mean", Value::from(s.mean())),
+        ("p50", Value::from(s.p50)),
+        ("p90", Value::from(s.p90)),
+        ("p99", Value::from(s.p99)),
+    ])
+}
+
+impl Snapshot {
+    /// Serialises the snapshot as a pretty-printed JSON object.
+    ///
+    /// Layout: `{"counters": {...}, "gauges": {...}, "histograms":
+    /// {...}, "spans": {...}, "flight": {"counts": {...}, "total": n,
+    /// "dropped": n, "events": [...]}}`. Span durations are
+    /// nanoseconds.
+    pub fn to_json(&self) -> String {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, g)| {
+                    (
+                        k.clone(),
+                        Value::obj([
+                            ("value", Value::from(g.value)),
+                            ("high_water", Value::from(g.high_water)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histo = |m: &BTreeMap<String, HistogramSummary>| {
+            Value::Obj(
+                m.iter()
+                    .map(|(k, s)| (k.clone(), summary_json(s)))
+                    .collect(),
+            )
+        };
+        let flight = Value::obj([
+            (
+                "counts",
+                Value::Obj(
+                    self.event_counts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            ("total", Value::from(self.events_total)),
+            ("dropped", Value::from(self.events_dropped)),
+            (
+                "events",
+                Value::Arr(self.events.iter().map(|e| e.to_json()).collect()),
+            ),
+        ]);
+        Value::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histo(&self.histograms)),
+            ("spans", histo(&self.spans)),
+            ("flight", flight),
+        ])
+        .to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Telemetry;
+
+    #[test]
+    fn registry_stores_all_metric_kinds() {
+        let registry = Arc::new(Registry::new(8));
+        let t = Telemetry::from_registry(Arc::clone(&registry));
+        assert!(t.enabled());
+        t.counter("tests_total", 2);
+        t.counter("tests_total", 3);
+        t.gauge("queue_depth", 7);
+        t.gauge("queue_depth", 4);
+        t.observe("batch_size", 16);
+        t.event(FlightEvent::ReleaseShipped { release: 1 });
+        {
+            let _s = t.span("phase");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["tests_total"], 5);
+        assert_eq!(snap.gauges["queue_depth"].value, 4);
+        assert_eq!(snap.gauges["queue_depth"].high_water, 7);
+        assert_eq!(snap.histograms["batch_size"].count, 1);
+        assert_eq!(snap.spans["phase"].count, 1);
+        assert_eq!(snap.event_counts["release_shipped"], 1);
+        assert_eq!(snap.events_total, 1);
+    }
+
+    #[test]
+    fn snapshot_serialises_and_parses() {
+        let registry = Registry::new(8);
+        registry.add("c", 1);
+        registry.gauge_set("g", -3);
+        registry.observe("h", 10);
+        registry.record_span("a/b", 1_000);
+        registry.record_event(FlightEvent::TestPassed {
+            machine: "m".into(),
+            release: 0,
+        });
+        let json = registry.snapshot().to_json();
+        let v = Value::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(
+            v.get("counters").unwrap().get("c").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .unwrap()
+                .get("g")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(-3.0)
+        );
+        assert!(v.get("spans").unwrap().get("a/b").is_some());
+        let events = v
+            .get("flight")
+            .unwrap()
+            .get("events")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(
+            events[0].get("event").unwrap().as_str(),
+            Some("test_passed")
+        );
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let registry = Arc::new(Registry::new(1024));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        r.add("n", 1);
+                        r.observe("v", i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["n"], 8000);
+        assert_eq!(snap.histograms["v"].count, 8000);
+    }
+}
