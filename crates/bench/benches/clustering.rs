@@ -43,6 +43,18 @@ fn main() {
         });
     }
 
+    // Larger dense fleets. These only complete in a micro-bench budget
+    // because phase 2 runs on the interned distance kernel with
+    // incremental merge aggregates and a threaded distance matrix; the
+    // naive loop was already dominated by dense-200.
+    for &n in &[500usize, 1000] {
+        let dense = population(n, 1);
+        let engine = ClusterEngine::new(2);
+        h.bench(&format!("clustering/scaling/dense-{n}"), || {
+            engine.cluster(&dense).len()
+        });
+    }
+
     let mysql_scenario = mysql::MySqlScenario::with_full_parsers();
     let mysql_inputs = mysql_scenario.fleet_inputs();
     h.bench("clustering/mysql-table2-full-parsers", || {

@@ -11,7 +11,8 @@
 //!   fig10 fig11        deployment latency CDFs (§4.3.2)
 //!   overhead           upgrade-overhead comparison (§4.3.2)
 //!   telemetry          instrumented campaign + simulation flight dump
-//!   all                everything (default)
+//!   clustering-perf    clustering hot-path benchmark → BENCH_clustering.json
+//!   all                everything (default; excludes clustering-perf)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
@@ -102,6 +103,101 @@ fn main() {
             .expect("the telemetry experiment requires --telemetry <path>");
         telemetry_dump(path);
     }
+    if arg == "clustering-perf" {
+        clustering_perf(csv_dir.as_deref());
+    }
+}
+
+/// Benchmarks the clustering hot path (dense fleets, one original
+/// cluster each, diameter 2) and writes `BENCH_clustering.json` — into
+/// the `--csv` directory when given, the working directory otherwise.
+///
+/// Alongside the fast-path numbers, the retained pre-PR naive QT loop
+/// ([`mirage_cluster::qt_cluster_indices_reference`]) is benchmarked on
+/// the dense-200 fleet, so the emitted JSON carries a live speedup
+/// figure rather than a stale hardcoded baseline. The per-benchmark
+/// budget follows `MIRAGE_BENCH_MS` (default 150 ms).
+fn clustering_perf(csv: Option<&std::path::Path>) {
+    use mirage_bench::harness::Harness;
+    use mirage_cluster::{qt_cluster_indices_reference, ClusterEngine, MachineInfo};
+    use mirage_fingerprint::{DiffSet, Item};
+
+    heading("Clustering performance (hot-path benchmark)");
+
+    /// Same worst-case shape as `benches/clustering.rs`: `groups`
+    /// original clusters, per-machine content noise.
+    fn population(n: usize, groups: usize) -> Vec<MachineInfo> {
+        (0..n)
+            .map(|i| {
+                let mut diff = DiffSet::empty(format!("m{i:05}"));
+                diff.parsed
+                    .insert(Item::new(["group", &(i % groups).to_string()]));
+                diff.content
+                    .insert(Item::new(["noise", &(i / 3).to_string()]));
+                MachineInfo::new(diff)
+            })
+            .collect()
+    }
+
+    let mut h = Harness::new("clustering-perf");
+    let engine = ClusterEngine::new(2);
+    for &n in &[200usize, 500, 1000] {
+        let dense = population(n, 1);
+        h.bench(&format!("clustering/scaling/dense-{n}"), || {
+            engine.cluster(&dense).len()
+        });
+    }
+    let spread = population(1000, 200);
+    h.bench("clustering/scaling/spread-1000", || {
+        engine.cluster(&spread).len()
+    });
+    // The pre-PR naive phase-2 loop on the same dense-200 fleet.
+    let dense200 = population(200, 1);
+    let refs: Vec<&MachineInfo> = dense200.iter().collect();
+    h.bench("clustering/scaling/dense-200-reference-qt", || {
+        qt_cluster_indices_reference(&refs, 2).len()
+    });
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"clustering-perf\",\n");
+    json.push_str(
+        "  \"note\": \"dense-N = one original cluster of N machines, diameter 2; \
+         dense-200-reference-qt = the retained pre-PR naive QT loop on the same fleet\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in h.results().iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p50_ns\": {}, \
+             \"mean_ns\": {:.0}, \"max_ns\": {}}}{}\n",
+            r.name,
+            r.samples,
+            r.min_ns,
+            r.p50_ns,
+            r.mean_ns,
+            r.max_ns,
+            if i + 1 < h.results().len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let find = |name: &str| {
+        h.results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benchmark ran")
+    };
+    let fast = find("clustering/scaling/dense-200");
+    let reference = find("clustering/scaling/dense-200-reference-qt");
+    let speedup = reference.min_ns as f64 / fast.min_ns.max(1) as f64;
+    json.push_str(&format!(
+        "  \"dense_200_speedup_vs_reference\": {speedup:.2}\n}}\n"
+    ));
+    println!("=> dense-200 fast path is {speedup:.2}x the naive reference (min-over-min)");
+
+    let path = csv
+        .map(|d| d.join("BENCH_clustering.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_clustering.json"));
+    std::fs::write(&path, json).expect("write BENCH_clustering.json");
+    println!("(wrote {})", path.display());
 }
 
 /// Runs an instrumented deployment simulation plus a full instrumented

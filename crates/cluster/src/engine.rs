@@ -65,18 +65,35 @@ impl ClusterEngine {
         self.telemetry
             .counter("cluster.machines_in", machines.len() as u64);
 
-        // Apply the vendor's importance directives up front.
-        let filtered: Vec<MachineInfo> = {
+        // Apply the vendor's importance directives up front. An identity
+        // filter is short-circuited entirely: the pipeline then borrows
+        // the caller's machines instead of copying every diff set and
+        // overlapping-app set (the common no-directives case used to
+        // clone the whole population). The `cluster.importance_filtered`
+        // counter is only emitted when the copying branch runs, which is
+        // what the engine tests assert on.
+        let filtered: Option<Vec<MachineInfo>> = {
             let _span = self.telemetry.span("importance");
-            machines
-                .iter()
-                .map(|m| MachineInfo {
-                    diff: self.importance.apply(&m.diff),
-                    overlapping_apps: m.overlapping_apps.clone(),
-                })
-                .collect()
+            if self.importance.is_identity() {
+                None
+            } else {
+                self.telemetry
+                    .counter("cluster.importance_filtered", machines.len() as u64);
+                Some(
+                    machines
+                        .iter()
+                        .map(|m| MachineInfo {
+                            diff: self.importance.apply(&m.diff),
+                            overlapping_apps: m.overlapping_apps.clone(),
+                        })
+                        .collect(),
+                )
+            }
         };
-        let refs: Vec<&MachineInfo> = filtered.iter().collect();
+        let refs: Vec<&MachineInfo> = match &filtered {
+            Some(filtered) => filtered.iter().collect(),
+            None => machines.iter().collect(),
+        };
 
         let originals = {
             let _span = self.telemetry.span("phase1");
@@ -208,6 +225,41 @@ mod tests {
     }
 
     #[test]
+    fn identity_filter_skips_the_copying_pass() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::{Registry, Telemetry};
+
+        let machines = vec![
+            machine("a", &["p"], &["c"], &["php"]),
+            machine("b", &["p"], &[], &[]),
+        ];
+
+        // No directives: the filtering copy must not run (the counter
+        // only exists inside the copying branch) and the clustering is
+        // unchanged.
+        let registry = Arc::new(Registry::new(64));
+        let identity = ClusterEngine::new(1)
+            .with_telemetry(Telemetry::from_registry(Arc::clone(&registry)))
+            .cluster(&machines);
+        let snap = registry.snapshot();
+        assert!(!snap.counters.contains_key("cluster.importance_filtered"));
+        // The importance span still brackets the (skipped) phase.
+        assert_eq!(snap.spans["cluster.pipeline/importance"].count, 1);
+        assert_eq!(identity, ClusterEngine::new(1).cluster(&machines));
+
+        // A real directive takes the copying branch and counts every
+        // machine exactly once.
+        let registry = Arc::new(Registry::new(64));
+        ClusterEngine::new(1)
+            .with_importance(ImportanceFilter::new().drop_prefix(["p"]))
+            .with_telemetry(Telemetry::from_registry(Arc::clone(&registry)))
+            .cluster(&machines);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cluster.importance_filtered"], 2);
+    }
+
+    #[test]
     fn empty_population() {
         let clustering = ClusterEngine::new(3).cluster(&[]);
         assert!(clustering.is_empty());
@@ -242,6 +294,9 @@ mod tests {
         // base1/base2/cfg form one phase-1 cluster: 3 pairwise distances.
         assert_eq!(snap.counters["cluster.distance_evals"], 3);
         assert!(snap.counters["cluster.qt_merges"] >= 1);
+        // The engine had no importance directives, so the filtering copy
+        // must have been skipped entirely.
+        assert!(!snap.counters.contains_key("cluster.importance_filtered"));
         for span in [
             "cluster.pipeline",
             "cluster.pipeline/importance",

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use mirage_fingerprint::ItemSet;
+use mirage_fingerprint::{ItemPool, ItemSet, LoweredDiff};
 
 use crate::cluster::{Cluster, ClusterId, Clustering, MachineInfo};
 
@@ -50,6 +50,15 @@ pub fn recluster_one(
             .get(m)
             .unwrap_or_else(|| panic!("machine {m} missing from inputs"))
     };
+
+    // All content distances in this function involve the updated
+    // machine, so they run on the interned kernel: lower the updated
+    // diff once, lower each candidate member's diff at most once, and
+    // compare sorted u32 ids instead of `BTreeSet<Item>` strings. The
+    // kernel distance equals `DiffSet::content_distance` exactly.
+    let mut pool = ItemPool::new();
+    let updated_lowered = pool.lower(&updated.diff.content);
+    let mut lowered: BTreeMap<String, LoweredDiff> = BTreeMap::new();
 
     // 1. Remove the machine from its old cluster.
     let mut clusters: Vec<Cluster> = Vec::new();
@@ -78,7 +87,11 @@ pub fn recluster_one(
             };
             info.diff.parsed == updated.diff.parsed
                 && info.overlapping_apps == updated.overlapping_apps
-                && info.diff.content_distance(&updated.diff) <= diameter
+                && lowered
+                    .entry(m.clone())
+                    .or_insert_with(|| pool.lower(&info.diff.content))
+                    .distance(&updated_lowered)
+                    <= diameter
         });
         if !compatible {
             continue;
@@ -89,7 +102,13 @@ pub fn recluster_one(
             cluster
                 .members
                 .iter()
-                .map(|m| info_of(m).diff.content_distance(&updated.diff))
+                .map(|m| {
+                    let info = info_of(m);
+                    lowered
+                        .entry(m.clone())
+                        .or_insert_with(|| pool.lower(&info.diff.content))
+                        .distance(&updated_lowered)
+                })
                 .sum::<usize>() as f64
                 / cluster.members.len() as f64
         };

@@ -10,12 +10,14 @@ use crate::cluster::MachineInfo;
 ///
 /// Runs in time proportional to the number of machines (a map keyed by the
 /// parsed item set), which is the efficiency claim the paper makes for
-/// this phase. Groups are returned in deterministic (key) order; machines
-/// within a group keep their input order.
+/// this phase. The map is keyed *by reference* into the machines' own
+/// diff sets — no item set is cloned, which matters when fleets carry
+/// large parsed diffs. Groups are returned in deterministic (key) order;
+/// machines within a group keep their input order.
 pub fn original_clusters<'a>(machines: &[&'a MachineInfo]) -> Vec<Vec<&'a MachineInfo>> {
-    let mut groups: BTreeMap<ItemSet, Vec<&MachineInfo>> = BTreeMap::new();
+    let mut groups: BTreeMap<&ItemSet, Vec<&MachineInfo>> = BTreeMap::new();
     for m in machines {
-        groups.entry(m.diff.parsed.clone()).or_default().push(m);
+        groups.entry(&m.diff.parsed).or_default().push(m);
     }
     groups.into_values().collect()
 }

@@ -8,12 +8,48 @@
 //! *diameter* (maximum pairwise distance) not exceeding the
 //! vendor-defined bound `d`. The paper adapts the Quality Threshold (QT)
 //! algorithm of Heyer et al. and rejects k-means for its
-//! non-determinism; this implementation breaks all ties on input order,
-//! making it fully deterministic.
+//! non-determinism; this implementation breaks all ties on a canonical
+//! member-id key, making it fully deterministic *and* invariant under
+//! input permutation.
+//!
+//! # Performance
+//!
+//! The paper concedes phase 2 is quadratic in the size of each original
+//! cluster (§3.2.3); at fleet scale the constant factor decides whether
+//! that is tolerable. The hot path here is built in three layers:
+//!
+//! 1. **Interned distances** — every content item is interned to a
+//!    `u32` through an [`ItemPool`]; pairwise distances are sorted-merge
+//!    counts over integer slices ([`LoweredDiff::distance`]), with no
+//!    string comparisons or `BTreeSet` walks.
+//! 2. **Parallel distance matrix** — the O(n²) pairwise matrix is
+//!    filled with `std::thread::scope` over round-robin row chunks
+//!    (std-only) once the input is large enough to amortise thread
+//!    spawns. The result is bit-identical to the sequential fill and
+//!    `cluster.distance_evals` stays exact (upper triangle only).
+//! 3. **Incremental merge aggregates** — instead of recomputing each
+//!    candidate merge's (sum, max, pairs) from scratch every greedy
+//!    iteration (O(k²·m²)), per-pair aggregates are maintained
+//!    Lance–Williams-style: `sum(A∪B,C) = sum(A,C) + sum(B,C)` and
+//!    `max(A∪B,C) = max(max(A,C), max(B,C))`, so one iteration is a
+//!    scan over cached candidate averages (O(k²) comparisons, O(k)
+//!    aggregate updates). The canonical tie-break key (sorted member
+//!    ids) is maintained incrementally by merging sorted id lists, and
+//!    is only materialised when two candidates tie on average distance.
+//!
+//! The original naive merge loop survives as
+//! [`qt_cluster_indices_reference`]; seeded property tests assert the
+//! fast path is bit-identical to it across random populations,
+//! diameters, and input permutations.
 
+use mirage_fingerprint::{ItemPool, LoweredDiff};
 use mirage_telemetry::Telemetry;
 
 use crate::cluster::MachineInfo;
+
+/// Populations at least this large use the threaded matrix fill;
+/// smaller ones stay sequential (thread spawns would dominate).
+const PARALLEL_THRESHOLD: usize = 64;
 
 /// Clusters `machines` with diameter bound `diameter`.
 ///
@@ -30,14 +66,315 @@ pub fn qt_cluster_indices(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec
 /// Records the `cluster.distance_evals` counter (pairwise fingerprint
 /// distance computations) and one `cluster.qt_merges` count per greedy
 /// merge iteration. The clustering result is identical to the
-/// uninstrumented call.
+/// uninstrumented call, and identical whether the distance matrix was
+/// filled sequentially or in parallel.
 pub fn qt_cluster_indices_instrumented(
     machines: &[&MachineInfo],
     diameter: usize,
     telemetry: &Telemetry,
 ) -> Vec<Vec<usize>> {
+    qt_cluster_indices_inner(machines, diameter, telemetry, true)
+}
+
+/// [`qt_cluster_indices_instrumented`] with the parallel matrix fill
+/// disabled, regardless of population size.
+///
+/// Exists so tests can assert the parallel and sequential paths produce
+/// bit-identical clusterings and telemetry; prefer the auto-selecting
+/// entry points elsewhere.
+#[doc(hidden)]
+pub fn qt_cluster_indices_sequential(
+    machines: &[&MachineInfo],
+    diameter: usize,
+    telemetry: &Telemetry,
+) -> Vec<Vec<usize>> {
+    qt_cluster_indices_inner(machines, diameter, telemetry, false)
+}
+
+fn qt_cluster_indices_inner(
+    machines: &[&MachineInfo],
+    diameter: usize,
+    telemetry: &Telemetry,
+    allow_parallel: bool,
+) -> Vec<Vec<usize>> {
     let n = machines.len();
-    // Pairwise distance matrix (symmetric, zero diagonal).
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Layer 1: lower every content diff onto interned u32 ids.
+    let mut pool = ItemPool::new();
+    let lowered: Vec<LoweredDiff> = machines
+        .iter()
+        .map(|m| pool.lower(&m.diff.content))
+        .collect();
+
+    // Layer 2: pairwise distance matrix (symmetric, zero diagonal).
+    let dist = distance_matrix(&lowered, allow_parallel);
+    if n > 1 {
+        telemetry.counter("cluster.distance_evals", (n * (n - 1) / 2) as u64);
+    }
+
+    // Layer 3: greedy QT merging over incremental aggregates.
+    merge_loop(machines, diameter, dist, telemetry)
+}
+
+/// Fills the full symmetric distance matrix from lowered diffs.
+///
+/// Only the upper triangle is computed (n·(n−1)/2 kernel calls — the
+/// exact number `cluster.distance_evals` reports); the lower triangle is
+/// mirrored afterwards. With `allow_parallel` and a large enough input,
+/// rows are distributed round-robin over `available_parallelism`
+/// scoped threads; round-robin balances the shrinking triangle rows.
+// The mirror pass writes both (i, j) and (j, i); that symmetric double
+// indexing has no iterator form, hence the range loops.
+#[allow(clippy::needless_range_loop)]
+fn distance_matrix(lowered: &[LoweredDiff], allow_parallel: bool) -> Vec<Vec<u32>> {
+    let n = lowered.len();
+    let mut rows: Vec<Vec<u32>> = (0..n).map(|_| vec![0u32; n]).collect();
+    let threads = if allow_parallel && n >= PARALLEL_THRESHOLD {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+    } else {
+        1
+    };
+    let fill_row = |i: usize, row: &mut [u32]| {
+        for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+            *slot = lowered[i].distance(&lowered[j]) as u32;
+        }
+    };
+    if threads <= 1 {
+        for (i, row) in rows.iter_mut().enumerate() {
+            fill_row(i, row);
+        }
+    } else {
+        let mut buckets: Vec<Vec<(usize, &mut Vec<u32>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, row) in rows.iter_mut().enumerate() {
+            buckets[i % threads].push((i, row));
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for (i, row) in bucket {
+                        fill_row(i, row);
+                    }
+                });
+            }
+        });
+    }
+    // Mirror the upper triangle; values are identical either way, so
+    // the threaded fill cannot change the clustering.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            rows[j][i] = rows[i][j];
+        }
+    }
+    rows
+}
+
+/// Greedy QT merge loop over incrementally maintained aggregates.
+///
+/// State per active cluster slot: sorted member indices, sorted
+/// member-id tie-break key, intra-cluster distance sum and max. State
+/// per slot pair: cross sum/max of member distances plus the cached
+/// candidate average (`f64::INFINITY` when the merged diameter would
+/// exceed the bound). A merge updates only the surviving slot's row and
+/// column; every other candidate is untouched, so each iteration costs
+/// one O(k²) comparison scan instead of O(k²·m²) recomputation.
+// The paired cross-sum/cross-max/candidate matrices are written at both
+// (a, b) and (b, a); that symmetric double indexing has no iterator form,
+// hence the range loops.
+#[allow(clippy::needless_range_loop)]
+fn merge_loop(
+    machines: &[&MachineInfo],
+    diameter: usize,
+    dist: Vec<Vec<u32>>,
+    telemetry: &Telemetry,
+) -> Vec<Vec<usize>> {
+    let n = machines.len();
+    // Per-slot state (slots are compacted with swap_remove on merge;
+    // slot order never affects the result because candidate selection
+    // is canonical on (average, member-id key)).
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut keys: Vec<Vec<&str>> = (0..n).map(|i| vec![machines[i].id()]).collect();
+    let mut intra_sum: Vec<u64> = vec![0; n];
+    let mut intra_max: Vec<u32> = vec![0; n];
+    let mut sizes: Vec<usize> = vec![1; n];
+    // Per-pair aggregates (full symmetric matrices, zero diagonal).
+    let mut cross_max: Vec<Vec<u32>> = dist.clone();
+    let mut cross_sum: Vec<Vec<u64>> = dist
+        .into_iter()
+        .map(|row| row.into_iter().map(u64::from).collect())
+        .collect();
+    // Cached candidate average for each pair; infinity = infeasible.
+    let mut cand: Vec<Vec<f64>> = vec![vec![f64::INFINITY; n]; n];
+
+    // Exactly the naive implementation's arithmetic: sum/pairs in f64
+    // over the merged cluster's full pair set, so averages (and thus tie
+    // structure) are bit-identical to [`qt_cluster_indices_reference`].
+    let candidate_avg = |a: usize,
+                         b: usize,
+                         intra_sum: &[u64],
+                         intra_max: &[u32],
+                         sizes: &[usize],
+                         cross_sum: &[Vec<u64>],
+                         cross_max: &[Vec<u32>]|
+     -> f64 {
+        let max_d = cross_max[a][b].max(intra_max[a]).max(intra_max[b]);
+        if max_d as usize > diameter {
+            return f64::INFINITY;
+        }
+        let sum = intra_sum[a] + intra_sum[b] + cross_sum[a][b];
+        let merged = sizes[a] + sizes[b];
+        let pairs = merged * (merged - 1) / 2;
+        if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        }
+    };
+
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let avg = candidate_avg(a, b, &intra_sum, &intra_max, &sizes, &cross_sum, &cross_max);
+            cand[a][b] = avg;
+            cand[b][a] = avg;
+        }
+    }
+
+    let mut k = n;
+    while k > 1 {
+        // Select the candidate minimising (average, canonical member-id
+        // key). Distinct pairs always have distinct keys (clusters are
+        // disjoint), so the minimum is unique and independent of slot
+        // iteration order.
+        let mut best: Option<(f64, usize, usize)> = None;
+        let mut best_key: Option<Vec<&str>> = None;
+        for a in 0..k {
+            for (off, &avg) in cand[a][(a + 1)..k].iter().enumerate() {
+                let b = a + 1 + off;
+                if avg.is_infinite() {
+                    continue;
+                }
+                match best {
+                    None => {
+                        best = Some((avg, a, b));
+                        best_key = None;
+                    }
+                    Some((b_avg, b_a, b_b)) => {
+                        if avg < b_avg {
+                            best = Some((avg, a, b));
+                            best_key = None;
+                        } else if avg == b_avg {
+                            // Materialise keys only on a genuine tie.
+                            let key = merge_sorted(&keys[a], &keys[b]);
+                            let cur = best_key
+                                .get_or_insert_with(|| merge_sorted(&keys[b_a], &keys[b_b]));
+                            if key < *cur {
+                                best = Some((avg, a, b));
+                                best_key = Some(key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let Some((_, a, b)) = best else { break };
+        telemetry.counter("cluster.qt_merges", 1);
+
+        // Merge slot b into slot a: Lance–Williams aggregate updates.
+        intra_max[a] = intra_max[a].max(intra_max[b]).max(cross_max[a][b]);
+        intra_sum[a] = intra_sum[a] + intra_sum[b] + cross_sum[a][b];
+        sizes[a] += sizes[b];
+        let members_b = std::mem::take(&mut members[b]);
+        members[a].extend(members_b);
+        members[a].sort_unstable();
+        let keys_b = std::mem::take(&mut keys[b]);
+        keys[a] = merge_sorted(&keys[a], &keys_b);
+        for c in 0..k {
+            if c == a || c == b {
+                continue;
+            }
+            let sum = cross_sum[a][c] + cross_sum[b][c];
+            cross_sum[a][c] = sum;
+            cross_sum[c][a] = sum;
+            let max = cross_max[a][c].max(cross_max[b][c]);
+            cross_max[a][c] = max;
+            cross_max[c][a] = max;
+        }
+
+        // Compact slot b out of every slot-indexed structure. swap_remove
+        // relocates the last slot into b consistently across rows and
+        // columns; relocated pairs keep their cached candidates.
+        members.swap_remove(b);
+        keys.swap_remove(b);
+        intra_sum.swap_remove(b);
+        intra_max.swap_remove(b);
+        sizes.swap_remove(b);
+        cross_sum.swap_remove(b);
+        cross_max.swap_remove(b);
+        cand.swap_remove(b);
+        for row in cross_sum.iter_mut() {
+            row.swap_remove(b);
+        }
+        for row in cross_max.iter_mut() {
+            row.swap_remove(b);
+        }
+        for row in cand.iter_mut() {
+            row.swap_remove(b);
+        }
+        k -= 1;
+
+        // Only candidates involving the merged slot changed.
+        for c in 0..k {
+            if c == a {
+                continue;
+            }
+            let avg = candidate_avg(a, c, &intra_sum, &intra_max, &sizes, &cross_sum, &cross_max);
+            cand[a][c] = avg;
+            cand[c][a] = avg;
+        }
+    }
+
+    members.sort();
+    members
+}
+
+/// Merges two sorted string-slice lists into one sorted list.
+fn merge_sorted<'a>(a: &[&'a str], b: &[&'a str]) -> Vec<&'a str> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The original naive QT merge loop, retained as the reference
+/// implementation the fast path is property-tested against.
+///
+/// Recomputes every candidate merge's statistics from scratch each
+/// iteration (O(k²·m²) per merge) using [`DiffSet::content_distance`]
+/// over `BTreeSet<Item>` — slow, but independently simple enough to
+/// trust. Seeded property tests assert
+/// [`qt_cluster_indices`] is bit-identical to this across random fleets,
+/// diameters, and input permutations; do not use it outside tests and
+/// benchmarks.
+///
+/// [`DiffSet::content_distance`]: mirage_fingerprint::DiffSet::content_distance
+pub fn qt_cluster_indices_reference(machines: &[&MachineInfo], diameter: usize) -> Vec<Vec<usize>> {
+    let n = machines.len();
     let mut dist = vec![vec![0usize; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
@@ -45,9 +382,6 @@ pub fn qt_cluster_indices_instrumented(
             dist[i][j] = d;
             dist[j][i] = d;
         }
-    }
-    if n > 1 {
-        telemetry.counter("cluster.distance_evals", (n * (n - 1) / 2) as u64);
     }
 
     let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
@@ -94,7 +428,6 @@ pub fn qt_cluster_indices_instrumented(
         }
         match best {
             Some((_, _, a, b)) => {
-                telemetry.counter("cluster.qt_merges", 1);
                 let merged_b = clusters.remove(b);
                 clusters[a].extend(merged_b);
                 clusters[a].sort_unstable();
@@ -211,5 +544,75 @@ mod tests {
         let groups = qt_cluster(&refs, 100);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len(), 10);
+    }
+
+    #[test]
+    fn all_identical_machines_merge_at_zero_diameter() {
+        let ms: Vec<MachineInfo> = (0..6)
+            .map(|i| machine(&format!("m{i}"), &["same", "items"]))
+            .collect();
+        let refs: Vec<&MachineInfo> = ms.iter().collect();
+        let groups = qt_cluster_indices(&refs, 0);
+        assert_eq!(groups, vec![vec![0, 1, 2, 3, 4, 5]]);
+        assert_eq!(groups, qt_cluster_indices_reference(&refs, 0));
+    }
+
+    #[test]
+    fn empty_diff_sets_cluster_together() {
+        let ms: Vec<MachineInfo> = (0..4).map(|i| machine(&format!("m{i}"), &[])).collect();
+        let refs: Vec<&MachineInfo> = ms.iter().collect();
+        for d in [0usize, 3] {
+            assert_eq!(qt_cluster_indices(&refs, d), vec![vec![0, 1, 2, 3]]);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_handcrafted_fleet() {
+        let ms = [
+            machine("a", &[]),
+            machine("b", &["x"]),
+            machine("c", &["x", "y"]),
+            machine("d", &["y"]),
+            machine("e", &["p", "q"]),
+            machine("f", &["p"]),
+        ];
+        let refs: Vec<&MachineInfo> = ms.iter().collect();
+        for d in 0..=4 {
+            assert_eq!(
+                qt_cluster_indices(&refs, d),
+                qt_cluster_indices_reference(&refs, d),
+                "diameter {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_path_matches_sequential() {
+        // Population large enough to trip PARALLEL_THRESHOLD.
+        let ms: Vec<MachineInfo> = (0..(PARALLEL_THRESHOLD + 16))
+            .map(|i| {
+                machine(
+                    &format!("m{i:03}"),
+                    &[&format!("g{}", i % 7), &format!("n{}", i % 3)],
+                )
+            })
+            .collect();
+        let refs: Vec<&MachineInfo> = ms.iter().collect();
+        for d in [0usize, 2, 4] {
+            let fast = qt_cluster_indices(&refs, d);
+            let seq = qt_cluster_indices_sequential(&refs, d, &Telemetry::noop());
+            assert_eq!(fast, seq, "diameter {d}");
+            assert_eq!(fast, qt_cluster_indices_reference(&refs, d), "diameter {d}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_merges() {
+        assert_eq!(
+            merge_sorted(&["a", "c"], &["b", "d"]),
+            vec!["a", "b", "c", "d"]
+        );
+        assert_eq!(merge_sorted(&[], &["x"]), vec!["x"]);
+        assert_eq!(merge_sorted(&["x"], &[]), vec!["x"]);
     }
 }

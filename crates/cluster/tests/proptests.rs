@@ -168,3 +168,190 @@ fn huge_diameter_collapses_phase2() {
         assert_eq!(clustering.len(), keys.len(), "case {case}");
     }
 }
+
+/// A permutation of `machines` driven by the seeded generator
+/// (Fisher–Yates).
+fn shuffled(rng: &mut Rng, machines: &[MachineInfo]) -> Vec<MachineInfo> {
+    let mut out = machines.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.below(i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// The fast QT path (interned kernel + incremental merge aggregates +
+/// parallel matrix) is bit-identical — same groups, same member order,
+/// same group order — to the retained naive reference implementation,
+/// across random fleets, diameters 0–8, and permuted input orders.
+#[test]
+fn qt_fast_path_matches_reference() {
+    use mirage_cluster::{qt_cluster_indices, qt_cluster_indices_reference};
+
+    let mut rng = Rng::new(0xd1);
+    for case in 0..32 {
+        let machines = population(&mut rng, 14);
+        for variant in 0..3 {
+            let input = if variant == 0 {
+                machines.clone()
+            } else {
+                shuffled(&mut rng, &machines)
+            };
+            let refs: Vec<&MachineInfo> = input.iter().collect();
+            for d in 0..=8usize {
+                let fast = qt_cluster_indices(&refs, d);
+                let naive = qt_cluster_indices_reference(&refs, d);
+                assert_eq!(fast, naive, "case {case} variant {variant} diameter {d}");
+            }
+        }
+    }
+}
+
+/// The full engine pipeline built on the fast QT path produces a
+/// bit-identical `Clustering` — ids, members, labels, app sets, vendor
+/// distances — to the same pipeline built on the reference QT loop.
+#[test]
+fn engine_matches_reference_pipeline_exactly() {
+    use std::collections::BTreeSet as Set;
+
+    use mirage_cluster::phase1::original_clusters;
+    use mirage_cluster::qt_cluster_indices_reference;
+    use mirage_cluster::split::split_by_app_set;
+    use mirage_cluster::{Cluster, ClusterId, Clustering};
+    use mirage_fingerprint::ItemSet;
+
+    // Mirrors `ClusterEngine::cluster` with the reference QT loop.
+    fn reference_clustering(machines: &[MachineInfo], diameter: usize) -> Clustering {
+        let refs: Vec<&MachineInfo> = machines.iter().collect();
+        let mut final_groups: Vec<Vec<&MachineInfo>> = Vec::new();
+        for original in original_clusters(&refs) {
+            for idx_group in qt_cluster_indices_reference(&original, diameter) {
+                let sub: Vec<&MachineInfo> = idx_group.into_iter().map(|i| original[i]).collect();
+                for split in split_by_app_set(&sub) {
+                    final_groups.push(split);
+                }
+            }
+        }
+        let clusters = final_groups
+            .into_iter()
+            .enumerate()
+            .map(|(i, group)| {
+                let mut members: Vec<String> = group.iter().map(|m| m.id().to_string()).collect();
+                members.sort();
+                let label: ItemSet = group
+                    .iter()
+                    .flat_map(|m| m.diff.all_items().into_iter())
+                    .collect();
+                let app_set: Set<String> = group
+                    .first()
+                    .map(|m| m.overlapping_apps.clone())
+                    .unwrap_or_default();
+                let vendor_distance = if group.is_empty() {
+                    0.0
+                } else {
+                    group
+                        .iter()
+                        .map(|m| m.diff.vendor_distance())
+                        .sum::<usize>() as f64
+                        / group.len() as f64
+                };
+                Cluster {
+                    id: ClusterId(i),
+                    members,
+                    label,
+                    app_set,
+                    vendor_distance,
+                }
+            })
+            .collect();
+        Clustering { clusters }
+    }
+
+    let mut rng = Rng::new(0xd2);
+    for case in 0..24 {
+        let machines = population(&mut rng, 12);
+        let permuted = shuffled(&mut rng, &machines);
+        for d in 0..=6usize {
+            for (name, input) in [("input order", &machines), ("permuted", &permuted)] {
+                let fast = ClusterEngine::new(d).cluster(input);
+                let reference = reference_clustering(input, d);
+                assert_eq!(fast, reference, "case {case} {name} diameter {d}");
+            }
+        }
+    }
+}
+
+/// Instrumented-vs-plain determinism for clustering (the sim crate's
+/// pattern): on a population large enough to engage the parallel
+/// distance matrix, the parallel/instrumented engine produces a
+/// bit-identical `Clustering` to the plain engine, and the same
+/// `cluster.qt_merges` count as the forced-sequential QT path.
+#[test]
+fn instrumented_parallel_clustering_is_bit_identical() {
+    use std::sync::Arc;
+
+    use mirage_cluster::qt::qt_cluster_indices_sequential;
+    use mirage_telemetry::{Registry, Telemetry};
+
+    let mut rng = Rng::new(0xd3);
+    // One phase-1 group of 96 machines (> the parallel threshold): all
+    // parsed diffs empty, content diffs random.
+    let machines: Vec<MachineInfo> = (0..96)
+        .map(|i| {
+            let mut diff = mirage_fingerprint::DiffSet::empty(format!("m{i:03}"));
+            let content_letters = ["u", "v", "w", "x", "y", "z"];
+            for _ in 0..rng.below(5) {
+                diff.content
+                    .insert(Item::new([content_letters[rng.below(6)]]));
+            }
+            MachineInfo::new(diff)
+        })
+        .collect();
+
+    for d in [0usize, 2, 4] {
+        let registry = Arc::new(Registry::new(256));
+        let instrumented = ClusterEngine::new(d)
+            .with_telemetry(Telemetry::from_registry(Arc::clone(&registry)))
+            .cluster(&machines);
+        let plain = ClusterEngine::new(d).cluster(&machines);
+        assert_eq!(
+            instrumented, plain,
+            "diameter {d} diverged under instrumentation"
+        );
+        let parallel_snap = registry.snapshot();
+
+        // Forced-sequential QT over the same (single) phase-1 group.
+        let refs: Vec<&MachineInfo> = machines.iter().collect();
+        let seq_registry = Arc::new(Registry::new(256));
+        let seq_groups = qt_cluster_indices_sequential(
+            &refs,
+            d,
+            &Telemetry::from_registry(Arc::clone(&seq_registry)),
+        );
+        let seq_snap = seq_registry.snapshot();
+        assert_eq!(
+            parallel_snap.counters.get("cluster.qt_merges"),
+            seq_snap.counters.get("cluster.qt_merges"),
+            "diameter {d}: merge counts diverged between parallel and sequential"
+        );
+        assert_eq!(
+            parallel_snap.counters.get("cluster.distance_evals"),
+            seq_snap.counters.get("cluster.distance_evals"),
+            "diameter {d}: distance telemetry diverged"
+        );
+        // And the sequential groups are the groups the engine labelled.
+        let seq_ids: Vec<Vec<String>> = seq_groups
+            .iter()
+            .map(|g| g.iter().map(|&i| machines[i].id().to_string()).collect())
+            .collect();
+        let mut engine_ids: Vec<Vec<String>> = instrumented
+            .clusters
+            .iter()
+            .map(|c| c.members.clone())
+            .collect();
+        engine_ids.sort();
+        let mut seq_sorted = seq_ids.clone();
+        seq_sorted.sort();
+        assert_eq!(engine_ids, seq_sorted, "diameter {d}");
+    }
+}

@@ -33,6 +33,7 @@
 pub mod glob;
 pub mod hash;
 pub mod importance;
+pub mod intern;
 pub mod item;
 pub mod parser;
 pub mod parsers;
@@ -42,6 +43,7 @@ pub mod set;
 pub use glob::Glob;
 pub use hash::{fnv1a, HashValue};
 pub use importance::ImportanceFilter;
+pub use intern::{ItemPool, LoweredDiff};
 pub use item::{Item, ItemSet};
 pub use parser::{ParseError, ParserRegistry, ResourceData, ResourceKind, ResourceParser};
 pub use rabin::{Chunk, Chunker, ChunkerParams, RabinHasher, RabinTables};

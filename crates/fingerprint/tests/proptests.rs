@@ -200,3 +200,74 @@ fn truncation_is_prefix() {
         assert!(item.starts_with(t.segments()));
     }
 }
+
+/// The interned distance kernel agrees exactly with
+/// `DiffSet::content_distance` on random item sets — including empty
+/// sets, identical sets, and sets sharing one pool across many diffs.
+#[test]
+fn lowered_distance_equals_content_distance() {
+    use mirage_fingerprint::{DiffSet, ItemPool};
+
+    let mut rng = Rng::new(0xfa);
+    let letters = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    for case in 0..60 {
+        // A shared pool across the whole population, as the clustering
+        // hot path uses it.
+        let mut pool = ItemPool::new();
+        let diffs: Vec<DiffSet> = (0..8)
+            .map(|i| {
+                let mut d = DiffSet::empty(format!("m{i}"));
+                for _ in 0..rng.below(6) {
+                    let depth = 1 + rng.below(3);
+                    let segs: Vec<&str> = (0..depth)
+                        .map(|_| letters[rng.below(letters.len())])
+                        .collect();
+                    d.content.insert(Item::new(segs));
+                }
+                d
+            })
+            .collect();
+        let lowered: Vec<_> = diffs.iter().map(|d| pool.lower(&d.content)).collect();
+        for i in 0..diffs.len() {
+            for j in 0..diffs.len() {
+                assert_eq!(
+                    lowered[i].distance(&lowered[j]),
+                    diffs[i].content_distance(&diffs[j]),
+                    "case {case}: machines {i} and {j}"
+                );
+            }
+        }
+    }
+}
+
+/// Lowering is order-insensitive: interning items in any order yields
+/// the same pairwise distances.
+#[test]
+fn lowered_distance_is_pool_order_invariant() {
+    use mirage_fingerprint::{ItemPool, ItemSet};
+
+    let mut rng = Rng::new(0xfb);
+    for case in 0..40 {
+        let items: Vec<Item> = (0..10)
+            .map(|i| Item::new([format!("seg{}", rng.below(6)), format!("v{i}")]))
+            .collect();
+        let a: ItemSet = items.iter().take(6).cloned().collect();
+        let b: ItemSet = items.iter().skip(3).cloned().collect();
+
+        // Pool 1: lower a then b. Pool 2: pre-intern in reverse, then
+        // lower b then a.
+        let mut p1 = ItemPool::new();
+        let (la1, lb1) = (p1.lower(&a), p1.lower(&b));
+        let mut p2 = ItemPool::new();
+        for item in items.iter().rev() {
+            p2.intern(item);
+        }
+        let (lb2, la2) = (p2.lower(&b), p2.lower(&a));
+        assert_eq!(la1.distance(&lb1), la2.distance(&lb2), "case {case}");
+        assert_eq!(
+            la1.distance(&lb1),
+            lb1.distance(&la1),
+            "case {case} symmetry"
+        );
+    }
+}
