@@ -12,7 +12,8 @@
 //!   overhead           upgrade-overhead comparison (§4.3.2)
 //!   telemetry          instrumented campaign + simulation flight dump
 //!   clustering-perf    clustering hot-path benchmark → BENCH_clustering.json
-//!   all                everything (default; excludes clustering-perf)
+//!   sim-perf           simulator hot-path benchmark → BENCH_sim.json
+//!   all                everything (default; excludes *-perf)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
@@ -106,6 +107,156 @@ fn main() {
     if arg == "clustering-perf" {
         clustering_perf(csv_dir.as_deref());
     }
+    if arg == "sim-perf" {
+        sim_perf(csv_dir.as_deref());
+    }
+}
+
+/// Benchmarks the deployment simulator's hot path and writes
+/// `BENCH_sim.json` — into the `--csv` directory when given, the
+/// working directory otherwise.
+///
+/// Three workloads per protocol (NoStaging / Balanced / FrontLoading):
+///
+/// * the paper's 100k-machine Figure-10 scenario on the *interned*
+///   driver (dense ids, calendar queue);
+/// * the same scenario on the retained *string-keyed reference* driver
+///   (`BinaryHeap` + slab, `BTreeMap` state) — the live baseline the
+///   speedup figures are computed against;
+/// * a 1,000,000-machine variant (100 clusters × 10 000) on the
+///   interned driver only.
+///
+/// Before timing anything, the two drivers are asserted to produce
+/// identical `SimMetrics` on the 100k scenario (the same property the
+/// seeded proptests check on random scenarios). The per-benchmark
+/// budget follows `MIRAGE_BENCH_MS` (default 150 ms).
+fn sim_perf(csv: Option<&std::path::Path>) {
+    use mirage_bench::harness::Harness;
+    use mirage_deploy::reference::{
+        NamedBalanced, NamedFrontLoading, NamedNoStaging, NamedProtocol,
+    };
+    use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
+    use mirage_sim::runner::reference::{run_reference, NamedScenario};
+    use mirage_sim::{run, Scenario, ScenarioBuilder};
+
+    heading("Simulator performance (interned data plane vs string-keyed reference)");
+
+    let s100k = deployment::sound_scenario(deployment::ProblemPlacement::Late);
+    let named = NamedScenario::from_scenario(&s100k);
+    // 1M machines, problems placed late like the Figure-10 setup.
+    let s1m = ScenarioBuilder::new()
+        .clusters(100, 10_000, 1)
+        .problem_in_clusters(deployment::PREVALENT, &[75, 80, 85])
+        .problem_in_clusters(deployment::RARE_A, &[90])
+        .problem_in_clusters(deployment::RARE_B, &[95])
+        .build();
+
+    type FastFactory = (&'static str, Box<dyn Fn(&Scenario) -> Box<dyn Protocol>>);
+    let fast: Vec<FastFactory> = vec![
+        (
+            "NoStaging",
+            Box::new(|s| Box::new(NoStaging::new(s.plan.clone()))),
+        ),
+        (
+            "Balanced",
+            Box::new(|s| Box::new(Balanced::new(s.plan.clone(), 1.0))),
+        ),
+        (
+            "FrontLoading",
+            Box::new(|s| Box::new(FrontLoading::new(s.plan.clone(), 1.0))),
+        ),
+    ];
+    let slow = |name: &str, n: &NamedScenario| -> Box<dyn NamedProtocol> {
+        match name {
+            "NoStaging" => Box::new(NamedNoStaging::new(n.plan.clone())),
+            "Balanced" => Box::new(NamedBalanced::new(n.plan.clone(), 1.0)),
+            _ => Box::new(NamedFrontLoading::new(n.plan.clone(), 1.0)),
+        }
+    };
+
+    // Sanity: the drivers agree on the full 100k scenario before any
+    // timing (same equivalence the seeded proptests establish).
+    for (name, make) in &fast {
+        let fast_m = run(&s100k, make(&s100k).as_mut());
+        let slow_m = run_reference(&named, slow(name, &named).as_mut());
+        assert_eq!(
+            fast_m, slow_m,
+            "{name}: drivers diverged on the 100k scenario"
+        );
+    }
+    println!("  (drivers bit-identical on the 100k scenario for all three protocols)\n");
+
+    let mut h = Harness::new("sim-perf");
+    for (name, make) in &fast {
+        h.bench(&format!("sim/100k/interned/{name}"), || {
+            run(&s100k, make(&s100k).as_mut()).failed_tests
+        });
+    }
+    for (name, _) in &fast {
+        h.bench(&format!("sim/100k/reference/{name}"), || {
+            run_reference(&named, slow(name, &named).as_mut()).failed_tests
+        });
+    }
+    for (name, make) in &fast {
+        h.bench(&format!("sim/1m/interned/{name}"), || {
+            run(&s1m, make(&s1m).as_mut()).failed_tests
+        });
+    }
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"sim-perf\",\n");
+    json.push_str(
+        "  \"note\": \"100k = the paper's Figure-10 scenario (20x5000, problems late); \
+         1m = 100x10000 with the same late placement; reference = the retained \
+         string-keyed BinaryHeap driver + protocols\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in h.results().iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p50_ns\": {}, \
+             \"mean_ns\": {:.0}, \"max_ns\": {}}}{}\n",
+            r.name,
+            r.samples,
+            r.min_ns,
+            r.p50_ns,
+            r.mean_ns,
+            r.max_ns,
+            if i + 1 < h.results().len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let find = |name: &str| {
+        h.results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benchmark ran")
+    };
+    json.push_str("  \"speedup_100k_vs_reference\": {\n");
+    for (i, (name, _)) in fast.iter().enumerate() {
+        let fast_r = find(&format!("sim/100k/interned/{name}"));
+        let slow_r = find(&format!("sim/100k/reference/{name}"));
+        let speedup = slow_r.min_ns as f64 / fast_r.min_ns.max(1) as f64;
+        println!("=> {name}: 100k interned is {speedup:.2}x the string reference (min-over-min)");
+        json.push_str(&format!(
+            "    \"{name}\": {speedup:.2}{}\n",
+            if i + 1 < fast.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    let b1m = find("sim/1m/interned/Balanced");
+    let b1m_secs = b1m.min_ns as f64 / 1e9;
+    println!("=> 1M-machine Balanced run: {b1m_secs:.2} s (min)");
+    json.push_str(&format!("  \"balanced_1m_seconds\": {b1m_secs:.3},\n"));
+    json.push_str(&format!(
+        "  \"balanced_1m_under_10s\": {}\n}}\n",
+        b1m_secs < 10.0
+    ));
+
+    let path = csv
+        .map(|d| d.join("BENCH_sim.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sim.json"));
+    std::fs::write(&path, json).expect("write BENCH_sim.json");
+    println!("(wrote {})", path.display());
 }
 
 /// Benchmarks the clustering hot path (dense fleets, one original

@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mirage_cluster::{Clustering, MachineInfo};
 use mirage_deploy::{
-    Balanced, Command, DeployPlan, FrontLoading, NoStaging, Protocol, Release, TestOutcome,
-    TestReport,
+    Balanced, Command, DeployPlan, FrontLoading, NoStaging, ProblemSet, ProblemTable, Protocol,
+    Release, TestOutcome, TestReport,
 };
 use mirage_env::{ProblemId, Upgrade, UpgradeId};
 use mirage_fingerprint::MachineFingerprint;
@@ -191,6 +191,10 @@ impl Campaign {
         let mut integrated: BTreeMap<String, u32> = BTreeMap::new();
         let mut failed_validations = 0usize;
         let mut fixed: BTreeSet<String> = BTreeSet::new();
+        // Failure *signatures* are the campaign's problem namespace for
+        // the protocol: intern them so the (id-keyed) protocol sees
+        // dense `ProblemId`s at the boundary.
+        let mut signatures = ProblemTable::new();
         let mut pending: VecDeque<Command> = protocol.start().into();
         let mut rounds = 0usize;
 
@@ -206,16 +210,22 @@ impl Campaign {
             let current = &releases[release.0 as usize];
             let mut new_problems: Vec<ProblemId> = Vec::new();
             let mut reports: Vec<TestReport> = Vec::new();
-            for machine_id in machines {
-                let Some(agent_idx) = self.agents.iter().position(|a| a.machine.id == machine_id)
+            for machine in machines {
+                // Boundary: render the dense id back into the machine
+                // name that agents and reports are keyed by.
+                let machine_name = plan.machine_name(machine).to_string();
+                let Some(agent_idx) = self
+                    .agents
+                    .iter()
+                    .position(|a| a.machine.id == machine_name)
                 else {
                     continue;
                 };
                 self.telemetry.event_with(|| FlightEvent::MachineNotified {
-                    machine: machine_id.clone(),
+                    machine: machine_name.clone(),
                     release: release.0,
                 });
-                let cluster = plan.cluster_of(&machine_id).map(|c| c.id).unwrap_or(0);
+                let cluster = plan.cluster_of(machine).map(|c| c.id).unwrap_or(0);
                 let validation = {
                     let agent = &self.agents[agent_idx];
                     agent.test_upgrade(&self.vendor.repo, current)
@@ -223,20 +233,20 @@ impl Campaign {
                 self.telemetry.counter("campaign.validations", 1);
                 if validation.passed() {
                     self.telemetry.event_with(|| FlightEvent::TestPassed {
-                        machine: machine_id.clone(),
+                        machine: machine_name.clone(),
                         release: release.0,
                     });
                     let agent = &mut self.agents[agent_idx];
                     agent.integrate(&self.vendor.repo, current);
-                    integrated.insert(machine_id.clone(), release.0);
+                    integrated.insert(machine_name.clone(), release.0);
                     self.urr.deposit(Report::success(
-                        &machine_id,
+                        &machine_name,
                         cluster,
                         &current.package.name,
                         current.package.version.to_string(),
                     ));
                     reports.push(TestReport {
-                        machine: machine_id,
+                        machine,
                         release,
                         outcome: TestOutcome::Pass,
                     });
@@ -247,13 +257,13 @@ impl Campaign {
                     let (app, kind) = validation.first_failure().expect("failed validation");
                     let signature = format!("{app}/{kind}");
                     self.telemetry.event_with(|| FlightEvent::TestFailed {
-                        machine: machine_id.clone(),
+                        machine: machine_name.clone(),
                         release: release.0,
                         problem: signature.clone(),
                     });
                     let image = agent.report_image(&validation);
                     self.urr.deposit(Report::failure(
-                        &machine_id,
+                        &machine_name,
                         cluster,
                         &current.package.name,
                         current.package.version.to_string(),
@@ -274,9 +284,11 @@ impl Campaign {
                         }
                     }
                     reports.push(TestReport {
-                        machine: machine_id,
+                        machine,
                         release,
-                        outcome: TestOutcome::Fail { problem: signature },
+                        outcome: TestOutcome::Fail {
+                            problem: signatures.intern(&signature),
+                        },
                     });
                 }
             }
@@ -300,12 +312,10 @@ impl Campaign {
                 // corrected release here fixes every diagnosed problem,
                 // so every known failure signature is addressed:
                 // re-notify all failed machines.
-                let all_sigs: BTreeSet<String> = self
-                    .urr
-                    .failure_groups()
-                    .into_iter()
-                    .map(|g| g.signature)
-                    .collect();
+                let mut all_sigs = ProblemSet::new();
+                for g in self.urr.failure_groups() {
+                    all_sigs.insert(signatures.intern(&g.signature));
+                }
                 let release_no = Release((releases.len() - 1) as u32);
                 pending.extend(protocol.on_release(release_no, &all_sigs));
             }

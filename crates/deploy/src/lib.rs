@@ -29,13 +29,26 @@
 //!   non-representatives cluster-by-cluster in *descending* distance
 //!   order, front-loading the vendor's debugging effort.
 
+//! ## The interned data plane
+//!
+//! Protocol state, commands, and reports are keyed by dense interned
+//! ids ([`MachineId`], [`ProblemId`]) rather than machine names: a
+//! report is a 12-byte `Copy` value and handling it costs a few array
+//! indexings. Names exist only at the boundaries (plan construction,
+//! rendering) via the plan's [`MachineTable`]. The original
+//! string-keyed protocols are retained under [`reference`] so
+//! equivalence tests and benchmarks can compare against them.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ids;
 pub mod plan;
 pub mod protocol;
 pub mod protocols;
+pub mod reference;
 
+pub use ids::{MachineId, MachineSet, MachineTable, ProblemId, ProblemSet, ProblemTable};
 pub use plan::{DeployCluster, DeployPlan};
 pub use protocol::{Command, Protocol, Release, TestOutcome, TestReport};
 pub use protocols::{Balanced, FrontLoading, NoStaging};

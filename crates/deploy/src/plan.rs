@@ -1,6 +1,12 @@
 //! The deployment plan: clusters, representatives, distances.
+//!
+//! Plans own the [`MachineTable`] that maps machine names to dense
+//! [`MachineId`]s; cluster membership is stored as id vectors so that
+//! protocols and the simulator never touch strings on the hot path.
 
 use mirage_cluster::Clustering;
+
+use crate::ids::{MachineId, MachineTable};
 
 /// One cluster as seen by a deployment protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -8,20 +14,20 @@ pub struct DeployCluster {
     /// Cluster index within the plan.
     pub id: usize,
     /// All member machine ids (representatives included).
-    pub members: Vec<String>,
+    pub members: Vec<MachineId>,
     /// Representative machine ids (a prefix subset of `members`).
-    pub reps: Vec<String>,
+    pub reps: Vec<MachineId>,
     /// Vendor↔cluster distance (environment dissimilarity).
     pub distance: f64,
 }
 
 impl DeployCluster {
     /// Non-representative member ids.
-    pub fn non_reps(&self) -> Vec<String> {
+    pub fn non_reps(&self) -> Vec<MachineId> {
         self.members
             .iter()
             .filter(|m| !self.reps.contains(m))
-            .cloned()
+            .copied()
             .collect()
     }
 
@@ -39,11 +45,43 @@ impl DeployCluster {
 /// A complete deployment plan.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeployPlan {
+    /// Machine name ↔ id interner; ids are dense and follow plan order
+    /// (cluster 0's members first, then cluster 1's, …).
+    pub machines: MachineTable,
     /// Clusters in plan order (ids are indexes into this vector).
     pub clusters: Vec<DeployCluster>,
 }
 
 impl DeployPlan {
+    /// Builds a plan from named clusters: each spec is `(member names,
+    /// representative count, distance)`. Representatives are the first
+    /// `reps` members.
+    pub fn from_named<M, S>(specs: impl IntoIterator<Item = (M, usize, f64)>) -> Self
+    where
+        M: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut machines = MachineTable::new();
+        let clusters = specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (members, reps, distance))| {
+                let members: Vec<MachineId> = members
+                    .into_iter()
+                    .map(|m| machines.intern(m.as_ref()))
+                    .collect();
+                let reps = members.iter().take(reps).copied().collect();
+                DeployCluster {
+                    id,
+                    members,
+                    reps,
+                    distance,
+                }
+            })
+            .collect();
+        DeployPlan { machines, clusters }
+    }
+
     /// Builds a plan from a clustering, electing the first
     /// `reps_per_cluster` members (sorted order) of each cluster as
     /// representatives.
@@ -53,26 +91,14 @@ impl DeployPlan {
     /// election strategy is orthogonal, so "first k members" keeps the
     /// plan deterministic.
     pub fn from_clustering(clustering: &Clustering, reps_per_cluster: usize) -> Self {
-        let clusters = clustering
-            .clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let reps = c
-                    .members
-                    .iter()
-                    .take(reps_per_cluster.max(1).min(c.members.len()))
-                    .cloned()
-                    .collect();
-                DeployCluster {
-                    id: i,
-                    members: c.members.clone(),
-                    reps,
-                    distance: c.vendor_distance,
-                }
-            })
-            .collect();
-        DeployPlan { clusters }
+        DeployPlan::from_named(clustering.clusters.iter().map(|c| {
+            let reps = reps_per_cluster.max(1).min(c.members.len());
+            (
+                c.members.iter().map(String::as_str),
+                reps,
+                c.vendor_distance,
+            )
+        }))
     }
 
     /// Cluster ids ordered by ascending distance (ties by id).
@@ -95,24 +121,32 @@ impl DeployPlan {
         ids
     }
 
-    /// Total machine count.
+    /// Total machine count (sum of cluster sizes).
     pub fn machine_count(&self) -> usize {
         self.clusters.iter().map(DeployCluster::len).sum()
     }
 
-    /// All machine ids across clusters.
-    pub fn all_machines(&self) -> Vec<String> {
+    /// All machine ids across clusters, in plan order.
+    pub fn all_machines(&self) -> Vec<MachineId> {
         self.clusters
             .iter()
-            .flat_map(|c| c.members.iter().cloned())
+            .flat_map(|c| c.members.iter().copied())
             .collect()
     }
 
     /// Looks up the cluster containing a machine.
-    pub fn cluster_of(&self, machine: &str) -> Option<&DeployCluster> {
-        self.clusters
-            .iter()
-            .find(|c| c.members.iter().any(|m| m == machine))
+    pub fn cluster_of(&self, machine: MachineId) -> Option<&DeployCluster> {
+        self.clusters.iter().find(|c| c.members.contains(&machine))
+    }
+
+    /// The name behind a machine id (boundary helper).
+    pub fn machine_name(&self, id: MachineId) -> &str {
+        self.machines.name(id)
+    }
+
+    /// The id behind a machine name (boundary helper).
+    pub fn machine_id(&self, name: &str) -> Option<MachineId> {
+        self.machines.id(name)
     }
 }
 
@@ -121,29 +155,26 @@ mod tests {
     use super::*;
 
     /// Builds a synthetic plan: each tuple is (members, reps, distance).
-    pub fn plan(specs: &[(&[&str], usize, f64)]) -> DeployPlan {
-        DeployPlan {
-            clusters: specs
+    fn plan(specs: &[(&[&str], usize, f64)]) -> DeployPlan {
+        DeployPlan::from_named(
+            specs
                 .iter()
-                .enumerate()
-                .map(|(id, (members, reps, distance))| DeployCluster {
-                    id,
-                    members: members.iter().map(|s| s.to_string()).collect(),
-                    reps: members.iter().take(*reps).map(|s| s.to_string()).collect(),
-                    distance: *distance,
-                })
-                .collect(),
-        }
+                .map(|(members, reps, distance)| (members.iter().copied(), *reps, *distance)),
+        )
     }
 
     #[test]
     fn non_reps_and_counts() {
         let p = plan(&[(&["a", "b", "c"], 1, 0.0)]);
-        assert_eq!(p.clusters[0].reps, vec!["a"]);
-        assert_eq!(p.clusters[0].non_reps(), vec!["b", "c"]);
+        assert_eq!(p.clusters[0].reps, vec![MachineId(0)]);
+        assert_eq!(p.clusters[0].non_reps(), vec![MachineId(1), MachineId(2)]);
         assert_eq!(p.machine_count(), 3);
         assert_eq!(p.all_machines().len(), 3);
         assert!(!p.clusters[0].is_empty());
+        // Names round-trip through the table in plan order.
+        assert_eq!(p.machine_name(MachineId(1)), "b");
+        assert_eq!(p.machine_id("c"), Some(MachineId(2)));
+        assert_eq!(p.machine_id("zzz"), None);
     }
 
     #[test]
@@ -161,8 +192,9 @@ mod tests {
     #[test]
     fn cluster_lookup() {
         let p = plan(&[(&["a", "b"], 1, 0.0), (&["c"], 1, 1.0)]);
-        assert_eq!(p.cluster_of("c").unwrap().id, 1);
-        assert!(p.cluster_of("z").is_none());
+        let c = p.machine_id("c").unwrap();
+        assert_eq!(p.cluster_of(c).unwrap().id, 1);
+        assert!(p.cluster_of(MachineId(99)).is_none());
     }
 
     #[test]
@@ -179,7 +211,10 @@ mod tests {
             }],
         };
         let p = DeployPlan::from_clustering(&clustering, 2);
-        assert_eq!(p.clusters[0].reps, vec!["x", "y"]);
+        assert_eq!(
+            p.clusters[0].reps,
+            vec![p.machine_id("x").unwrap(), p.machine_id("y").unwrap()]
+        );
         assert_eq!(p.clusters[0].distance, 2.5);
         // Rep count is clamped to the cluster size and floored at one.
         let p = DeployPlan::from_clustering(&clustering, 0);

@@ -1,7 +1,16 @@
 //! The protocol abstraction: clock-free deployment state machines.
+//!
+//! Everything on this interface moves dense interned ids
+//! ([`MachineId`], [`ProblemId`]) rather than names: reports and
+//! commands are small `Copy`-friendly values, and the fixed-problem set
+//! announced with each release is a flat [`ProblemSet`] bitset. Names
+//! are resolved at the boundaries via the plan's
+//! [`MachineTable`](crate::MachineTable). The previous string-keyed
+//! interface survives in [`crate::reference`] for equivalence testing.
 
-use std::collections::BTreeSet;
 use std::fmt;
+
+use crate::ids::{MachineId, ProblemId, ProblemSet};
 
 /// A release of an upgrade. Release 0 is the original; the driver bumps
 /// the number each time the vendor ships a corrected version.
@@ -15,14 +24,15 @@ impl fmt::Display for Release {
 }
 
 /// The outcome of one machine testing one release.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TestOutcome {
     /// The upgrade integrated and behaved identically.
     Pass,
     /// Testing failed; the failure signature identifies the problem.
     Fail {
-        /// Problem identifier (the failure signature sent to the URR).
-        problem: String,
+        /// Interned problem identifier (the failure signature sent to
+        /// the URR, interned through a `ProblemTable`).
+        problem: ProblemId,
     },
 }
 
@@ -34,10 +44,10 @@ impl TestOutcome {
 }
 
 /// A test report delivered to the vendor's protocol engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TestReport {
     /// Reporting machine.
-    pub machine: String,
+    pub machine: MachineId,
     /// Release that was tested.
     pub release: Release,
     /// Outcome.
@@ -50,8 +60,8 @@ pub enum Command {
     /// Notify these machines that `release` is available; each will
     /// download, test, and report.
     Notify {
-        /// Machines to notify.
-        machines: Vec<String>,
+        /// Machines to notify, in protocol-determined order.
+        machines: Vec<MachineId>,
         /// Release to test.
         release: Release,
     },
@@ -88,7 +98,7 @@ pub trait Protocol {
     /// protocols use it to re-notify exactly the failed machines whose
     /// reported problem is now addressed (re-testing a machine whose
     /// problem is still open would only inflate the upgrade overhead).
-    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command>;
+    fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command>;
 
     /// Returns `true` once every machine has passed.
     fn done(&self) -> bool;
@@ -116,7 +126,7 @@ mod tests {
     fn outcome_helpers() {
         assert!(TestOutcome::Pass.passed());
         assert!(!TestOutcome::Fail {
-            problem: "p".into()
+            problem: ProblemId(0)
         }
         .passed());
     }
@@ -126,5 +136,15 @@ mod tests {
         assert_eq!(Release(3).to_string(), "r3");
         assert!(Release(1) < Release(2));
         assert_eq!(Release::default(), Release(0));
+    }
+
+    #[test]
+    fn reports_are_copy() {
+        // The simulator relies on reports/outcomes being tiny Copy values.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TestReport>();
+        assert_copy::<TestOutcome>();
+        assert_copy::<MachineId>();
+        assert_copy::<ProblemId>();
     }
 }

@@ -1,9 +1,16 @@
 //! The concrete deployment protocols.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! All protocol state is indexed by dense [`MachineId`]s: per-machine
+//! status and failure signatures live in flat `Vec`s, representative
+//! membership in a [`MachineSet`] bitset, and the cumulative fixed-set
+//! consulted on each release is a [`ProblemSet`]. A report is handled
+//! with a handful of array indexings — no string hashing, no tree
+//! walks, no allocation. The previous string-keyed implementations are
+//! retained in [`crate::reference`] for equivalence testing.
 
 use mirage_telemetry::{FlightEvent, Telemetry};
 
+use crate::ids::{MachineId, MachineSet, ProblemId, ProblemSet};
 use crate::plan::DeployPlan;
 use crate::protocol::{Command, MachineStatus, Protocol, Release, TestOutcome, TestReport};
 
@@ -22,6 +29,19 @@ fn ceil_threshold(total: usize, threshold: f64) -> usize {
     (((total as f64) * threshold).ceil() as usize).max(1)
 }
 
+/// Deduplicated machine list in plan order (== ascending id order,
+/// because the plan's table interns members front to back).
+fn unique_machines(plan: &DeployPlan) -> Vec<MachineId> {
+    let mut machines = Vec::with_capacity(plan.machines.len());
+    let mut seen = MachineSet::new();
+    for m in plan.all_machines() {
+        if seen.insert(m) {
+            machines.push(m);
+        }
+    }
+    machines
+}
+
 /// The NoStaging baseline: one giant cluster, everyone a representative.
 ///
 /// Promotes deployment speed at the cost of maximum upgrade overhead —
@@ -30,9 +50,12 @@ fn ceil_threshold(total: usize, threshold: f64) -> usize {
 /// patches.
 #[derive(Debug, Clone)]
 pub struct NoStaging {
-    status: BTreeMap<String, MachineStatus>,
+    /// Per-machine status, indexed by [`MachineId`].
+    status: Vec<MachineStatus>,
+    /// Deduplicated machine list in plan (== id) order.
+    machines: Vec<MachineId>,
     /// Last failure signature per machine, for targeted re-notification.
-    failed_problem: BTreeMap<String, String>,
+    failed_problem: Vec<Option<ProblemId>>,
     passed: usize,
     release: Release,
     completed: bool,
@@ -41,15 +64,22 @@ pub struct NoStaging {
 
 impl NoStaging {
     /// Creates the protocol over a plan (cluster structure is ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's clusters reference ids outside its
+    /// [`MachineTable`](crate::MachineTable) (impossible for plans built
+    /// via [`DeployPlan::from_named`] / [`DeployPlan::from_clustering`]).
     pub fn new(plan: DeployPlan) -> Self {
-        let status = plan
-            .all_machines()
-            .into_iter()
-            .map(|m| (m, MachineStatus::Idle))
-            .collect();
+        let n = plan.machines.len();
+        let machines = unique_machines(&plan);
+        for &m in &machines {
+            assert!(m.index() < n, "cluster member {m} outside machine table");
+        }
         NoStaging {
-            status,
-            failed_problem: BTreeMap::new(),
+            status: vec![MachineStatus::Idle; n],
+            machines,
+            failed_problem: vec![None; n],
             passed: 0,
             release: Release(0),
             completed: false,
@@ -79,9 +109,9 @@ impl Protocol for NoStaging {
     }
 
     fn start(&mut self) -> Vec<Command> {
-        let machines: Vec<String> = self.status.keys().cloned().collect();
-        for m in &machines {
-            self.status.insert(m.clone(), MachineStatus::Testing);
+        let machines = self.machines.clone();
+        for &m in &machines {
+            self.status[m.index()] = MachineStatus::Testing;
         }
         if machines.is_empty() {
             self.completed = true;
@@ -97,38 +127,34 @@ impl Protocol for NoStaging {
     }
 
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
-        let status = match &report.outcome {
+        let idx = report.machine.index();
+        let status = match report.outcome {
             TestOutcome::Pass => MachineStatus::Passed,
             TestOutcome::Fail { problem } => {
-                self.failed_problem
-                    .insert(report.machine.clone(), problem.clone());
+                self.failed_problem[idx] = Some(problem);
                 MachineStatus::Failed
             }
         };
-        let previous = self.status.insert(report.machine.clone(), status);
-        if status == MachineStatus::Passed && previous != Some(MachineStatus::Passed) {
+        let previous = std::mem::replace(&mut self.status[idx], status);
+        if status == MachineStatus::Passed && previous != MachineStatus::Passed {
             self.passed += 1;
         }
         self.completion()
     }
 
-    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+    fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.release = release;
-        let failed: Vec<String> = self
-            .status
+        let failed: Vec<MachineId> = self
+            .machines
             .iter()
-            .filter(|(m, s)| {
-                **s == MachineStatus::Failed
-                    && self
-                        .failed_problem
-                        .get(*m)
-                        .map(|p| fixed.contains(p))
-                        .unwrap_or(true)
+            .copied()
+            .filter(|m| {
+                self.status[m.index()] == MachineStatus::Failed
+                    && self.failed_problem[m.index()].is_none_or(|p| fixed.contains(p))
             })
-            .map(|(m, _)| m.clone())
             .collect();
-        for m in &failed {
-            self.status.insert(m.clone(), MachineStatus::Testing);
+        for &m in &failed {
+            self.status[m.index()] = MachineStatus::Testing;
         }
         if failed.is_empty() {
             return self.completion();
@@ -143,7 +169,7 @@ impl Protocol for NoStaging {
     }
 
     fn done(&self) -> bool {
-        self.passed == self.status.len()
+        self.passed == self.machines.len()
     }
 }
 
@@ -163,6 +189,10 @@ enum ClusterStage {
     NonReps,
 }
 
+/// Sentinel for "machine belongs to no cluster" in the dense
+/// machine→cluster index.
+const NO_CLUSTER: u32 = u32::MAX;
+
 /// The shared engine behind [`Balanced`] and [`FrontLoading`].
 #[derive(Debug, Clone)]
 struct StagedEngine {
@@ -170,21 +200,28 @@ struct StagedEngine {
     order: Vec<usize>,
     threshold: f64,
     global_rep_phase: bool,
-    status: BTreeMap<String, MachineStatus>,
-    /// Machine → cluster index, for O(log n) counter updates.
-    cluster_of: BTreeMap<String, usize>,
+    /// Per-machine status, indexed by [`MachineId`].
+    status: Vec<MachineStatus>,
+    /// Deduplicated machine list in plan (== id) order.
+    machines: Vec<MachineId>,
+    /// Machine → cluster index (last containing cluster wins), for O(1)
+    /// counter updates. [`NO_CLUSTER`] when unclustered.
+    cluster_of: Vec<u32>,
+    /// Machines that count as representatives *of their own cluster*
+    /// (per `cluster_of`), so `reps_passed` matches the rep definition
+    /// the wave logic uses.
+    counted_rep: MachineSet,
     /// Passed-machine count per cluster index.
     cluster_passed: Vec<usize>,
     /// Passed representatives (fleet-wide).
     reps_passed: usize,
     total_reps: usize,
     total_passed: usize,
-    total_machines: usize,
     release: Release,
     phase: Phase,
     stage: ClusterStage,
     /// Last failure signature per machine, for targeted re-notification.
-    failed_problem: BTreeMap<String, String>,
+    failed_problem: Vec<Option<ProblemId>>,
     completed: bool,
     telemetry: Telemetry,
 }
@@ -196,32 +233,38 @@ impl StagedEngine {
             plan.clusters.len(),
             "order must cover every cluster exactly once"
         );
-        let status: BTreeMap<String, MachineStatus> = plan
-            .all_machines()
-            .into_iter()
-            .map(|m| (m, MachineStatus::Idle))
-            .collect();
-        let mut cluster_of = BTreeMap::new();
+        let n = plan.machines.len();
+        let machines = unique_machines(&plan);
+        let mut cluster_of = vec![NO_CLUSTER; n];
         for (i, c) in plan.clusters.iter().enumerate() {
-            for m in &c.members {
-                cluster_of.insert(m.clone(), i);
+            for &m in &c.members {
+                assert!(m.index() < n, "cluster member {m} outside machine table");
+                cluster_of[m.index()] = i as u32;
+            }
+        }
+        let mut counted_rep = MachineSet::new();
+        for (i, c) in plan.clusters.iter().enumerate() {
+            for &r in &c.reps {
+                if cluster_of[r.index()] == i as u32 {
+                    counted_rep.insert(r);
+                }
             }
         }
         let total_reps = plan.clusters.iter().map(|c| c.reps.len()).sum();
-        let total_machines = status.len();
         let cluster_passed = vec![0; plan.clusters.len()];
         StagedEngine {
             plan,
             order,
             threshold,
             global_rep_phase,
-            status,
+            status: vec![MachineStatus::Idle; n],
+            machines,
             cluster_of,
+            counted_rep,
             cluster_passed,
             reps_passed: 0,
             total_reps,
             total_passed: 0,
-            total_machines,
             release: Release(0),
             phase: if global_rep_phase {
                 Phase::GlobalReps
@@ -229,27 +272,27 @@ impl StagedEngine {
                 Phase::Cluster(0)
             },
             stage: ClusterStage::Reps,
-            failed_problem: BTreeMap::new(),
+            failed_problem: vec![None; n],
             completed: false,
             telemetry: Telemetry::noop(),
         }
     }
 
-    fn notify(&mut self, machines: Vec<String>, out: &mut Vec<Command>) {
-        let fresh: Vec<String> = machines
+    fn notify(&mut self, machines: Vec<MachineId>, out: &mut Vec<Command>) {
+        let fresh: Vec<MachineId> = machines
             .into_iter()
             .filter(|m| {
                 matches!(
-                    self.status.get(m),
-                    Some(MachineStatus::Idle) | Some(MachineStatus::Failed)
+                    self.status[m.index()],
+                    MachineStatus::Idle | MachineStatus::Failed
                 )
             })
             .collect();
         if fresh.is_empty() {
             return;
         }
-        for m in &fresh {
-            self.status.insert(m.clone(), MachineStatus::Testing);
+        for &m in &fresh {
+            self.status[m.index()] = MachineStatus::Testing;
         }
         self.telemetry.counter("deploy.notify_commands", 1);
         self.telemetry
@@ -260,17 +303,17 @@ impl StagedEngine {
         });
     }
 
-    fn all_passed(&self, machines: &[String]) -> bool {
+    fn all_passed(&self, machines: &[MachineId]) -> bool {
         machines
             .iter()
-            .all(|m| self.status.get(m) == Some(&MachineStatus::Passed))
+            .all(|m| self.status[m.index()] == MachineStatus::Passed)
     }
 
-    fn all_reps(&self) -> Vec<String> {
+    fn all_reps(&self) -> Vec<MachineId> {
         self.plan
             .clusters
             .iter()
-            .flat_map(|c| c.reps.iter().cloned())
+            .flat_map(|c| c.reps.iter().copied())
             .collect()
     }
 
@@ -303,8 +346,7 @@ impl StagedEngine {
                     let cluster = &self.plan.clusters[cid];
                     match self.stage {
                         ClusterStage::Reps => {
-                            let reps = cluster.reps.clone();
-                            if self.all_passed(&reps) {
+                            if self.all_passed(&cluster.reps) {
                                 self.stage = ClusterStage::NonReps;
                                 let non_reps = cluster.non_reps();
                                 self.notify(non_reps, out);
@@ -355,7 +397,7 @@ impl StagedEngine {
 
     fn start(&mut self) -> Vec<Command> {
         let mut out = Vec::new();
-        if self.plan.machine_count() == 0 {
+        if self.machines.is_empty() {
             self.completed = true;
             return vec![Command::Complete];
         }
@@ -371,24 +413,21 @@ impl StagedEngine {
     }
 
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
-        let status = match &report.outcome {
+        let idx = report.machine.index();
+        let status = match report.outcome {
             TestOutcome::Pass => MachineStatus::Passed,
             TestOutcome::Fail { problem } => {
-                self.failed_problem
-                    .insert(report.machine.clone(), problem.clone());
+                self.failed_problem[idx] = Some(problem);
                 MachineStatus::Failed
             }
         };
-        let previous = self.status.insert(report.machine.clone(), status);
-        if status == MachineStatus::Passed && previous != Some(MachineStatus::Passed) {
+        let previous = std::mem::replace(&mut self.status[idx], status);
+        if status == MachineStatus::Passed && previous != MachineStatus::Passed {
             self.total_passed += 1;
-            if let Some(&cid) = self.cluster_of.get(&report.machine) {
-                self.cluster_passed[cid] += 1;
-                if self.plan.clusters[cid]
-                    .reps
-                    .iter()
-                    .any(|r| r == &report.machine)
-                {
+            let cid = self.cluster_of[idx];
+            if cid != NO_CLUSTER {
+                self.cluster_passed[cid as usize] += 1;
+                if self.counted_rep.contains(report.machine) {
                     self.reps_passed += 1;
                 }
             }
@@ -398,20 +437,16 @@ impl StagedEngine {
         out
     }
 
-    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+    fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.release = release;
-        let failed: Vec<String> = self
-            .status
+        let failed: Vec<MachineId> = self
+            .machines
             .iter()
-            .filter(|(m, s)| {
-                **s == MachineStatus::Failed
-                    && self
-                        .failed_problem
-                        .get(*m)
-                        .map(|p| fixed.contains(p))
-                        .unwrap_or(true)
+            .copied()
+            .filter(|m| {
+                self.status[m.index()] == MachineStatus::Failed
+                    && self.failed_problem[m.index()].is_none_or(|p| fixed.contains(p))
             })
-            .map(|(m, _)| m.clone())
             .collect();
         let mut out = Vec::new();
         self.notify(failed, &mut out);
@@ -420,7 +455,7 @@ impl StagedEngine {
     }
 
     fn done(&self) -> bool {
-        self.total_passed == self.total_machines
+        self.total_passed == self.machines.len()
     }
 }
 
@@ -474,7 +509,7 @@ impl Protocol for Balanced {
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
         self.engine.on_report(report)
     }
-    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+    fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.engine.on_release(release, fixed)
     }
     fn done(&self) -> bool {
@@ -529,7 +564,7 @@ impl Protocol for FrontLoading {
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
         self.engine.on_report(report)
     }
-    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<Command> {
+    fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.engine.on_release(release, fixed)
     }
     fn done(&self) -> bool {
@@ -540,184 +575,189 @@ impl Protocol for FrontLoading {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::DeployCluster;
     use crate::protocol::TestOutcome;
 
     fn plan(specs: &[(&[&str], usize, f64)]) -> DeployPlan {
-        DeployPlan {
-            clusters: specs
+        DeployPlan::from_named(
+            specs
                 .iter()
-                .enumerate()
-                .map(|(id, (members, reps, distance))| DeployCluster {
-                    id,
-                    members: members.iter().map(|s| s.to_string()).collect(),
-                    reps: members.iter().take(*reps).map(|s| s.to_string()).collect(),
-                    distance: *distance,
-                })
-                .collect(),
-        }
+                .map(|(members, reps, distance)| (members.iter().copied(), *reps, *distance)),
+        )
     }
 
-    fn notified(cmds: &[Command]) -> Vec<String> {
+    /// Renders notified machines back to names via the plan's table.
+    fn notified(plan: &DeployPlan, cmds: &[Command]) -> Vec<String> {
         cmds.iter()
             .flat_map(|c| match c {
-                Command::Notify { machines, .. } => machines.clone(),
-                Command::Complete => vec![],
+                Command::Notify { machines, .. } => machines
+                    .iter()
+                    .map(|&m| plan.machine_name(m).to_string())
+                    .collect(),
+                Command::Complete => Vec::new(),
             })
             .collect()
     }
 
-    fn pass(machine: &str, release: u32) -> TestReport {
+    fn pass(plan: &DeployPlan, machine: &str, release: u32) -> TestReport {
         TestReport {
-            machine: machine.into(),
+            machine: plan.machine_id(machine).expect("machine in plan"),
             release: Release(release),
             outcome: TestOutcome::Pass,
         }
     }
 
-    fn fixed(problems: &[&str]) -> BTreeSet<String> {
-        problems.iter().map(|s| s.to_string()).collect()
-    }
-
-    fn fail(machine: &str, release: u32, problem: &str) -> TestReport {
+    fn fail(plan: &DeployPlan, machine: &str, release: u32, problem: u16) -> TestReport {
         TestReport {
-            machine: machine.into(),
+            machine: plan.machine_id(machine).expect("machine in plan"),
             release: Release(release),
             outcome: TestOutcome::Fail {
-                problem: problem.into(),
+                problem: ProblemId(problem),
             },
         }
     }
 
+    fn fixed(problems: &[u16]) -> ProblemSet {
+        let mut s = ProblemSet::new();
+        for &p in problems {
+            s.insert(ProblemId(p));
+        }
+        s
+    }
+
     #[test]
     fn nostaging_notifies_everyone_then_retries_failures() {
-        let mut p = NoStaging::new(plan(&[(&["a", "b"], 1, 0.0), (&["c"], 1, 1.0)]));
+        let pl = plan(&[(&["a", "b"], 1, 0.0), (&["c"], 1, 1.0)]);
+        let mut p = NoStaging::new(pl.clone());
         let cmds = p.start();
-        let mut all = notified(&cmds);
+        let mut all = notified(&pl, &cmds);
         all.sort();
         assert_eq!(all, vec!["a", "b", "c"]);
-        assert!(p.on_report(&pass("a", 0)).is_empty());
-        assert!(p.on_report(&fail("b", 0, "p1")).is_empty());
-        assert!(p.on_report(&pass("c", 0)).is_empty());
+        assert!(p.on_report(&pass(&pl, "a", 0)).is_empty());
+        assert!(p.on_report(&fail(&pl, "b", 0, 1)).is_empty());
+        assert!(p.on_report(&pass(&pl, "c", 0)).is_empty());
         assert!(!p.done());
         // Fixed release: only the failed machine is re-notified.
-        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
-        assert_eq!(notified(&cmds), vec!["b"]);
-        let cmds = p.on_report(&pass("b", 1));
+        let cmds = p.on_release(Release(1), &fixed(&[0, 1]));
+        assert_eq!(notified(&pl, &cmds), vec!["b"]);
+        let cmds = p.on_report(&pass(&pl, "b", 1));
         assert_eq!(cmds, vec![Command::Complete]);
         assert!(p.done());
     }
 
     #[test]
+    fn nostaging_skips_failures_whose_problem_is_still_open() {
+        let pl = plan(&[(&["a", "b"], 1, 0.0)]);
+        let mut p = NoStaging::new(pl.clone());
+        p.start();
+        p.on_report(&fail(&pl, "a", 0, 7));
+        p.on_report(&fail(&pl, "b", 0, 8));
+        // Release fixing only problem 7 re-notifies only "a".
+        let cmds = p.on_release(Release(1), &fixed(&[7]));
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
+    }
+
+    #[test]
     fn balanced_walks_clusters_in_distance_order() {
         // near (distance 1) then far (distance 5).
-        let mut p = Balanced::new(
-            plan(&[(&["f1", "f2"], 1, 5.0), (&["n1", "n2"], 1, 1.0)]),
-            1.0,
-        );
+        let pl = plan(&[(&["f1", "f2"], 1, 5.0), (&["n1", "n2"], 1, 1.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0);
         // Start: reps of the nearest cluster only.
         let cmds = p.start();
-        assert_eq!(notified(&cmds), vec!["n1"]);
+        assert_eq!(notified(&pl, &cmds), vec!["n1"]);
         // Rep passes → non-reps of that cluster.
-        let cmds = p.on_report(&pass("n1", 0));
-        assert_eq!(notified(&cmds), vec!["n2"]);
+        let cmds = p.on_report(&pass(&pl, "n1", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["n2"]);
         // Cluster complete → next cluster's rep.
-        let cmds = p.on_report(&pass("n2", 0));
-        assert_eq!(notified(&cmds), vec!["f1"]);
-        let cmds = p.on_report(&pass("f1", 0));
-        assert_eq!(notified(&cmds), vec!["f2"]);
-        let cmds = p.on_report(&pass("f2", 0));
+        let cmds = p.on_report(&pass(&pl, "n2", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["f1"]);
+        let cmds = p.on_report(&pass(&pl, "f1", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["f2"]);
+        let cmds = p.on_report(&pass(&pl, "f2", 0));
         assert_eq!(cmds, vec![Command::Complete]);
     }
 
     #[test]
     fn balanced_rep_failure_stalls_until_release() {
-        let mut p = Balanced::new(plan(&[(&["a", "b"], 1, 0.0)]), 1.0);
+        let pl = plan(&[(&["a", "b"], 1, 0.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0);
         let cmds = p.start();
-        assert_eq!(notified(&cmds), vec!["a"]);
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
         // Rep fails: nothing moves.
-        assert!(p.on_report(&fail("a", 0, "p1")).is_empty());
+        assert!(p.on_report(&fail(&pl, "a", 0, 1)).is_empty());
         // Fix ships: rep re-notified.
-        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
-        assert_eq!(notified(&cmds), vec!["a"]);
+        let cmds = p.on_release(Release(1), &fixed(&[0, 1]));
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
         // Rep passes → non-rep notified with the *fixed* release.
-        let cmds = p.on_report(&pass("a", 1));
+        let cmds = p.on_report(&pass(&pl, "a", 1));
         match &cmds[0] {
             Command::Notify { machines, release } => {
-                assert_eq!(machines, &vec!["b".to_string()]);
+                assert_eq!(machines, &vec![pl.machine_id("b").unwrap()]);
                 assert_eq!(*release, Release(1));
             }
             other => panic!("unexpected {other:?}"),
         }
-        let cmds = p.on_report(&pass("b", 1));
+        let cmds = p.on_report(&pass(&pl, "b", 1));
         assert_eq!(cmds, vec![Command::Complete]);
     }
 
     #[test]
     fn threshold_advances_past_stragglers() {
         // threshold 0.5: cluster advances once half its machines passed.
-        let mut p = Balanced::new(
-            plan(&[(&["a", "b", "c", "d"], 1, 0.0), (&["z"], 1, 9.0)]),
-            0.5,
-        );
+        let pl = plan(&[(&["a", "b", "c", "d"], 1, 0.0), (&["z"], 1, 9.0)]);
+        let mut p = Balanced::new(pl.clone(), 0.5);
         p.start();
-        let cmds = p.on_report(&pass("a", 0));
-        assert_eq!(notified(&cmds), vec!["b", "c", "d"]);
+        let cmds = p.on_report(&pass(&pl, "a", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["b", "c", "d"]);
         // 2/4 passed (a + b) → threshold met → next cluster despite c, d
         // still testing.
-        let cmds = p.on_report(&pass("b", 0));
-        assert!(notified(&cmds).contains(&"z".to_string()));
-        assert!(p.on_report(&fail("c", 0, "p")).is_empty());
+        let cmds = p.on_report(&pass(&pl, "b", 0));
+        assert!(notified(&pl, &cmds).contains(&"z".to_string()));
+        assert!(p.on_report(&fail(&pl, "c", 0, 1)).is_empty());
         // The straggler still gets the fix later.
-        p.on_report(&pass("d", 0));
-        p.on_report(&pass("z", 0));
+        p.on_report(&pass(&pl, "d", 0));
+        p.on_report(&pass(&pl, "z", 0));
         assert!(!p.done());
-        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
-        assert_eq!(notified(&cmds), vec!["c"]);
-        let cmds = p.on_report(&pass("c", 1));
+        let cmds = p.on_release(Release(1), &fixed(&[0, 1]));
+        assert_eq!(notified(&pl, &cmds), vec!["c"]);
+        let cmds = p.on_report(&pass(&pl, "c", 1));
         assert_eq!(cmds, vec![Command::Complete]);
     }
 
     #[test]
     fn frontloading_tests_all_reps_first() {
-        let mut p = FrontLoading::new(
-            plan(&[(&["a1", "a2"], 1, 1.0), (&["b1", "b2"], 1, 5.0)]),
-            1.0,
-        );
+        let pl = plan(&[(&["a1", "a2"], 1, 1.0), (&["b1", "b2"], 1, 5.0)]);
+        let mut p = FrontLoading::new(pl.clone(), 1.0);
         // Phase 1: all reps in parallel.
         let cmds = p.start();
-        let mut reps = notified(&cmds);
+        let mut reps = notified(&pl, &cmds);
         reps.sort();
         assert_eq!(reps, vec!["a1", "b1"]);
         // One rep fails; the other passes. Phase 2 must not start.
-        assert!(p.on_report(&fail("b1", 0, "p1")).is_empty());
-        assert!(p.on_report(&pass("a1", 0)).is_empty());
+        assert!(p.on_report(&fail(&pl, "b1", 0, 1)).is_empty());
+        assert!(p.on_report(&pass(&pl, "a1", 0)).is_empty());
         // Fix ships; failed rep re-tests.
-        let cmds = p.on_release(Release(1), &fixed(&["p1", "p"]));
-        assert_eq!(notified(&cmds), vec!["b1"]);
+        let cmds = p.on_release(Release(1), &fixed(&[0, 1]));
+        assert_eq!(notified(&pl, &cmds), vec!["b1"]);
         // All reps passed → phase 2 starts at the *farthest* cluster (b).
-        let cmds = p.on_report(&pass("b1", 1));
-        assert_eq!(notified(&cmds), vec!["b2"]);
-        let cmds = p.on_report(&pass("b2", 1));
-        assert_eq!(notified(&cmds), vec!["a2"]);
-        let cmds = p.on_report(&pass("a2", 1));
+        let cmds = p.on_report(&pass(&pl, "b1", 1));
+        assert_eq!(notified(&pl, &cmds), vec!["b2"]);
+        let cmds = p.on_report(&pass(&pl, "b2", 1));
+        assert_eq!(notified(&pl, &cmds), vec!["a2"]);
+        let cmds = p.on_report(&pass(&pl, "a2", 1));
         assert_eq!(cmds, vec![Command::Complete]);
     }
 
     #[test]
     fn random_staging_uses_given_order() {
-        let mut p = Balanced::with_order(
-            plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0), (&["c"], 1, 3.0)]),
-            vec![2, 0, 1],
-            1.0,
-        );
+        let pl = plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0), (&["c"], 1, 3.0)]);
+        let mut p = Balanced::with_order(pl.clone(), vec![2, 0, 1], 1.0);
         assert_eq!(p.name(), "RandomStaging");
         let cmds = p.start();
-        assert_eq!(notified(&cmds), vec!["c"]);
-        let cmds = p.on_report(&pass("c", 0));
-        assert_eq!(notified(&cmds), vec!["a"]);
-        let cmds = p.on_report(&pass("a", 0));
-        assert_eq!(notified(&cmds), vec!["b"]);
+        assert_eq!(notified(&pl, &cmds), vec!["c"]);
+        let cmds = p.on_report(&pass(&pl, "c", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
+        let cmds = p.on_report(&pass(&pl, "a", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["b"]);
     }
 
     #[test]
@@ -734,12 +774,13 @@ mod tests {
     fn single_member_clusters_cascade() {
         // Clusters whose only member is the rep: non-rep stage is empty
         // and must cascade to the next cluster without extra reports.
-        let mut p = Balanced::new(plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0)]), 1.0);
+        let pl = plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0);
         let cmds = p.start();
-        assert_eq!(notified(&cmds), vec!["a"]);
-        let cmds = p.on_report(&pass("a", 0));
-        assert_eq!(notified(&cmds), vec!["b"]);
-        let cmds = p.on_report(&pass("b", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
+        let cmds = p.on_report(&pass(&pl, "a", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["b"]);
+        let cmds = p.on_report(&pass(&pl, "b", 0));
         assert_eq!(cmds, vec![Command::Complete]);
         assert!(p.done());
     }
@@ -770,13 +811,14 @@ mod tests {
     fn zero_threshold_waits_for_first_pass() {
         // With threshold 0.0 the wave must not skip a cluster before at
         // least one of its machines (the rep) has passed.
-        let mut p = Balanced::new(plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]), 0.0);
+        let pl = plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]);
+        let mut p = Balanced::new(pl.clone(), 0.0);
         let cmds = p.start();
-        assert_eq!(notified(&cmds), vec!["a"]);
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
         // Only once the rep passes does the wave advance (threshold met
         // by that single pass) — and the non-rep is still notified.
-        let cmds = p.on_report(&pass("a", 0));
-        let mut next = notified(&cmds);
+        let cmds = p.on_report(&pass(&pl, "a", 0));
+        let mut next = notified(&pl, &cmds);
         next.sort();
         assert_eq!(next, vec!["b", "z"]);
     }
@@ -785,37 +827,14 @@ mod tests {
     fn empty_cluster_in_plan_is_skipped() {
         // A degenerate plan containing an empty cluster must cascade
         // straight through it rather than stalling forever.
-        let mut p = Balanced::new(
-            DeployPlan {
-                clusters: vec![
-                    DeployCluster {
-                        id: 0,
-                        members: vec!["a".into()],
-                        reps: vec!["a".into()],
-                        distance: 0.0,
-                    },
-                    DeployCluster {
-                        id: 1,
-                        members: vec![],
-                        reps: vec![],
-                        distance: 1.0,
-                    },
-                    DeployCluster {
-                        id: 2,
-                        members: vec!["c".into()],
-                        reps: vec!["c".into()],
-                        distance: 2.0,
-                    },
-                ],
-            },
-            1.0,
-        );
+        let pl = plan(&[(&["a"], 1, 0.0), (&[], 1, 1.0), (&["c"], 1, 2.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0);
         let cmds = p.start();
-        assert_eq!(notified(&cmds), vec!["a"]);
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
         // Passing "a" advances through the empty cluster to "c".
-        let cmds = p.on_report(&pass("a", 0));
-        assert_eq!(notified(&cmds), vec!["c"]);
-        let cmds = p.on_report(&pass("c", 0));
+        let cmds = p.on_report(&pass(&pl, "a", 0));
+        assert_eq!(notified(&pl, &cmds), vec!["c"]);
+        let cmds = p.on_report(&pass(&pl, "c", 0));
         assert_eq!(cmds, vec![Command::Complete]);
         assert!(p.done());
     }
@@ -828,12 +847,12 @@ mod tests {
 
         let registry = Arc::new(Registry::new(64));
         let t = Telemetry::from_registry(Arc::clone(&registry));
-        let mut p =
-            Balanced::new(plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]), 1.0).with_telemetry(t);
+        let pl = plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0).with_telemetry(t);
         p.start();
-        p.on_report(&pass("a", 0));
-        p.on_report(&pass("b", 0));
-        p.on_report(&pass("z", 0));
+        p.on_report(&pass(&pl, "a", 0));
+        p.on_report(&pass(&pl, "b", 0));
+        p.on_report(&pass(&pl, "z", 0));
         let snap = registry.snapshot();
         // start→a, a→b, cluster advance→z: three Notify commands.
         assert_eq!(snap.counters["deploy.notify_commands"], 3);
@@ -846,43 +865,42 @@ mod tests {
 #[cfg(test)]
 mod multi_rep_tests {
     use super::*;
-    use crate::plan::DeployCluster;
     use crate::protocol::TestOutcome;
 
-    fn plan_two_reps() -> DeployPlan {
-        DeployPlan {
-            clusters: vec![DeployCluster {
-                id: 0,
-                members: vec!["r1".into(), "r2".into(), "n1".into(), "n2".into()],
-                reps: vec!["r1".into(), "r2".into()],
-                distance: 0.0,
-            }],
-        }
+    fn plan(specs: &[(&[&str], usize, f64)]) -> DeployPlan {
+        DeployPlan::from_named(
+            specs
+                .iter()
+                .map(|(members, reps, distance)| (members.iter().copied(), *reps, *distance)),
+        )
     }
 
-    fn pass(machine: &str) -> TestReport {
+    fn pass(plan: &DeployPlan, machine: &str) -> TestReport {
         TestReport {
-            machine: machine.into(),
+            machine: plan.machine_id(machine).expect("machine in plan"),
             release: Release(0),
             outcome: TestOutcome::Pass,
         }
     }
 
-    fn fail(machine: &str, problem: &str) -> TestReport {
+    fn fail(plan: &DeployPlan, machine: &str, problem: u16) -> TestReport {
         TestReport {
-            machine: machine.into(),
+            machine: plan.machine_id(machine).expect("machine in plan"),
             release: Release(0),
             outcome: TestOutcome::Fail {
-                problem: problem.into(),
+                problem: ProblemId(problem),
             },
         }
     }
 
-    fn notified(cmds: &[Command]) -> Vec<String> {
+    fn notified(plan: &DeployPlan, cmds: &[Command]) -> Vec<String> {
         cmds.iter()
             .flat_map(|c| match c {
-                Command::Notify { machines, .. } => machines.clone(),
-                Command::Complete => vec![],
+                Command::Notify { machines, .. } => machines
+                    .iter()
+                    .map(|&m| plan.machine_name(m).to_string())
+                    .collect(),
+                Command::Complete => Vec::new(),
             })
             .collect()
     }
@@ -892,20 +910,22 @@ mod multi_rep_tests {
     /// multiple representatives).
     #[test]
     fn all_reps_must_pass_before_non_reps() {
-        let mut p = Balanced::new(plan_two_reps(), 1.0);
+        let pl = plan(&[(&["r1", "r2", "n1", "n2"], 2, 0.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0);
         let cmds = p.start();
-        let mut first = notified(&cmds);
+        let mut first = notified(&pl, &cmds);
         first.sort();
         assert_eq!(first, vec!["r1", "r2"]);
         // One rep passes: nothing happens yet.
-        assert!(notified(&p.on_report(&pass("r1"))).is_empty());
+        assert!(notified(&pl, &p.on_report(&pass(&pl, "r1"))).is_empty());
         // Second rep fails: still nothing.
-        assert!(notified(&p.on_report(&fail("r2", "p"))).is_empty());
+        assert!(notified(&pl, &p.on_report(&fail(&pl, "r2", 0))).is_empty());
         // Fix ships: only the failed rep retests.
-        let fixed: std::collections::BTreeSet<String> = ["p".to_string()].into();
-        assert_eq!(notified(&p.on_release(Release(1), &fixed)), vec!["r2"]);
+        let mut fixed = ProblemSet::new();
+        fixed.insert(ProblemId(0));
+        assert_eq!(notified(&pl, &p.on_release(Release(1), &fixed)), vec!["r2"]);
         // Now the non-reps go out.
-        let mut nonreps = notified(&p.on_report(&pass("r2")));
+        let mut nonreps = notified(&pl, &p.on_report(&pass(&pl, "r2")));
         nonreps.sort();
         assert_eq!(nonreps, vec!["n1", "n2"]);
     }
@@ -914,29 +934,14 @@ mod multi_rep_tests {
     /// every cluster, even when failures interleave with passes.
     #[test]
     fn frontloading_phase1_with_multiple_reps() {
-        let plan = DeployPlan {
-            clusters: vec![
-                DeployCluster {
-                    id: 0,
-                    members: vec!["a1".into(), "a2".into(), "a3".into()],
-                    reps: vec!["a1".into(), "a2".into()],
-                    distance: 0.0,
-                },
-                DeployCluster {
-                    id: 1,
-                    members: vec!["b1".into(), "b2".into()],
-                    reps: vec!["b1".into()],
-                    distance: 1.0,
-                },
-            ],
-        };
-        let mut p = FrontLoading::new(plan, 1.0);
+        let pl = plan(&[(&["a1", "a2", "a3"], 2, 0.0), (&["b1", "b2"], 1, 1.0)]);
+        let mut p = FrontLoading::new(pl.clone(), 1.0);
         let cmds = p.start();
-        assert_eq!(notified(&cmds).len(), 3, "all three reps in parallel");
-        assert!(notified(&p.on_report(&pass("a1"))).is_empty());
-        assert!(notified(&p.on_report(&pass("b1"))).is_empty());
+        assert_eq!(notified(&pl, &cmds).len(), 3, "all three reps in parallel");
+        assert!(notified(&pl, &p.on_report(&pass(&pl, "a1"))).is_empty());
+        assert!(notified(&pl, &p.on_report(&pass(&pl, "b1"))).is_empty());
         // The last rep's pass opens phase 2 at the farthest cluster.
-        let cmds = p.on_report(&pass("a2"));
-        assert_eq!(notified(&cmds), vec!["b2"]);
+        let cmds = p.on_report(&pass(&pl, "a2"));
+        assert_eq!(notified(&pl, &cmds), vec!["b2"]);
     }
 }

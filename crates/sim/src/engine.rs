@@ -1,45 +1,102 @@
-//! The event queue.
+//! The event queue: a calendar (bucket) queue over discrete [`SimTime`].
+//!
+//! Simulation events are tiny [`Copy`] values keyed by dense interned
+//! ids, so the queue stores them inline — no slab, no free list, no
+//! per-event allocation. Ordering uses the *calendar queue* structure:
+//! a power-of-two wheel of [`WHEEL`] buckets indexed by `time % WHEEL`,
+//! each bucket a `Vec` drained front-to-back (FIFO within a timestamp
+//! for free), plus a sorted overflow map for events scheduled further
+//! than [`WHEEL`] ticks ahead. `schedule` is O(1) amortised; `pop`
+//! is O(1) amortised for the dense event streams a deployment run
+//! produces (machine cycles of ~15 ticks, fix delays of ~500 — both far
+//! inside the wheel horizon).
+//!
+//! The previous `BinaryHeap`+slab implementation survives as
+//! [`crate::runner::reference::HeapEventQueue`] for the equivalence
+//! property tests.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
+
+use mirage_deploy::{MachineId, ProblemId};
 
 /// Simulated time, in the paper's abstract "time units".
 pub type SimTime = u64;
 
-/// Events processed by the simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Number of wheel buckets (one simulated tick each). Power of two so
+/// `time % WHEEL` compiles to a mask. 2048 comfortably covers the
+/// paper's longest single delay (fix = 500 ticks).
+const WHEEL: usize = 2048;
+
+/// Events processed by the simulation. A small `Copy` value: the queue
+/// and the runner pass events by value with no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A machine finished downloading and testing a release.
     TestDone {
         /// The machine that tested.
-        machine: String,
+        machine: MachineId,
         /// The release it tested.
         release: u32,
     },
     /// The vendor finished fixing a problem.
     FixDone {
         /// The problem that was fixed.
-        problem: String,
+        problem: ProblemId,
     },
 }
 
-/// A deterministic time-ordered event queue.
+/// One wheel slot: events at a single timestamp, drained via `head`
+/// so same-time pops are O(1) without shifting the vector.
+#[derive(Debug, Default, Clone)]
+struct Bucket {
+    events: Vec<Event>,
+    head: usize,
+}
+
+impl Bucket {
+    fn pending(&self) -> usize {
+        self.events.len() - self.head
+    }
+}
+
+/// A deterministic time-ordered calendar event queue.
 ///
 /// Events at equal times are processed in insertion order (FIFO), which
-/// keeps simulations reproducible.
+/// keeps simulations reproducible — the queue preserves this even for
+/// events that cross the wheel/overflow boundary (see `schedule`).
 ///
-/// Event payloads live in a slab (`store`); the heap orders only
-/// `(time, seq, slot)` triples. Slots freed by [`EventQueue::pop`] are
-/// recycled through a free list, so the slab's footprint is bounded by
-/// the maximum number of *simultaneously pending* events rather than by
-/// the total number ever scheduled — on a 100k-machine run with
-/// millions of schedule/pop cycles the difference is the whole heap.
-#[derive(Debug, Default)]
+/// # Invariants
+///
+/// * every wheel event's time lies in `[cursor, cursor + WHEEL)`, so
+///   each bucket holds events of exactly one timestamp;
+/// * every overflow key was `>= cursor + WHEEL` when inserted; keys
+///   that drift inside the horizon as `cursor` advances are migrated
+///   into the wheel at the start of each `pop`, *before* the wheel
+///   could acquire same-time events (a same-time wheel insert while the
+///   overflow entry exists is redirected to the overflow entry).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    store: Vec<Option<Event>>,
-    free: Vec<usize>,
-    seq: u64,
+    buckets: Vec<Bucket>,
+    /// Next timestamp to drain; only advances.
+    cursor: SimTime,
+    /// Events currently in the wheel.
+    wheel_len: usize,
+    /// Far-future events: time → FIFO batch.
+    overflow: BTreeMap<SimTime, Vec<Event>>,
+    /// Total pending events (wheel + overflow).
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            buckets: vec![Bucket::default(); WHEEL],
+            cursor: 0,
+            wheel_len: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -49,46 +106,101 @@ impl EventQueue {
     }
 
     /// Schedules `event` at `time`.
+    ///
+    /// Times earlier than the queue's current position are clamped to
+    /// "now" (the simulation never schedules into the past; the clamp
+    /// makes the queue total rather than panicking in release builds).
     pub fn schedule(&mut self, time: SimTime, event: Event) {
-        let idx = match self.free.pop() {
-            Some(idx) => {
-                debug_assert!(self.store[idx].is_none(), "free slot still occupied");
-                self.store[idx] = Some(event);
-                idx
+        debug_assert!(time >= self.cursor, "scheduling into the past");
+        let time = time.max(self.cursor);
+        self.len += 1;
+        if !self.overflow.is_empty() {
+            // FIFO preservation across the boundary: if this timestamp
+            // already has an overflow batch, later same-time events must
+            // queue *behind* it, not jump ahead via the wheel.
+            if let Some(batch) = self.overflow.get_mut(&time) {
+                batch.push(event);
+                return;
             }
-            None => {
-                self.store.push(Some(event));
-                self.store.len() - 1
+        }
+        if time < self.cursor + WHEEL as SimTime {
+            self.buckets[(time % WHEEL as SimTime) as usize]
+                .events
+                .push(event);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.entry(time).or_default().push(event);
+        }
+    }
+
+    /// Moves overflow batches that now fall inside the wheel horizon
+    /// into their buckets.
+    fn migrate(&mut self) {
+        while let Some((&t, _)) = self.overflow.first_key_value() {
+            if t >= self.cursor + WHEEL as SimTime {
+                break;
             }
-        };
-        self.heap.push(Reverse((time, self.seq, idx)));
-        self.seq += 1;
+            let batch = self.overflow.pop_first().expect("checked non-empty").1;
+            let bucket = &mut self.buckets[(t % WHEEL as SimTime) as usize];
+            debug_assert!(
+                bucket.pending() == 0,
+                "migration target bucket not empty (invariant violation)"
+            );
+            self.wheel_len += batch.len();
+            if bucket.events.is_empty() {
+                bucket.events = batch;
+                bucket.head = 0;
+            } else {
+                bucket.events.extend(batch);
+            }
+        }
     }
 
     /// Pops the earliest event, returning `(time, event)`.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let Reverse((time, _, idx)) = self.heap.pop()?;
-        let event = self.store[idx].take().expect("event already taken");
-        self.free.push(idx);
-        Some((time, event))
-    }
-
-    /// Number of slab slots currently allocated (pending + recyclable).
-    ///
-    /// Exposed for diagnostics and the slot-reuse regression test; the
-    /// invariant is `store_slots() <= ` peak [`EventQueue::len`].
-    pub fn store_slots(&self) -> usize {
-        self.store.len()
+        if self.len == 0 {
+            return None;
+        }
+        self.migrate();
+        loop {
+            if self.wheel_len == 0 {
+                // Jump the cursor straight to the first far-future batch
+                // instead of scanning empty buckets.
+                let (&t, _) = self
+                    .overflow
+                    .first_key_value()
+                    .expect("len > 0 but both queues empty");
+                self.cursor = t;
+                self.migrate();
+                continue;
+            }
+            let bucket = &mut self.buckets[(self.cursor % WHEEL as SimTime) as usize];
+            if bucket.head < bucket.events.len() {
+                let event = bucket.events[bucket.head];
+                bucket.head += 1;
+                if bucket.head == bucket.events.len() {
+                    bucket.events.clear();
+                    bucket.head = 0;
+                }
+                self.wheel_len -= 1;
+                self.len -= 1;
+                return Some((self.cursor, event));
+            }
+            self.cursor += 1;
+            if !self.overflow.is_empty() {
+                self.migrate();
+            }
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -96,19 +208,26 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    fn test_done(m: &str) -> Event {
+    fn test_done(machine: u32) -> Event {
         Event::TestDone {
-            machine: m.into(),
+            machine: MachineId(machine),
             release: 0,
+        }
+    }
+
+    fn machine_of(e: Event) -> u32 {
+        match e {
+            Event::TestDone { machine, .. } => machine.0,
+            Event::FixDone { .. } => panic!("expected TestDone"),
         }
     }
 
     #[test]
     fn time_ordering() {
         let mut q = EventQueue::new();
-        q.schedule(10, test_done("b"));
-        q.schedule(5, test_done("a"));
-        q.schedule(20, test_done("c"));
+        q.schedule(10, test_done(1));
+        q.schedule(5, test_done(0));
+        q.schedule(20, test_done(2));
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().0, 5);
         assert_eq!(q.pop().unwrap().0, 10);
@@ -120,55 +239,13 @@ mod tests {
     #[test]
     fn fifo_within_same_time() {
         let mut q = EventQueue::new();
-        q.schedule(5, test_done("first"));
-        q.schedule(5, test_done("second"));
-        q.schedule(5, test_done("third"));
-        let order: Vec<String> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::TestDone { machine, .. } => machine,
-                Event::FixDone { problem } => problem,
-            })
+        q.schedule(5, test_done(0));
+        q.schedule(5, test_done(1));
+        q.schedule(5, test_done(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| machine_of(e))
             .collect();
-        assert_eq!(order, vec!["first", "second", "third"]);
-    }
-
-    #[test]
-    fn popped_slots_are_recycled() {
-        // Regression test: popped events used to leave their `store`
-        // slot occupied by `None` forever, so the slab grew by one slot
-        // per event ever scheduled. With the free list the slab is
-        // bounded by the peak number of pending events.
-        let mut q = EventQueue::new();
-        for round in 0..1_000u64 {
-            q.schedule(round, test_done("a"));
-            q.schedule(round, test_done("b"));
-            let (t1, _) = q.pop().unwrap();
-            let (t2, _) = q.pop().unwrap();
-            assert_eq!((t1, t2), (round, round));
-        }
-        assert!(q.is_empty());
-        assert!(
-            q.store_slots() <= 2,
-            "slab leaked: {} slots for 2 peak pending events",
-            q.store_slots()
-        );
-    }
-
-    #[test]
-    fn recycled_slots_preserve_fifo_order() {
-        let mut q = EventQueue::new();
-        q.schedule(1, test_done("x"));
-        q.pop().unwrap();
-        // These reuse the freed slot; FIFO order must still hold.
-        q.schedule(5, test_done("first"));
-        q.schedule(5, test_done("second"));
-        let order: Vec<String> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::TestDone { machine, .. } => machine,
-                Event::FixDone { problem } => problem,
-            })
-            .collect();
-        assert_eq!(order, vec!["first", "second"]);
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]
@@ -177,11 +254,121 @@ mod tests {
         q.schedule(
             100,
             Event::FixDone {
-                problem: "p".into(),
+                problem: ProblemId(0),
             },
         );
-        q.schedule(15, test_done("m"));
+        q.schedule(15, test_done(0));
         assert!(matches!(q.pop().unwrap().1, Event::TestDone { .. }));
         assert!(matches!(q.pop().unwrap().1, Event::FixDone { .. }));
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel horizon.
+        q.schedule(1_000_000, test_done(9));
+        q.schedule(3, test_done(0));
+        assert_eq!(q.pop().unwrap(), (3, test_done(0)));
+        // The cursor jumps straight to the overflow batch.
+        assert_eq!(q.pop().unwrap(), (1_000_000, test_done(9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_preserved_across_wheel_overflow_boundary() {
+        let mut q = EventQueue::new();
+        // t=5000 is beyond the horizon at cursor 0 → overflow.
+        q.schedule(5000, test_done(0));
+        q.schedule(1, test_done(7));
+        // Advance the cursor so 5000 is now inside the horizon.
+        assert_eq!(q.pop().unwrap().0, 1);
+        // A later same-time schedule must queue BEHIND the overflow
+        // batch even though 5000 is now wheel-eligible.
+        q.schedule(5000, test_done(1));
+        q.schedule(5000, test_done(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| machine_of(e))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2], "insertion order across boundary");
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_cycles() {
+        let mut q = EventQueue::new();
+        // March time far past several wheel revolutions.
+        let mut expected = Vec::new();
+        let mut t = 0u64;
+        for i in 0..50u32 {
+            t += 700; // crosses bucket-0 wrap repeatedly
+            q.schedule(t, test_done(i));
+            expected.push((t, i));
+        }
+        for (t, i) in expected {
+            assert_eq!(q.pop().unwrap(), (t, test_done(i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_at_current_time() {
+        // A popped event may schedule another at the same timestamp
+        // (zero-length cycles); it must come out after already-pending
+        // same-time events.
+        let mut q = EventQueue::new();
+        q.schedule(4, test_done(0));
+        q.schedule(4, test_done(1));
+        assert_eq!(machine_of(q.pop().unwrap().1), 0);
+        q.schedule(4, test_done(2));
+        assert_eq!(machine_of(q.pop().unwrap().1), 1);
+        assert_eq!(machine_of(q.pop().unwrap().1), 2);
+    }
+
+    /// Randomised model check: the calendar queue must agree with a
+    /// `BinaryHeap` ordered by `(time, insertion seq)` on every pop.
+    #[test]
+    fn matches_heap_model_on_random_workloads() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Seeded xorshift: deterministic, no external crates.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        let mut q = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..5_000 {
+            let r = rng();
+            if r % 3 != 0 || model.is_empty() {
+                // Schedule at now + jittered delay; ~1 in 8 far-future.
+                let delay = if r % 8 == 0 {
+                    2048 + (r >> 8) % 10_000
+                } else {
+                    (r >> 8) % 600
+                };
+                let t = now + delay;
+                let m = (r >> 40) as u32;
+                q.schedule(t, test_done(m));
+                model.push(Reverse((t, seq, m)));
+                seq += 1;
+            } else {
+                let Reverse((t, _, m)) = model.pop().unwrap();
+                let (qt, qe) = q.pop().expect("model non-empty");
+                assert_eq!((qt, machine_of(qe)), (t, m));
+                now = t;
+            }
+            assert_eq!(q.len(), model.len());
+        }
+        while let Some(Reverse((t, _, m))) = model.pop() {
+            let (qt, qe) = q.pop().expect("model non-empty");
+            assert_eq!((qt, machine_of(qe)), (t, m));
+        }
+        assert!(q.is_empty());
     }
 }

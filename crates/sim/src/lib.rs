@@ -4,11 +4,17 @@
 //! simulator whose inputs are the number and sizes of clusters, the
 //! clustering quality, representatives per cluster, problem placement,
 //! and the times to download, test, and fix an upgrade. This crate is
-//! that simulator: a binary-heap event queue ([`engine`]) drives the
-//! *real* protocol implementations from `mirage-deploy` against a
+//! that simulator: a calendar (bucket) event queue ([`engine`]) drives
+//! the *real* protocol implementations from `mirage-deploy` against a
 //! [`scenario`](ScenarioBuilder), while [`metrics`] collects per-machine
 //! pass times, per-cluster latency CDFs, and the upgrade overhead (number
 //! of machines that tested a faulty upgrade).
+//!
+//! The data plane is fully interned: events are small `Copy` values
+//! over dense [`mirage_deploy::MachineId`]/[`mirage_deploy::ProblemId`]
+//! ids, and the inner loop is allocation free. The pre-interning
+//! string-keyed driver is retained under [`runner::reference`] for
+//! equivalence tests and benchmarks.
 //!
 //! The vendor model matches the paper's: each distinct problem takes
 //! `fix_time` to debug; fixes are worked on one at a time in report

@@ -1,8 +1,14 @@
 //! Simulation metrics: latency CDFs and upgrade overhead.
+//!
+//! Metrics are id-indexed: per-machine pass times live in a dense
+//! `Vec<Option<SimTime>>` keyed by [`MachineId`], and discovered
+//! problems are [`ProblemId`]s. Name-keyed views are available at the
+//! boundary via the `*_named` helpers, which take the plan/table that
+//! owns the names.
 
 use std::collections::BTreeMap;
 
-use mirage_deploy::DeployPlan;
+use mirage_deploy::{DeployPlan, MachineId, ProblemId, ProblemTable};
 
 use crate::engine::SimTime;
 
@@ -18,13 +24,15 @@ pub struct ClusterLatency {
 
 /// Aggregate results of one simulation run.
 ///
-/// Derives `PartialEq`/`Eq` so determinism tests can assert that two
-/// runs (e.g. instrumented vs uninstrumented) produced identical
+/// Derives `PartialEq`/`Eq` so determinism and reference-equivalence
+/// tests can assert that two runs (e.g. instrumented vs uninstrumented,
+/// or interned vs string-keyed reference driver) produced identical
 /// results.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimMetrics {
-    /// First successful-integration time per machine.
-    pub machine_pass_time: BTreeMap<String, SimTime>,
+    /// First successful-integration time per machine, indexed by
+    /// [`MachineId`] (`None` = the machine never passed).
+    pub machine_pass_time: Vec<Option<SimTime>>,
     /// Number of failed tests — the paper's *upgrade overhead* (each
     /// failure is a machine inconvenienced by a faulty upgrade).
     pub failed_tests: usize,
@@ -35,12 +43,57 @@ pub struct SimMetrics {
     /// Time the protocol reported completion (all machines passed).
     pub completion_time: Option<SimTime>,
     /// Distinct problems discovered, in discovery order.
-    pub problems_discovered: Vec<String>,
+    pub problems_discovered: Vec<ProblemId>,
     /// Faulty integrations that escaped detection (imperfect testing).
     pub escaped_problems: usize,
 }
 
 impl SimMetrics {
+    /// Number of machines that passed at least once.
+    pub fn passed_count(&self) -> usize {
+        self.machine_pass_time
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
+    }
+
+    /// Pass time of a single machine id, if it passed.
+    #[inline]
+    pub fn pass_time(&self, machine: MachineId) -> Option<SimTime> {
+        self.machine_pass_time
+            .get(machine.index())
+            .copied()
+            .flatten()
+    }
+
+    /// Pass time of a named machine (boundary helper).
+    pub fn pass_time_named(&self, plan: &DeployPlan, machine: &str) -> Option<SimTime> {
+        self.pass_time(plan.machine_id(machine)?)
+    }
+
+    /// Name-keyed view of the pass times (boundary helper for
+    /// rendering and tests).
+    pub fn machine_pass_time_named(&self, plan: &DeployPlan) -> BTreeMap<String, SimTime> {
+        self.machine_pass_time
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (plan.machine_name(MachineId(i as u32)).to_string(), t)))
+            .collect()
+    }
+
+    /// Discovered problem names in discovery order (boundary helper).
+    pub fn problems_discovered_named(&self, problems: &ProblemTable) -> Vec<String> {
+        self.problems_discovered
+            .iter()
+            .map(|&p| problems.name(p).to_string())
+            .collect()
+    }
+
+    /// The latest pass time across the fleet, if any machine passed.
+    pub fn max_pass_time(&self) -> Option<SimTime> {
+        self.machine_pass_time.iter().flatten().copied().max()
+    }
+
     /// Computes each cluster's latency: the time the threshold fraction
     /// of its members first had the upgrade integrated.
     ///
@@ -56,7 +109,7 @@ impl SimMetrics {
                 let mut times: Vec<SimTime> = c
                     .members
                     .iter()
-                    .filter_map(|m| self.machine_pass_time.get(m).copied())
+                    .filter_map(|&m| self.pass_time(m))
                     .collect();
                 times.sort_unstable();
                 ClusterLatency {
@@ -66,9 +119,7 @@ impl SimMetrics {
             })
             .collect()
     }
-}
 
-impl SimMetrics {
     /// Per-*machine* latency CDF points `(time, fraction of machines)`.
     ///
     /// The paper plots per-cluster latency because its clusters are all
@@ -79,7 +130,7 @@ impl SimMetrics {
         if total == 0 {
             return Vec::new();
         }
-        let mut times: Vec<SimTime> = self.machine_pass_time.values().copied().collect();
+        let mut times: Vec<SimTime> = self.machine_pass_time.iter().flatten().copied().collect();
         times.sort_unstable();
         let mut points: Vec<(SimTime, f64)> = Vec::new();
         for (i, t) in times.iter().enumerate() {
@@ -126,52 +177,111 @@ pub fn latency_cdf(latencies: &[ClusterLatency]) -> Vec<(SimTime, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mirage_deploy::DeployCluster;
 
     fn plan2() -> DeployPlan {
-        DeployPlan {
-            clusters: vec![
-                DeployCluster {
-                    id: 0,
-                    members: vec!["a".into(), "b".into()],
-                    reps: vec!["a".into()],
-                    distance: 0.0,
-                },
-                DeployCluster {
-                    id: 1,
-                    members: vec!["c".into(), "d".into()],
-                    reps: vec!["c".into()],
-                    distance: 1.0,
-                },
-            ],
+        DeployPlan::from_named([
+            (["a", "b"].as_slice(), 1usize, 0.0),
+            (["c", "d"].as_slice(), 1usize, 1.0),
+        ])
+    }
+
+    /// Metrics with pass times set for the named machines.
+    fn metrics(plan: &DeployPlan, passes: &[(&str, SimTime)]) -> SimMetrics {
+        let mut m = SimMetrics {
+            machine_pass_time: vec![None; plan.machine_count()],
+            ..SimMetrics::default()
+        };
+        for (name, t) in passes {
+            let id = plan.machine_id(name).unwrap();
+            m.machine_pass_time[id.index()] = Some(*t);
         }
+        m
     }
 
     #[test]
     fn cluster_latency_takes_threshold_member() {
-        let mut m = SimMetrics::default();
-        m.machine_pass_time.insert("a".into(), 10);
-        m.machine_pass_time.insert("b".into(), 30);
-        m.machine_pass_time.insert("c".into(), 20);
+        let p = plan2();
+        let m = metrics(&p, &[("a", 10), ("b", 30), ("c", 20)]);
         // d never passed.
-        let lat = m.cluster_latencies(&plan2(), 1.0);
+        let lat = m.cluster_latencies(&p, 1.0);
         assert_eq!(lat[0].time, Some(30));
         assert_eq!(lat[1].time, None, "cluster 1 incomplete at threshold 1.0");
-        let lat = m.cluster_latencies(&plan2(), 0.5);
+        let lat = m.cluster_latencies(&p, 0.5);
         assert_eq!(lat[0].time, Some(10));
         assert_eq!(lat[1].time, Some(20));
     }
 
     #[test]
+    fn cluster_latency_of_empty_cluster_is_none() {
+        // An empty cluster can never reach any threshold: the `needed`
+        // floor of one member has nobody to satisfy it.
+        let p =
+            DeployPlan::from_named([(vec!["a"], 1usize, 0.0), (Vec::<&str>::new(), 1usize, 1.0)]);
+        let m = metrics(&p, &[("a", 5)]);
+        let lat = m.cluster_latencies(&p, 1.0);
+        assert_eq!(lat[0].time, Some(5));
+        assert_eq!(lat[1].time, None, "empty cluster never completes");
+        let lat = m.cluster_latencies(&p, 0.0);
+        assert_eq!(lat[1].time, None, "even at threshold 0.0 (floored to one)");
+    }
+
+    #[test]
+    fn cluster_latency_with_never_passing_machine() {
+        // Threshold 1.0 requires everyone; a single never-passing member
+        // holds the whole cluster at None forever.
+        let p = DeployPlan::from_named([(["a", "b", "c"], 1usize, 0.0)]);
+        let m = metrics(&p, &[("a", 10), ("c", 40)]);
+        assert_eq!(m.cluster_latencies(&p, 1.0)[0].time, None);
+        // But lower thresholds are satisfied by the passers alone.
+        assert_eq!(m.cluster_latencies(&p, 0.5)[0].time, Some(40));
+        assert_eq!(m.cluster_latencies(&p, 0.25)[0].time, Some(10));
+    }
+
+    #[test]
+    fn cluster_latency_threshold_ceil() {
+        // 4 members at threshold 0.75 → ceil(3.0) = 3 needed; at 1.0 →
+        // 4 needed. The ceil keeps fractional thresholds conservative.
+        let p = DeployPlan::from_named([(["a", "b", "c", "d"], 1usize, 0.0)]);
+        let m = metrics(&p, &[("a", 10), ("b", 20), ("c", 30), ("d", 100)]);
+        assert_eq!(m.cluster_latencies(&p, 0.75)[0].time, Some(30));
+        assert_eq!(m.cluster_latencies(&p, 1.0)[0].time, Some(100));
+        // 0.70 of 4 = 2.8 → ceil 3: same as 0.75.
+        assert_eq!(m.cluster_latencies(&p, 0.70)[0].time, Some(30));
+    }
+
+    #[test]
     fn machine_cdf_counts_fleet_fraction() {
-        let mut m = SimMetrics::default();
-        m.machine_pass_time.insert("a".into(), 15);
-        m.machine_pass_time.insert("b".into(), 15);
-        m.machine_pass_time.insert("c".into(), 500);
+        let p = DeployPlan::from_named([(["a", "b", "c", "d"], 1usize, 0.0)]);
+        let m = metrics(&p, &[("a", 15), ("b", 15), ("c", 500)]);
         // Fleet of 4; one machine never passed.
         let cdf = m.machine_latency_cdf(4);
         assert_eq!(cdf, vec![(15, 0.5), (500, 0.75)]);
         assert!(m.machine_latency_cdf(0).is_empty());
+    }
+
+    #[test]
+    fn boundary_helpers_render_names() {
+        let p = plan2();
+        let m = metrics(&p, &[("b", 30), ("c", 20)]);
+        assert_eq!(m.passed_count(), 2);
+        assert_eq!(m.pass_time_named(&p, "b"), Some(30));
+        assert_eq!(m.pass_time_named(&p, "a"), None);
+        assert_eq!(m.pass_time_named(&p, "zzz"), None);
+        assert_eq!(m.max_pass_time(), Some(30));
+        let named = m.machine_pass_time_named(&p);
+        assert_eq!(named.len(), 2);
+        assert_eq!(named["c"], 20);
+
+        let mut problems = ProblemTable::new();
+        let prev = problems.intern("prevalent");
+        let m = SimMetrics {
+            problems_discovered: vec![prev],
+            ..SimMetrics::default()
+        };
+        assert_eq!(
+            m.problems_discovered_named(&problems),
+            vec!["prevalent".to_string()]
+        );
     }
 
     #[test]

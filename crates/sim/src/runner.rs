@@ -1,8 +1,18 @@
 //! The simulation driver.
+//!
+//! The driver moves `Copy` events and dense ids only: per-machine and
+//! per-problem state is flat-indexed, and the telemetry flight events
+//! render machine/problem names lazily (zero cost when telemetry is a
+//! noop). The original string-keyed driver — binary-heap queue, name
+//! maps and all — survives under [`reference`] so equivalence tests
+//! can prove this driver produces identical [`SimMetrics`].
 
-use std::collections::{BTreeSet, VecDeque};
+pub mod reference;
 
-use mirage_deploy::{Command, Protocol, Release, TestOutcome, TestReport};
+use std::collections::VecDeque;
+
+use mirage_deploy::MachineId;
+use mirage_deploy::{Command, ProblemId, ProblemSet, Protocol, Release, TestOutcome, TestReport};
 use mirage_telemetry::{FlightEvent, Telemetry};
 
 use crate::engine::{Event, EventQueue, SimTime};
@@ -16,10 +26,15 @@ pub struct Simulation<'a> {
     queue: EventQueue,
     now: SimTime,
     /// Cumulative fixed-problem sets, indexed by release number.
-    fixed_by_release: Vec<BTreeSet<String>>,
-    fix_queue: VecDeque<String>,
-    fixing: Option<String>,
-    known_problems: BTreeSet<String>,
+    fixed_by_release: Vec<ProblemSet>,
+    fix_queue: VecDeque<ProblemId>,
+    fixing: Option<ProblemId>,
+    known_problems: ProblemSet,
+    /// Local high-water mark of the event queue depth; the gauge is
+    /// published only when this rises (and once at run end), not per
+    /// event — per-event publication was measurable overhead at 10⁶
+    /// machines while recording nothing new.
+    queue_high_water: usize,
     metrics: SimMetrics,
     telemetry: Telemetry,
 }
@@ -31,11 +46,15 @@ impl<'a> Simulation<'a> {
             scenario,
             queue: EventQueue::new(),
             now: 0,
-            fixed_by_release: vec![BTreeSet::new()],
+            fixed_by_release: vec![ProblemSet::new()],
             fix_queue: VecDeque::new(),
             fixing: None,
-            known_problems: BTreeSet::new(),
-            metrics: SimMetrics::default(),
+            known_problems: ProblemSet::new(),
+            queue_high_water: 0,
+            metrics: SimMetrics {
+                machine_pass_time: vec![None; scenario.machine_count()],
+                ..SimMetrics::default()
+            },
             telemetry: Telemetry::noop(),
         }
     }
@@ -50,19 +69,24 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// Records the current queue depth (its high-water mark survives in
-    /// the gauge).
-    fn note_queue_depth(&self) {
-        self.telemetry
-            .gauge("sim.queue_depth", self.queue.len() as i64);
+    /// Publishes the queue depth gauge only when the depth sets a new
+    /// high-water mark. The gauge's recorded high-water is identical to
+    /// publishing on every event; only the redundant publications go.
+    fn note_queue_depth(&mut self) {
+        let depth = self.queue.len();
+        if depth > self.queue_high_water {
+            self.queue_high_water = depth;
+            self.telemetry.gauge("sim.queue_depth", depth as i64);
+        }
     }
 
     fn latest_release(&self) -> Release {
         Release((self.fixed_by_release.len() - 1) as u32)
     }
 
-    fn passes(&self, machine: &str, release: u32) -> bool {
-        match self.scenario.machine_problem.get(machine) {
+    #[inline]
+    fn passes(&self, machine: MachineId, release: u32) -> bool {
+        match self.scenario.problem_of(machine) {
             None => true,
             Some(problem) => self.fixed_by_release[release as usize].contains(problem),
         }
@@ -77,19 +101,13 @@ impl<'a> Simulation<'a> {
                     for m in machines {
                         self.metrics.total_tests += 1;
                         self.telemetry.event_with(|| FlightEvent::MachineNotified {
-                            machine: m.clone(),
+                            machine: self.scenario.plan.machine_name(m).to_string(),
                             release: release.0,
                         });
                         // A machine offline at notification time acts on
                         // it when it comes back (the paper's late
                         // arrivals).
-                        let start = self
-                            .scenario
-                            .offline_until
-                            .get(&m)
-                            .copied()
-                            .unwrap_or(0)
-                            .max(self.now);
+                        let start = self.scenario.offline_until[m.index()].max(self.now);
                         self.queue.schedule(
                             start + self.scenario.timings.machine_cycle(),
                             Event::TestDone {
@@ -113,18 +131,16 @@ impl<'a> Simulation<'a> {
             if let Some(problem) = self.fix_queue.pop_front() {
                 self.queue.schedule(
                     self.now + self.scenario.timings.fix,
-                    Event::FixDone {
-                        problem: problem.clone(),
-                    },
+                    Event::FixDone { problem },
                 );
                 self.fixing = Some(problem);
             }
         }
     }
 
-    fn handle_test_done(&mut self, protocol: &mut dyn Protocol, machine: String, release: u32) {
-        let mut passed = self.passes(&machine, release);
-        if !passed && self.scenario.missed_detection.contains(&machine) {
+    fn handle_test_done(&mut self, protocol: &mut dyn Protocol, machine: MachineId, release: u32) {
+        let mut passed = self.passes(machine, release);
+        if !passed && self.scenario.missed_detection.contains(machine) {
             // Imperfect user-machine testing: the problem escapes into
             // production. The machine integrates the faulty release.
             passed = true;
@@ -132,33 +148,35 @@ impl<'a> Simulation<'a> {
             self.telemetry.counter("sim.escaped_problems", 1);
         }
         let outcome = if passed {
-            self.metrics
-                .machine_pass_time
-                .entry(machine.clone())
-                .or_insert(self.now);
+            if self.metrics.machine_pass_time[machine.index()].is_none() {
+                self.metrics.machine_pass_time[machine.index()] = Some(self.now);
+            }
             self.telemetry.counter("sim.tests_passed", 1);
             self.telemetry.event_with(|| FlightEvent::TestPassed {
-                machine: machine.clone(),
+                machine: self.scenario.plan.machine_name(machine).to_string(),
                 release,
             });
             TestOutcome::Pass
         } else {
             self.metrics.failed_tests += 1;
             self.telemetry.counter("sim.tests_failed", 1);
-            let problem = self.scenario.machine_problem[&machine].clone();
+            let problem = self
+                .scenario
+                .problem_of(machine)
+                .expect("failed machine must carry a problem");
             self.telemetry.event_with(|| FlightEvent::TestFailed {
-                machine: machine.clone(),
+                machine: self.scenario.plan.machine_name(machine).to_string(),
                 release,
-                problem: problem.clone(),
+                problem: self.scenario.problems.name(problem).to_string(),
             });
-            if self.known_problems.insert(problem.clone()) {
-                self.metrics.problems_discovered.push(problem.clone());
+            if self.known_problems.insert(problem) {
+                self.metrics.problems_discovered.push(problem);
                 self.telemetry.counter("sim.problems_discovered", 1);
                 self.telemetry
                     .event_with(|| FlightEvent::ProblemDiscovered {
-                        problem: problem.clone(),
+                        problem: self.scenario.problems.name(problem).to_string(),
                     });
-                self.fix_queue.push_back(problem.clone());
+                self.fix_queue.push_back(problem);
                 self.start_next_fix();
             }
             TestOutcome::Fail { problem }
@@ -173,18 +191,20 @@ impl<'a> Simulation<'a> {
         // Guard against stranding: if the machine failed a stale release
         // whose problem a *newer* release already fixes, re-announce the
         // latest release so the protocol re-notifies its failed machines.
-        if let TestOutcome::Fail { problem } = &report.outcome {
+        if let TestOutcome::Fail { problem } = report.outcome {
             let latest = self.latest_release();
             if latest.0 > release && self.fixed_by_release[latest.0 as usize].contains(problem) {
-                let fixed = self.fixed_by_release[latest.0 as usize].clone();
-                let commands = protocol.on_release(latest, &fixed);
+                // Borrow the cumulative set directly — the protocol only
+                // reads it, so no defensive clone is needed.
+                let commands =
+                    protocol.on_release(latest, &self.fixed_by_release[latest.0 as usize]);
                 self.exec(commands);
             }
         }
     }
 
-    fn handle_fix_done(&mut self, protocol: &mut dyn Protocol, problem: String) {
-        debug_assert_eq!(self.fixing.as_deref(), Some(problem.as_str()));
+    fn handle_fix_done(&mut self, protocol: &mut dyn Protocol, problem: ProblemId) {
+        debug_assert_eq!(self.fixing, Some(problem));
         self.fixing = None;
         let mut fixed = self.fixed_by_release.last().cloned().unwrap_or_default();
         fixed.insert(problem);
@@ -195,8 +215,7 @@ impl<'a> Simulation<'a> {
         let release = self.latest_release();
         self.telemetry
             .event(FlightEvent::ReleaseShipped { release: release.0 });
-        let fixed = self.fixed_by_release[release.0 as usize].clone();
-        let commands = protocol.on_release(release, &fixed);
+        let commands = protocol.on_release(release, &self.fixed_by_release[release.0 as usize]);
         self.exec(commands);
     }
 
@@ -217,6 +236,10 @@ impl<'a> Simulation<'a> {
             }
             self.note_queue_depth();
         }
+        // Publish the final (empty) depth so the gauge's last value
+        // matches the per-event publication behaviour.
+        self.telemetry
+            .gauge("sim.queue_depth", self.queue.len() as i64);
         self.metrics
     }
 }
@@ -264,11 +287,11 @@ mod tests {
         // release: overhead = population of the problem.
         assert_eq!(m.failed_tests, 3);
         assert_eq!(m.releases_shipped, 1);
-        assert_eq!(m.machine_pass_time.len(), 12);
+        assert_eq!(m.passed_count(), 12);
         // Healthy machines pass at download+test = 15.
-        assert_eq!(m.machine_pass_time["c00-m00000"], 15);
+        assert_eq!(m.pass_time_named(&s.plan, "c00-m00000"), Some(15));
         // Problem machines: fail at 15, fix done at 515, retest at 530.
-        assert_eq!(m.machine_pass_time["c02-m00000"], 530);
+        assert_eq!(m.pass_time_named(&s.plan, "c02-m00000"), Some(530));
         assert_eq!(m.completion_time, Some(530));
     }
 
@@ -280,14 +303,17 @@ mod tests {
         assert!(p.done());
         // Only the problem cluster's representative failed.
         assert_eq!(m.failed_tests, 1);
-        assert_eq!(m.problems_discovered, vec!["p".to_string()]);
+        assert_eq!(
+            m.problems_discovered_named(&s.problems),
+            vec!["p".to_string()]
+        );
         // Clusters 0,1 complete before the problem cluster stalls:
         // c0: rep 15, nonreps 30. c1: 45/60. c2 rep fails at 75;
         // fix at 575; rep passes 590; nonreps 605. c3: 620/635.
-        assert_eq!(m.machine_pass_time["c00-m00001"], 30);
-        assert_eq!(m.machine_pass_time["c01-m00001"], 60);
-        assert_eq!(m.machine_pass_time["c02-m00000"], 590);
-        assert_eq!(m.machine_pass_time["c02-m00001"], 605);
+        assert_eq!(m.pass_time_named(&s.plan, "c00-m00001"), Some(30));
+        assert_eq!(m.pass_time_named(&s.plan, "c01-m00001"), Some(60));
+        assert_eq!(m.pass_time_named(&s.plan, "c02-m00000"), Some(590));
+        assert_eq!(m.pass_time_named(&s.plan, "c02-m00001"), Some(605));
         assert_eq!(m.completion_time, Some(635));
     }
 
@@ -301,9 +327,9 @@ mod tests {
         // re-test passes at 530. Phase 2 (desc distance: c3, c2, c1, c0):
         // c3 non-reps 545, c2 560, c1 575, c0 590.
         assert_eq!(m.failed_tests, 1);
-        assert_eq!(m.machine_pass_time["c03-m00001"], 545);
-        assert_eq!(m.machine_pass_time["c02-m00001"], 560);
-        assert_eq!(m.machine_pass_time["c00-m00001"], 590);
+        assert_eq!(m.pass_time_named(&s.plan, "c03-m00001"), Some(545));
+        assert_eq!(m.pass_time_named(&s.plan, "c02-m00001"), Some(560));
+        assert_eq!(m.pass_time_named(&s.plan, "c00-m00001"), Some(590));
         assert_eq!(m.completion_time, Some(590));
     }
 
@@ -355,12 +381,39 @@ mod tests {
             );
             assert_eq!(
                 snap.counters["sim.tests_passed"] as usize,
-                plain.machine_pass_time.len(),
+                plain.passed_count(),
                 "{name}"
             );
             assert!(snap.gauges["sim.queue_depth"].high_water >= 1, "{name}");
             assert_eq!(snap.spans["sim.run"].count, 1, "{name}");
         }
+    }
+
+    /// The queue-depth gauge is published only on high-water rises now,
+    /// but the *recorded* high-water (and final value) must match what
+    /// per-event publication recorded.
+    #[test]
+    fn queue_depth_high_water_is_unchanged() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::Registry;
+
+        let s = small_scenario();
+        let registry = Arc::new(Registry::new(4096));
+        let _ = run_with_telemetry(
+            &s,
+            &mut NoStaging::new(s.plan.clone()),
+            Telemetry::from_registry(Arc::clone(&registry)),
+        );
+        let snap = registry.snapshot();
+        let gauge = &snap.gauges["sim.queue_depth"];
+        // NoStaging notifies all 12 machines up front — the depth peaks
+        // at 12 immediately and only drains afterwards (the one FixDone
+        // arrives after 7 TestDones have already popped).
+        assert_eq!(gauge.high_water, 12);
+        // The final publication reports the drained queue, exactly as
+        // the per-event version's last publication did.
+        assert_eq!(gauge.value, 0);
     }
 
     #[test]
@@ -370,7 +423,7 @@ mod tests {
         let m = run(&s, &mut p);
         assert_eq!(m.failed_tests, 0);
         assert_eq!(m.releases_shipped, 0);
-        assert_eq!(m.machine_pass_time.len(), 12);
+        assert_eq!(m.passed_count(), 12);
         // Sequential: cluster k completes at 30(k+1).
         assert_eq!(m.completion_time, Some(90));
     }
@@ -385,7 +438,7 @@ mod tests {
         let m = run(&s, &mut p);
         // The misplaced machine fails once; everyone eventually passes.
         assert_eq!(m.failed_tests, 1);
-        assert_eq!(m.machine_pass_time.len(), 8);
+        assert_eq!(m.passed_count(), 8);
         // Cluster 0 rep passes at 15; non-reps test at 30: two pass, the
         // misplaced fails. Fix at 530; it retests at 545. With threshold
         // 1.0 cluster 1 waits: rep 560, nonreps 575.
@@ -403,7 +456,7 @@ mod tests {
         let m = run(&s, &mut p);
         // Cluster 1 proceeds at 30 without waiting for the fix: rep 45,
         // non-reps 60. The misplaced machine still completes at 545.
-        assert_eq!(m.machine_pass_time["c01-m00003"], 60);
+        assert_eq!(m.pass_time_named(&s.plan, "c01-m00003"), Some(60));
         assert_eq!(m.completion_time, Some(545));
     }
 
@@ -445,12 +498,41 @@ mod scale_tests {
         let mut nostaging = NoStaging::new(s.plan.clone());
         let m = run(&s, &mut nostaging);
         assert_eq!(m.failed_tests, 25_000);
-        assert_eq!(m.machine_pass_time.len(), 100_000);
+        assert_eq!(m.passed_count(), 100_000);
 
         let mut balanced = Balanced::new(s.plan.clone(), 1.0);
         let m = run(&s, &mut balanced);
         assert_eq!(m.failed_tests, 3);
-        assert_eq!(m.machine_pass_time.len(), 100_000);
+        assert_eq!(m.passed_count(), 100_000);
+    }
+
+    /// A 1,000,000-machine Figure-10-style run must be routine. Gated
+    /// behind `--ignored` so plain `cargo test` stays fast; CI exercises
+    /// it in release mode.
+    #[test]
+    #[ignore = "1M-machine run; exercised via cargo test --release -- --ignored"]
+    fn million_machine_scenario_runs() {
+        let s = ScenarioBuilder::new()
+            .clusters(100, 10_000, 1)
+            .problem_in_clusters("prevalent", &[70, 71, 72])
+            .problem_in_clusters("rare-a", &[85])
+            .problem_in_clusters("rare-b", &[90])
+            .build();
+        assert_eq!(s.machine_count(), 1_000_000);
+
+        let mut balanced = Balanced::new(s.plan.clone(), 1.0);
+        let m = run(&s, &mut balanced);
+        // Overhead is p: one representative per *problem* (Table 4) —
+        // later prevalent-problem clusters receive the fixed release.
+        assert_eq!(m.failed_tests, 3);
+        assert_eq!(m.passed_count(), 1_000_000);
+        assert!(m.completion_time.is_some());
+
+        let mut nostaging = NoStaging::new(s.plan.clone());
+        let m = run(&s, &mut nostaging);
+        // Overhead is the full population of every fault.
+        assert_eq!(m.failed_tests, 50_000);
+        assert_eq!(m.passed_count(), 1_000_000);
     }
 }
 
@@ -471,14 +553,15 @@ mod extension_tests {
             .build();
         let m = run(&s, &mut Balanced::new(s.plan.clone(), s.threshold));
         // Everyone, including the late arrival, eventually passes.
-        assert_eq!(m.machine_pass_time.len(), 8);
-        let offline = s.offline_until.keys().next().unwrap();
+        assert_eq!(m.passed_count(), 8);
+        let offline = &s.offline_machine_names()[0];
         assert_eq!(
-            m.machine_pass_time[offline], 215,
+            m.pass_time_named(&s.plan, offline),
+            Some(215),
             "online at 200 + cycle 15"
         );
         // The second cluster did not wait for it: its rep passed at 45.
-        assert_eq!(m.machine_pass_time["c01-m00000"], 45);
+        assert_eq!(m.pass_time_named(&s.plan, "c01-m00000"), Some(45));
     }
 
     #[test]
@@ -490,7 +573,7 @@ mod extension_tests {
             .offline_machines(0, 1, 200)
             .build();
         let m = run(&s, &mut Balanced::new(s.plan.clone(), 1.0));
-        assert!(m.machine_pass_time["c01-m00000"] > 200);
+        assert!(m.pass_time_named(&s.plan, "c01-m00000").unwrap() > 200);
     }
 
     #[test]
@@ -506,7 +589,7 @@ mod extension_tests {
         assert_eq!(m.escaped_problems, 2);
         assert_eq!(m.failed_tests, 2);
         assert_eq!(m.releases_shipped, 1);
-        assert_eq!(m.machine_pass_time.len(), 8);
+        assert_eq!(m.passed_count(), 8);
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Simulation scenarios: cluster structure, timings, problem placement.
+//!
+//! Scenarios are fully *interned*: problem placement, offline windows,
+//! and missed-detection flags are dense per-machine vectors indexed by
+//! [`MachineId`], so the simulator's inner loop never touches a string
+//! or a tree map. Names exist only at the boundaries, through the
+//! plan's machine table and the scenario's [`ProblemTable`].
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-use mirage_deploy::{DeployCluster, DeployPlan};
+use mirage_deploy::{DeployPlan, MachineId, MachineSet, ProblemId, ProblemTable};
 
 use crate::engine::SimTime;
 
@@ -35,43 +41,137 @@ impl Timings {
 }
 
 /// A complete simulation scenario.
+///
+/// All per-machine state is stored in dense vectors indexed by
+/// [`MachineId`]; use the name-based helpers ([`Scenario::assign_problem`],
+/// [`Scenario::problem_populations`], …) at boundaries.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// The deployment plan (clusters, reps, distances).
+    /// The deployment plan (clusters, reps, distances). Owns the
+    /// machine name ↔ id table.
     pub plan: DeployPlan,
-    /// Per-machine problem assignment: machines absent from the map are
-    /// healthy; a machine fails any release in which its problem is not
-    /// yet fixed.
-    pub machine_problem: BTreeMap<String, String>,
+    /// Problem name ↔ id table for this scenario.
+    pub problems: ProblemTable,
+    /// Per-machine problem assignment (`None` = healthy): a machine
+    /// fails any release in which its problem is not yet fixed.
+    pub machine_problem: Vec<Option<ProblemId>>,
     /// Time constants.
     pub timings: Timings,
     /// Fraction of a cluster's machines that must pass before staged
     /// protocols advance.
     pub threshold: f64,
-    /// Machines offline until a given time: a notification delivered
-    /// while offline is acted on when the machine comes back (the
-    /// paper's "late arrivals", which motivate the threshold).
-    pub offline_until: BTreeMap<String, SimTime>,
+    /// Per-machine offline horizon (`0` = always online): a
+    /// notification delivered while offline is acted on when the
+    /// machine comes back (the paper's "late arrivals", which motivate
+    /// the threshold).
+    pub offline_until: Vec<SimTime>,
     /// Machines whose user-machine testing *misses* their problem: the
     /// faulty upgrade passes testing and integrates — the survey's
     /// "problems that pass initial testing" phenomenon. The paper's
     /// simulations assume perfect testing; this knob relaxes that.
-    pub missed_detection: BTreeSet<String>,
+    pub missed_detection: MachineSet,
 }
 
 impl Scenario {
+    /// Starts a healthy scenario over an existing plan (paper-default
+    /// timings, threshold 1.0, everyone online, perfect testing).
+    pub fn from_plan(plan: DeployPlan) -> Self {
+        let n = plan.machines.len();
+        Scenario {
+            plan,
+            problems: ProblemTable::new(),
+            machine_problem: vec![None; n],
+            timings: Timings::paper_default(),
+            threshold: 1.0,
+            offline_until: vec![0; n],
+            missed_detection: MachineSet::new(),
+        }
+    }
+
     /// Total machine count.
     pub fn machine_count(&self) -> usize {
         self.plan.machine_count()
     }
 
-    /// Number of machines carrying each problem.
+    /// The problem carried by a machine, if any (hot-path accessor).
+    #[inline]
+    pub fn problem_of(&self, machine: MachineId) -> Option<ProblemId> {
+        self.machine_problem.get(machine.index()).copied().flatten()
+    }
+
+    /// Assigns `problem` to the named machine (boundary helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in the plan.
+    pub fn assign_problem(&mut self, machine: &str, problem: &str) {
+        let m = self
+            .plan
+            .machine_id(machine)
+            .unwrap_or_else(|| panic!("unknown machine {machine:?}"));
+        let p = self.problems.intern(problem);
+        self.machine_problem[m.index()] = Some(p);
+    }
+
+    /// Takes the named machine offline until `until` (boundary helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in the plan.
+    pub fn set_offline_until(&mut self, machine: &str, until: SimTime) {
+        let m = self
+            .plan
+            .machine_id(machine)
+            .unwrap_or_else(|| panic!("unknown machine {machine:?}"));
+        self.offline_until[m.index()] = until;
+    }
+
+    /// Marks the named machine's testing as missing its problem
+    /// (boundary helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in the plan.
+    pub fn set_missed_detection(&mut self, machine: &str) {
+        let m = self
+            .plan
+            .machine_id(machine)
+            .unwrap_or_else(|| panic!("unknown machine {machine:?}"));
+        self.missed_detection.insert(m);
+    }
+
+    /// Number of machines carrying any problem.
+    pub fn problem_machine_count(&self) -> usize {
+        self.machine_problem.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Number of machines carrying each problem, keyed by problem name.
     pub fn problem_populations(&self) -> BTreeMap<String, usize> {
         let mut counts = BTreeMap::new();
-        for p in self.machine_problem.values() {
-            *counts.entry(p.clone()).or_insert(0usize) += 1;
+        for p in self.machine_problem.iter().flatten() {
+            *counts
+                .entry(self.problems.name(*p).to_string())
+                .or_insert(0usize) += 1;
         }
         counts
+    }
+
+    /// Names of machines that are offline at time zero (boundary
+    /// helper for tests).
+    pub fn offline_machine_names(&self) -> Vec<String> {
+        self.offline_until
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0)
+            .map(|(i, _)| self.plan.machine_name(MachineId(i as u32)).to_string())
+            .collect()
+    }
+
+    /// The problem assigned to a named machine, if any (boundary
+    /// helper for tests).
+    pub fn problem_name_of(&self, machine: &str) -> Option<&str> {
+        let m = self.plan.machine_id(machine)?;
+        self.machine_problem[m.index()].map(|p| self.problems.name(p))
     }
 }
 
@@ -185,39 +285,35 @@ impl ScenarioBuilder {
     /// cluster that does not exist, or if a misplaced machine is asked
     /// for in a cluster with no non-representatives.
     pub fn build(self) -> Scenario {
-        let mut clusters = Vec::with_capacity(self.cluster_count);
-        for c in 0..self.cluster_count {
+        let plan = DeployPlan::from_named((0..self.cluster_count).map(|c| {
             let members: Vec<String> = (0..self.cluster_size)
                 .map(|i| format!("c{c:02}-m{i:05}"))
                 .collect();
-            let reps = members
-                .iter()
-                .take(self.reps_per_cluster.max(1).min(members.len()))
-                .cloned()
-                .collect();
-            clusters.push(DeployCluster {
-                id: c,
-                members,
-                reps,
-                distance: c as f64,
-            });
-        }
-        let plan = DeployPlan { clusters };
+            let reps = self.reps_per_cluster.max(1).min(members.len().max(1));
+            (members, reps, c as f64)
+        }));
 
-        let mut machine_problem = BTreeMap::new();
+        let mut scenario = Scenario::from_plan(plan);
+        scenario.timings = self.timings;
+        scenario.threshold = self.threshold;
+
         for (problem, cluster_ids) in &self.problems {
+            let p = scenario.problems.intern(problem);
             for &cid in cluster_ids {
-                let cluster = plan
+                let cluster = scenario
+                    .plan
                     .clusters
                     .get(cid)
                     .unwrap_or_else(|| panic!("problem references missing cluster {cid}"));
-                for m in &cluster.members {
-                    machine_problem.insert(m.clone(), problem.clone());
+                for &m in &cluster.members {
+                    scenario.machine_problem[m.index()] = Some(p);
                 }
             }
         }
         for (cid, problem) in &self.misplaced {
-            let cluster = plan
+            let p = scenario.problems.intern(problem);
+            let cluster = scenario
+                .plan
                 .clusters
                 .get(*cid)
                 .unwrap_or_else(|| panic!("misplaced machine in missing cluster {cid}"));
@@ -226,43 +322,37 @@ impl ScenarioBuilder {
                 .into_iter()
                 .next()
                 .unwrap_or_else(|| panic!("cluster {cid} has no non-representatives"));
-            machine_problem.insert(victim, problem.clone());
+            scenario.machine_problem[victim.index()] = Some(p);
         }
 
-        let mut offline_until = BTreeMap::new();
         for (cid, count, until) in &self.offline {
-            let cluster = plan
+            let cluster = scenario
+                .plan
                 .clusters
                 .get(*cid)
                 .unwrap_or_else(|| panic!("offline directive for missing cluster {cid}"));
             // Skip the first non-rep: misplaced_machine may have used it.
             for m in cluster.non_reps().into_iter().skip(1).take(*count) {
-                offline_until.insert(m, *until);
+                scenario.offline_until[m.index()] = *until;
             }
         }
-        let mut missed_detection = BTreeSet::new();
         for (cid, count) in &self.missed {
-            let cluster = plan
-                .clusters
-                .get(*cid)
-                .unwrap_or_else(|| panic!("missed-detection directive for missing cluster {cid}"));
-            for m in cluster
+            let cluster =
+                scenario.plan.clusters.get(*cid).unwrap_or_else(|| {
+                    panic!("missed-detection directive for missing cluster {cid}")
+                });
+            let victims: Vec<MachineId> = cluster
                 .members
                 .iter()
-                .filter(|m| machine_problem.contains_key(*m))
+                .filter(|m| scenario.machine_problem[m.index()].is_some())
                 .take(*count)
-            {
-                missed_detection.insert(m.clone());
+                .copied()
+                .collect();
+            for m in victims {
+                scenario.missed_detection.insert(m);
             }
         }
-        Scenario {
-            plan,
-            machine_problem,
-            timings: self.timings,
-            threshold: self.threshold,
-            offline_until,
-            missed_detection,
-        }
+        scenario
     }
 }
 
@@ -283,7 +373,7 @@ mod tests {
         assert_eq!(s.machine_count(), 30);
         assert_eq!(s.plan.clusters[1].reps.len(), 2);
         assert_eq!(s.plan.clusters[2].distance, 2.0);
-        assert!(s.machine_problem.is_empty());
+        assert_eq!(s.problem_machine_count(), 0);
         assert_eq!(s.threshold, 1.0);
     }
 
@@ -295,8 +385,8 @@ mod tests {
             .build();
         assert_eq!(s.problem_populations()["p"], 10);
         // A machine in cluster 0 is healthy.
-        assert!(!s.machine_problem.contains_key("c00-m00000"));
-        assert!(s.machine_problem.contains_key("c01-m00000"));
+        assert_eq!(s.problem_name_of("c00-m00000"), None);
+        assert_eq!(s.problem_name_of("c01-m00000"), Some("p"));
     }
 
     #[test]
@@ -305,15 +395,17 @@ mod tests {
             .clusters(2, 4, 1)
             .misplaced_machine(0, "odd")
             .build();
-        let victims: Vec<&String> = s
+        let odd = s.problems.id("odd").unwrap();
+        let victims: Vec<MachineId> = s
             .machine_problem
             .iter()
-            .filter(|(_, p)| *p == "odd")
-            .map(|(m, _)| m)
+            .enumerate()
+            .filter(|(_, p)| **p == Some(odd))
+            .map(|(i, _)| MachineId(i as u32))
             .collect();
         assert_eq!(victims.len(), 1);
-        assert!(!s.plan.clusters[0].reps.contains(victims[0]));
-        assert!(s.plan.clusters[0].members.contains(victims[0]));
+        assert!(!s.plan.clusters[0].reps.contains(&victims[0]));
+        assert!(s.plan.clusters[0].members.contains(&victims[0]));
     }
 
     #[test]
@@ -330,5 +422,20 @@ mod tests {
         let t = Timings::paper_default();
         assert_eq!(t.machine_cycle(), 15);
         assert_eq!(t.fix, 500);
+    }
+
+    #[test]
+    fn from_plan_boundary_helpers() {
+        let plan = DeployPlan::from_named([(["a", "b", "c"], 1, 0.0)]);
+        let mut s = Scenario::from_plan(plan);
+        s.assign_problem("b", "p");
+        s.set_offline_until("c", 100);
+        s.set_missed_detection("b");
+        assert_eq!(s.problem_name_of("b"), Some("p"));
+        assert_eq!(s.problem_name_of("a"), None);
+        assert_eq!(s.offline_machine_names(), vec!["c".to_string()]);
+        let b = s.plan.machine_id("b").unwrap();
+        assert!(s.missed_detection.contains(b));
+        assert_eq!(s.problem_machine_count(), 1);
     }
 }

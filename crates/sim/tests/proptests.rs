@@ -1,13 +1,16 @@
 //! Randomised tests of the simulator + protocols as a system: random
-//! small scenarios must always converge, and the paper's overhead
-//! relations must hold.
+//! small scenarios must always converge, the paper's overhead
+//! relations must hold, and the interned data plane must be
+//! bit-identical to the retained string-keyed reference.
 //!
 //! Scenarios are generated with a seeded xorshift generator, so every
 //! run exercises the same cases deterministically and offline.
 
 use std::collections::BTreeSet;
 
+use mirage_deploy::reference::{NamedBalanced, NamedFrontLoading, NamedNoStaging, NamedProtocol};
 use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
+use mirage_sim::runner::reference::{run_reference, NamedScenario};
 use mirage_sim::{run, Scenario, ScenarioBuilder};
 
 /// Deterministic xorshift64 generator for scenario specs.
@@ -37,6 +40,10 @@ struct RandomScenario {
     problem_clusters: Vec<usize>,
     misplaced_cluster: Option<usize>,
     threshold: f64,
+    /// `(cluster, count, until)` offline directive, if any.
+    offline: Option<(usize, usize, u64)>,
+    /// `(problem cluster, count)` missed-detection directive, if any.
+    missed: Option<(usize, usize)>,
 }
 
 fn random_scenario(rng: &mut Rng) -> RandomScenario {
@@ -58,7 +65,28 @@ fn random_scenario(rng: &mut Rng) -> RandomScenario {
         problem_clusters: problem_clusters.into_iter().collect(),
         misplaced_cluster,
         threshold,
+        offline: None,
+        missed: None,
     }
+}
+
+/// Like [`random_scenario`], but also exercises the offline and
+/// missed-detection extension knobs (used by the driver-equivalence
+/// test, which makes no behavioural assumptions beyond determinism).
+fn random_scenario_ext(rng: &mut Rng) -> RandomScenario {
+    let mut spec = random_scenario(rng);
+    if rng.below(2) == 0 {
+        let cluster = rng.below(spec.clusters);
+        let count = 1 + rng.below(2);
+        let until = 50 + 50 * rng.below(20) as u64;
+        spec.offline = Some((cluster, count, until));
+    }
+    if rng.below(2) == 0 {
+        if let Some(&c) = spec.problem_clusters.first() {
+            spec.missed = Some((c, 1 + rng.below(spec.size)));
+        }
+    }
+    spec
 }
 
 fn build(spec: &RandomScenario) -> Scenario {
@@ -74,6 +102,12 @@ fn build(spec: &RandomScenario) -> Scenario {
         if spec.size > 1 && !spec.problem_clusters.contains(&c) {
             builder = builder.misplaced_machine(c, "p-misplaced");
         }
+    }
+    if let Some((cluster, count, until)) = spec.offline {
+        builder = builder.offline_machines(cluster, count, until);
+    }
+    if let Some((cluster, count)) = spec.missed {
+        builder = builder.missed_detections(cluster, count);
     }
     builder.build()
 }
@@ -100,6 +134,33 @@ fn protocols(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Protocol>)> {
     ]
 }
 
+/// The string-keyed reference protocols, in the same order as
+/// [`protocols`].
+fn named_protocols(named: &NamedScenario) -> Vec<(&'static str, Box<dyn NamedProtocol>)> {
+    vec![
+        (
+            "NoStaging",
+            Box::new(NamedNoStaging::new(named.plan.clone())),
+        ),
+        (
+            "Balanced",
+            Box::new(NamedBalanced::new(named.plan.clone(), named.threshold)),
+        ),
+        (
+            "FrontLoading",
+            Box::new(NamedFrontLoading::new(named.plan.clone(), named.threshold)),
+        ),
+        (
+            "RandomStaging",
+            Box::new(NamedBalanced::with_order(
+                named.plan.clone(),
+                named.plan.order_by_distance_desc(),
+                named.threshold,
+            )),
+        ),
+    ]
+}
+
 /// Every protocol converges on every scenario: all machines pass,
 /// completion is reported, and pass times are sane.
 #[test]
@@ -112,7 +173,7 @@ fn all_protocols_converge() {
         for (name, mut protocol) in protocols(&scenario) {
             let metrics = run(&scenario, protocol.as_mut());
             assert_eq!(
-                metrics.machine_pass_time.len(),
+                metrics.passed_count(),
                 total,
                 "case {case}: {name} left machines behind ({spec:?})"
             );
@@ -121,12 +182,7 @@ fn all_protocols_converge() {
                 "case {case}: {name} never completed ({spec:?})"
             );
             assert!(protocol.done(), "case {case}: {name} not done ({spec:?})");
-            let max_pass = metrics
-                .machine_pass_time
-                .values()
-                .max()
-                .copied()
-                .unwrap_or(0);
+            let max_pass = metrics.max_pass_time().unwrap_or(0);
             assert!(
                 metrics.completion_time.unwrap() >= max_pass,
                 "case {case}: {name} completed before its last machine ({spec:?})"
@@ -143,7 +199,7 @@ fn staging_never_increases_overhead() {
     for case in 0..64 {
         let spec = random_scenario(&mut rng);
         let scenario = build(&spec);
-        let m = scenario.machine_problem.len();
+        let m = scenario.problem_machine_count();
         let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
         assert_eq!(nostaging.failed_tests, m, "case {case} ({spec:?})");
         for (name, mut protocol) in protocols(&scenario) {
@@ -196,6 +252,39 @@ fn healthy_fleet_timing() {
             );
             let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
             assert_eq!(nostaging.completion_time, Some(cycle));
+        }
+    }
+}
+
+/// **The equivalence property** (tentpole acceptance): the interned
+/// data plane — id-keyed protocols, calendar event queue, flat-indexed
+/// driver — produces *bit-identical* [`mirage_sim::SimMetrics`] (pass
+/// times, overhead, releases, completion time, problem discovery
+/// order, escapes) to the retained string-keyed reference across
+/// random scenarios, thresholds, extension knobs, and all four
+/// protocols.
+#[test]
+fn interned_driver_matches_string_reference() {
+    let mut rng = Rng::new(0x5E);
+    for case in 0..48 {
+        let spec = random_scenario_ext(&mut rng);
+        let scenario = build(&spec);
+        let named = NamedScenario::from_scenario(&scenario);
+        let fast = protocols(&scenario);
+        let slow = named_protocols(&named);
+        for ((name, mut fast_p), (slow_name, mut slow_p)) in fast.into_iter().zip(slow) {
+            assert_eq!(name, slow_name);
+            let fast_m = run(&scenario, fast_p.as_mut());
+            let slow_m = run_reference(&named, slow_p.as_mut());
+            assert_eq!(
+                fast_m, slow_m,
+                "case {case}: {name} diverged from the string reference ({spec:?})"
+            );
+            assert_eq!(
+                fast_p.done(),
+                slow_p.done(),
+                "case {case}: {name} done() diverged ({spec:?})"
+            );
         }
     }
 }

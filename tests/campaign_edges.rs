@@ -149,7 +149,8 @@ fn missing_machines_are_tolerated_with_threshold() {
     let (_, mut plan) = campaign.plan("app", &fp, 1);
     // A ghost machine appears in the plan's only cluster (it is not a
     // representative).
-    plan.clusters[0].members.push("ghost".into());
+    let ghost = plan.machines.intern("ghost");
+    plan.clusters[0].members.push(ghost);
     let result = campaign.deploy(clean, &plan, ProtocolKind::Balanced, 0.75);
     // The three real machines all converge; the ghost never reports.
     assert_eq!(result.integrated.len(), 3);

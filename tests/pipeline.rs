@@ -102,19 +102,12 @@ fn diffs_to_clusters_to_simulation() {
 
     // Drive the deployment plan through the discrete-event simulator.
     let plan = DeployPlan::from_clustering(&clustering, 1);
-    let scenario = mirage::sim::Scenario {
-        plan: plan.clone(),
-        machine_problem: behavior
-            .keys()
-            .map(|m| (m.clone(), "slow-breaks".to_string()))
-            .collect(),
-        timings: mirage::sim::Timings::paper_default(),
-        threshold: 1.0,
-        offline_until: Default::default(),
-        missed_detection: Default::default(),
-    };
+    let mut scenario = mirage::sim::Scenario::from_plan(plan.clone());
+    for m in behavior.keys() {
+        scenario.assign_problem(m, "slow-breaks");
+    }
     let metrics = run(&scenario, &mut Balanced::new(plan.clone(), 1.0));
-    assert_eq!(metrics.machine_pass_time.len(), 9);
+    assert_eq!(metrics.passed_count(), 9);
     assert_eq!(metrics.failed_tests, 1, "only the slow cluster's rep");
     let nostaging = run(&scenario, &mut NoStaging::new(plan.clone()));
     assert_eq!(nostaging.failed_tests, 3, "every slow machine");
@@ -156,6 +149,6 @@ fn extra_representatives_catch_misplaced_machines_earlier() {
             .build();
         let metrics = run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0));
         assert_eq!(metrics.failed_tests, 1);
-        assert_eq!(metrics.machine_pass_time.len(), 18);
+        assert_eq!(metrics.passed_count(), 18);
     }
 }
