@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [experiment] [--csv <dir>] [--telemetry <path>]
+//! repro [experiment] [--csv <dir>] [--telemetry <path>] [--smoke]
 //!
 //! experiments:
 //!   fig1 fig2 fig3     survey figures (§2.2)
@@ -13,7 +13,9 @@
 //!   telemetry          instrumented campaign + simulation flight dump
 //!   clustering-perf    clustering hot-path benchmark → BENCH_clustering.json
 //!   sim-perf           simulator hot-path benchmark → BENCH_sim.json
-//!   all                everything (default; excludes *-perf)
+//!   fault-sweep        convergence vs message-loss rate → BENCH_faults.json
+//!                      (--smoke shrinks the fleet for CI)
+//!   all                everything (default; excludes *-perf and fault-sweep)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
@@ -37,6 +39,7 @@ fn main() {
     let mut arg: Option<String> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
+    let mut smoke = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
@@ -45,6 +48,8 @@ fn main() {
         } else if a == "--telemetry" {
             let path = it.next().expect("--telemetry requires a file path");
             telemetry_path = Some(std::path::PathBuf::from(path));
+        } else if a == "--smoke" {
+            smoke = true;
         } else {
             arg = Some(a);
         }
@@ -110,6 +115,143 @@ fn main() {
     if arg == "sim-perf" {
         sim_perf(csv_dir.as_deref());
     }
+    if arg == "fault-sweep" {
+        fault_sweep(csv_dir.as_deref(), smoke);
+    }
+}
+
+/// Sweeps the fault injector's message-loss rate from 0% to 30% (with
+/// duplication at half the loss rate and ±10-tick delivery delay) over
+/// all three protocols on the paper's 100k-machine Figure-10 scenario,
+/// and writes `BENCH_faults.json` — into the `--csv` directory when
+/// given, the working directory otherwise.
+///
+/// Every run enables the vendor-side hardening (timed re-notification
+/// with exponential backoff, timeout-based stage advancement), so the
+/// sweep answers: *does staged deployment still converge, and at what
+/// latency/overhead cost, when the channel degrades?*
+///
+/// `--smoke` shrinks the fleet to 4×250 so CI can exercise the whole
+/// path in debug builds.
+fn fault_sweep(csv: Option<&std::path::Path>, smoke: bool) {
+    use mirage_sim::{FaultSpec, ScenarioBuilder};
+
+    heading(if smoke {
+        "Fault sweep (smoke fleet): convergence vs message-loss rate"
+    } else {
+        "Fault sweep: convergence vs message-loss rate (100k machines)"
+    });
+
+    let (clusters, size) = if smoke { (8, 125) } else { (20, 5_000) };
+    let protocols = ["NoStaging", "Balanced", "FrontLoading"];
+    let loss_pcts: &[u32] = &[0, 5, 10, 15, 20, 25, 30];
+
+    struct Row {
+        protocol: &'static str,
+        loss_pct: u32,
+        converged: bool,
+        completion: Option<u64>,
+        failed_tests: usize,
+        msgs_dropped: u64,
+        retries_sent: u64,
+        rep_timeouts: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &loss_pct in loss_pcts {
+        let loss = loss_pct as f64 / 100.0;
+        // Deterministic per-cell seed so the sweep replays exactly.
+        let spec = FaultSpec::new(0xFA17_0000 + loss_pct as u64)
+            .loss(loss)
+            .duplication(loss / 2.0)
+            .delay(10)
+            .rep_timeout(4_000);
+        let scenario = ScenarioBuilder::new()
+            .clusters(clusters, size, 1)
+            .problem_in_clusters(
+                deployment::PREVALENT,
+                &[clusters - 6, clusters - 5, clusters - 4],
+            )
+            .problem_in_clusters(deployment::RARE_A, &[clusters - 3])
+            .problem_in_clusters(deployment::RARE_B, &[clusters - 2])
+            .faults(spec)
+            .build();
+        let total = scenario.machine_count();
+        for protocol in protocols {
+            let m = deployment::run_protocol(&scenario, protocol);
+            let converged = m.passed_count() == total;
+            println!(
+                "  loss {loss_pct:>2}%  {protocol:<12}  passed {:>6}/{total}  completion {:?}  \
+                 retries {}  dropped {}  waived {}",
+                m.passed_count(),
+                m.completion_time,
+                m.retries_sent,
+                m.msgs_dropped,
+                m.rep_timeouts,
+            );
+            rows.push(Row {
+                protocol,
+                loss_pct,
+                converged,
+                completion: m.completion_time,
+                failed_tests: m.failed_tests,
+                msgs_dropped: m.msgs_dropped,
+                retries_sent: m.retries_sent,
+                rep_timeouts: m.rep_timeouts,
+            });
+        }
+    }
+
+    let all_converged = rows.iter().all(|r| r.converged);
+    println!(
+        "=> {} under every loss rate up to 30%",
+        if all_converged {
+            "all protocols converged to 100%"
+        } else {
+            "CONVERGENCE FAILURES (see rows)"
+        }
+    );
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"fault-sweep\",\n");
+    json.push_str(&format!(
+        "  \"note\": \"{} machines ({}x{}), problems placed late; duplication = loss/2, \
+         delay uniform 0..=10, rep_timeout 4000, seeded per cell\",\n",
+        clusters * size,
+        clusters,
+        size
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"loss_pct\": {}, \"converged\": {}, \
+             \"completion_time\": {}, \"failed_tests\": {}, \"msgs_dropped\": {}, \
+             \"retries_sent\": {}, \"rep_timeouts\": {}}}{}\n",
+            r.protocol,
+            r.loss_pct,
+            r.converged,
+            r.completion.map_or("null".to_string(), |t| t.to_string()),
+            r.failed_tests,
+            r.msgs_dropped,
+            r.retries_sent,
+            r.rep_timeouts,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"all_converged\": {all_converged}\n}}\n"));
+
+    let path = csv
+        .map(|d| d.join("BENCH_faults.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_faults.json"));
+    std::fs::write(&path, json).expect("write BENCH_faults.json");
+    println!("(wrote {})", path.display());
+    assert!(
+        all_converged,
+        "fault sweep found non-converging runs; see {}",
+        path.display()
+    );
 }
 
 /// Benchmarks the deployment simulator's hot path and writes

@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mirage_cluster::{Clustering, MachineInfo};
 use mirage_deploy::{
-    Balanced, Command, DeployPlan, FrontLoading, NoStaging, ProblemSet, ProblemTable, Protocol,
-    Release, TestOutcome, TestReport,
+    Command, DeployPlan, ProblemSet, ProblemTable, Protocol, ProtocolChoice, Release, TestOutcome,
+    TestReport,
 };
 use mirage_env::{ProblemId, Upgrade, UpgradeId};
 use mirage_fingerprint::MachineFingerprint;
@@ -44,20 +44,16 @@ impl ProtocolKind {
             mirage_env::Urgency::Routine => ProtocolKind::Balanced,
         }
     }
-}
 
-/// Deterministic Fisher–Yates shuffle driven by an xorshift generator.
-fn seeded_shuffle(order: &mut [usize], seed: u64) {
-    let mut state = seed | 1;
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    for i in (1..order.len()).rev() {
-        let j = (next() % (i as u64 + 1)) as usize;
-        order.swap(i, j);
+    /// Lowers the campaign-level kind to the deploy crate's unified
+    /// [`ProtocolChoice`] selector.
+    pub fn choice(self) -> ProtocolChoice {
+        match self {
+            ProtocolKind::NoStaging => ProtocolChoice::NoStaging,
+            ProtocolKind::Balanced => ProtocolChoice::Balanced,
+            ProtocolKind::FrontLoading => ProtocolChoice::FrontLoading,
+            ProtocolKind::RandomStaging { seed } => ProtocolChoice::RandomStaging { seed },
+        }
     }
 }
 
@@ -168,25 +164,12 @@ impl Campaign {
         threshold: f64,
     ) -> CampaignResult {
         let _deploy_span = self.telemetry.span("campaign.deploy");
-        let mut protocol: Box<dyn Protocol> = match kind {
-            ProtocolKind::NoStaging => {
-                Box::new(NoStaging::new(plan.clone()).with_telemetry(self.telemetry.clone()))
-            }
-            ProtocolKind::Balanced => Box::new(
-                Balanced::new(plan.clone(), threshold).with_telemetry(self.telemetry.clone()),
-            ),
-            ProtocolKind::FrontLoading => Box::new(
-                FrontLoading::new(plan.clone(), threshold).with_telemetry(self.telemetry.clone()),
-            ),
-            ProtocolKind::RandomStaging { seed } => {
-                let mut order: Vec<usize> = (0..plan.clusters.len()).collect();
-                seeded_shuffle(&mut order, seed);
-                Box::new(
-                    Balanced::with_order(plan.clone(), order, threshold)
-                        .with_telemetry(self.telemetry.clone()),
-                )
-            }
-        };
+        // One typed construction path for every protocol (selection,
+        // telemetry, RandomStaging order) instead of per-driver matches.
+        let mut protocol = kind
+            .choice()
+            .build(plan.clone(), threshold)
+            .with_telemetry(self.telemetry.clone());
         let mut releases: Vec<Upgrade> = vec![upgrade];
         let mut integrated: BTreeMap<String, u32> = BTreeMap::new();
         let mut failed_validations = 0usize;
@@ -646,6 +629,7 @@ mod urgency_tests {
 
     #[test]
     fn seeded_shuffle_is_a_permutation() {
+        use mirage_deploy::seeded_shuffle;
         let mut order: Vec<usize> = (0..10).collect();
         seeded_shuffle(&mut order, 7);
         let mut sorted = order.clone();

@@ -206,6 +206,20 @@ impl DenseBitSet {
         true
     }
 
+    fn remove(&mut self, bit: usize) -> bool {
+        let word = bit / 64;
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (bit % 64);
+        if self.words[word] & mask == 0 {
+            return false;
+        }
+        self.words[word] &= !mask;
+        self.len -= 1;
+        true
+    }
+
     #[inline]
     fn contains(&self, bit: usize) -> bool {
         self.words
@@ -227,6 +241,11 @@ impl MachineSet {
     /// Inserts `id`; returns `true` if it was newly added.
     pub fn insert(&mut self, id: MachineId) -> bool {
         self.0.insert(id.index())
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: MachineId) -> bool {
+        self.0.remove(id.index())
     }
 
     /// Membership test.
@@ -323,6 +342,15 @@ mod tests {
         assert!(!m.contains(MachineId(64)));
         assert!(!m.contains(MachineId(100_000)), "beyond allocated words");
         assert_eq!(m.len(), 2);
+        assert!(m.remove(MachineId(3)));
+        assert!(!m.remove(MachineId(3)), "double remove reports false");
+        assert!(
+            !m.remove(MachineId(100_000)),
+            "remove beyond words is a no-op"
+        );
+        assert!(!m.contains(MachineId(3)));
+        assert_eq!(m.len(), 1);
+        assert!(m.insert(MachineId(3)), "re-insert after remove");
 
         let mut p = ProblemSet::new();
         assert!(p.insert(ProblemId(0)));

@@ -42,13 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod ids;
 pub mod plan;
 pub mod protocol;
 pub mod protocols;
 pub mod reference;
 
+pub use dispatch::{seeded_shuffle, AnyProtocol, ProtocolChoice};
 pub use ids::{MachineId, MachineSet, MachineTable, ProblemId, ProblemSet, ProblemTable};
 pub use plan::{DeployCluster, DeployPlan};
-pub use protocol::{Command, Protocol, Release, TestOutcome, TestReport};
+pub use protocol::{Command, Protocol, Release, SimTime, TestOutcome, TestReport};
 pub use protocols::{Balanced, FrontLoading, NoStaging};

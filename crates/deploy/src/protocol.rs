@@ -12,6 +12,14 @@ use std::fmt;
 
 use crate::ids::{MachineId, ProblemId, ProblemSet};
 
+/// Simulated (or wall-clock) time in abstract ticks.
+///
+/// Mirrored from the simulator so the vendor-side protocol hardening
+/// ([`Protocol::on_tick`]) can reason about elapsed time without
+/// depending on `mirage-sim`; the two crates agree this is a plain
+/// `u64` tick count.
+pub type SimTime = u64;
+
 /// A release of an upgrade. Release 0 is the original; the driver bumps
 /// the number each time the vendor ships a corrected version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -100,7 +108,28 @@ pub trait Protocol {
     /// problem is still open would only inflate the upgrade overhead).
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command>;
 
-    /// Returns `true` once every machine has passed.
+    /// Periodic timer callback from the driver (only invoked when a
+    /// fault plan is active).
+    ///
+    /// Protocols use ticks to detect representatives that will *never*
+    /// report (crashed mid-stage, left the fleet) and degrade
+    /// gracefully: after a configured timeout with no forward progress
+    /// the blocking machines are waived and the stage advances. The
+    /// default implementation does nothing, preserving the clock-free
+    /// contract for reliable channels.
+    fn on_tick(&mut self, _now: SimTime) -> Vec<Command> {
+        Vec::new()
+    }
+
+    /// Number of machines waived by timeout-based stage advancement
+    /// (the `deploy.rep_timeouts` counter). Zero for protocols that
+    /// never tick.
+    fn rep_timeouts(&self) -> u64 {
+        0
+    }
+
+    /// Returns `true` once every machine has passed (or, under an
+    /// active fault plan, has been waived by timeout).
     fn done(&self) -> bool;
 }
 

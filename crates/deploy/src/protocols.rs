@@ -12,7 +12,12 @@ use mirage_telemetry::{FlightEvent, Telemetry};
 
 use crate::ids::{MachineId, MachineSet, ProblemId, ProblemSet};
 use crate::plan::DeployPlan;
-use crate::protocol::{Command, MachineStatus, Protocol, Release, TestOutcome, TestReport};
+use crate::protocol::{
+    Command, MachineStatus, Protocol, Release, SimTime, TestOutcome, TestReport,
+};
+
+/// Sentinel progress marker meaning "no tick observed yet".
+const NO_MARKER: (usize, u32) = (usize::MAX, u32::MAX);
 
 /// How many members of a `total`-machine cluster must pass before the
 /// deployment wave advances, at pass-fraction `threshold`.
@@ -56,6 +61,21 @@ pub struct NoStaging {
     machines: Vec<MachineId>,
     /// Last failure signature per machine, for targeted re-notification.
     failed_problem: Vec<Option<ProblemId>>,
+    /// Release each machine was most recently notified for; reports
+    /// carrying an older release are stale duplicates and ignored.
+    notified_release: Vec<u32>,
+    /// Machines waived by timeout-based degradation (see
+    /// [`Protocol::on_tick`]); disjoint from `Passed` machines.
+    waived: MachineSet,
+    /// Quiet-time budget before waiving blockers; `None` disables the
+    /// stall detector (the reliable-channel default).
+    rep_timeout: Option<SimTime>,
+    /// Cumulative waived-machine count (`deploy.rep_timeouts`).
+    timeouts: u64,
+    /// Stall detector state: last observed `(passed, release)` marker
+    /// and when it last moved.
+    last_marker: (usize, u32),
+    last_change: SimTime,
     passed: usize,
     release: Release,
     completed: bool,
@@ -80,6 +100,12 @@ impl NoStaging {
             status: vec![MachineStatus::Idle; n],
             machines,
             failed_problem: vec![None; n],
+            notified_release: vec![0; n],
+            waived: MachineSet::new(),
+            rep_timeout: None,
+            timeouts: 0,
+            last_marker: NO_MARKER,
+            last_change: 0,
             passed: 0,
             release: Release(0),
             completed: false,
@@ -90,6 +116,14 @@ impl NoStaging {
     /// Attaches a telemetry handle recording notification counters.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables timeout-based degradation: when no progress is observed
+    /// for `timeout` ticks, machines still testing are waived so the
+    /// deployment can complete around crashed fleet members.
+    pub fn with_rep_timeout(mut self, timeout: SimTime) -> Self {
+        self.rep_timeout = Some(timeout);
         self
     }
 
@@ -128,6 +162,18 @@ impl Protocol for NoStaging {
 
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
         let idx = report.machine.index();
+        // Unreliable-channel idempotence: ignore stale reports for a
+        // release older than the machine's latest notification, and
+        // never demote a machine that already passed (a duplicated
+        // delivery must be a strict no-op).
+        if report.release.0 < self.notified_release[idx]
+            || self.status[idx] == MachineStatus::Passed
+        {
+            return Vec::new();
+        }
+        // Any report proves the machine is alive: un-waive it so
+        // completion waits for its real outcome.
+        self.waived.remove(report.machine);
         let status = match report.outcome {
             TestOutcome::Pass => MachineStatus::Passed,
             TestOutcome::Fail { problem } => {
@@ -155,6 +201,7 @@ impl Protocol for NoStaging {
             .collect();
         for &m in &failed {
             self.status[m.index()] = MachineStatus::Testing;
+            self.notified_release[m.index()] = release.0;
         }
         if failed.is_empty() {
             return self.completion();
@@ -168,8 +215,40 @@ impl Protocol for NoStaging {
         }]
     }
 
+    fn on_tick(&mut self, now: SimTime) -> Vec<Command> {
+        let Some(timeout) = self.rep_timeout else {
+            return Vec::new();
+        };
+        if self.completed {
+            return Vec::new();
+        }
+        let marker = (self.passed + self.waived.len(), self.release.0);
+        if marker != self.last_marker {
+            self.last_marker = marker;
+            self.last_change = now;
+            return Vec::new();
+        }
+        if now.saturating_sub(self.last_change) < timeout {
+            return Vec::new();
+        }
+        // Stalled past the budget: waive every machine still testing —
+        // its report (and the driver's retries) would have landed by
+        // now if it were coming.
+        for (idx, st) in self.status.iter().enumerate() {
+            if *st == MachineStatus::Testing && self.waived.insert(MachineId(idx as u32)) {
+                self.timeouts += 1;
+            }
+        }
+        self.last_change = now;
+        self.completion()
+    }
+
+    fn rep_timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
     fn done(&self) -> bool {
-        self.passed == self.machines.len()
+        self.passed + self.waived.len() == self.machines.len()
     }
 }
 
@@ -222,6 +301,26 @@ struct StagedEngine {
     stage: ClusterStage,
     /// Last failure signature per machine, for targeted re-notification.
     failed_problem: Vec<Option<ProblemId>>,
+    /// Release each machine was most recently notified for; reports
+    /// carrying an older release are stale duplicates and ignored.
+    notified_release: Vec<u32>,
+    /// Machines waived by timeout-based degradation; disjoint from
+    /// `Passed` machines (a report un-waives).
+    waived: MachineSet,
+    /// Waived-machine count per cluster index (mirrors
+    /// `cluster_passed` in the wave-advancement arithmetic).
+    cluster_waived: Vec<usize>,
+    /// Waived counted representatives (mirrors `reps_passed`).
+    waived_reps: usize,
+    /// Quiet-time budget before waiving the current phase's blockers;
+    /// `None` disables the stall detector (reliable-channel default).
+    rep_timeout: Option<SimTime>,
+    /// Cumulative waived-machine count (`deploy.rep_timeouts`).
+    timeouts: u64,
+    /// Stall detector state: last `(passed + waived, release)` marker
+    /// and when it last moved.
+    last_marker: (usize, u32),
+    last_change: SimTime,
     completed: bool,
     telemetry: Telemetry,
 }
@@ -251,7 +350,8 @@ impl StagedEngine {
             }
         }
         let total_reps = plan.clusters.iter().map(|c| c.reps.len()).sum();
-        let cluster_passed = vec![0; plan.clusters.len()];
+        let cluster_count = plan.clusters.len();
+        let cluster_passed = vec![0; cluster_count];
         StagedEngine {
             plan,
             order,
@@ -273,6 +373,14 @@ impl StagedEngine {
             },
             stage: ClusterStage::Reps,
             failed_problem: vec![None; n],
+            notified_release: vec![0; n],
+            waived: MachineSet::new(),
+            cluster_waived: vec![0; cluster_count],
+            waived_reps: 0,
+            rep_timeout: None,
+            timeouts: 0,
+            last_marker: NO_MARKER,
+            last_change: 0,
             completed: false,
             telemetry: Telemetry::noop(),
         }
@@ -293,6 +401,7 @@ impl StagedEngine {
         }
         for &m in &fresh {
             self.status[m.index()] = MachineStatus::Testing;
+            self.notified_release[m.index()] = self.release.0;
         }
         self.telemetry.counter("deploy.notify_commands", 1);
         self.telemetry
@@ -306,7 +415,7 @@ impl StagedEngine {
     fn all_passed(&self, machines: &[MachineId]) -> bool {
         machines
             .iter()
-            .all(|m| self.status[m.index()] == MachineStatus::Passed)
+            .all(|m| self.status[m.index()] == MachineStatus::Passed || self.waived.contains(*m))
     }
 
     fn all_reps(&self) -> Vec<MachineId> {
@@ -322,7 +431,7 @@ impl StagedEngine {
         loop {
             match self.phase {
                 Phase::GlobalReps => {
-                    if self.reps_passed == self.total_reps {
+                    if self.reps_passed + self.waived_reps == self.total_reps {
                         self.phase = Phase::Cluster(0);
                         self.stage = ClusterStage::NonReps;
                         if let Some(&cid) = self.order.first() {
@@ -356,7 +465,7 @@ impl StagedEngine {
                         }
                         ClusterStage::NonReps => {
                             let needed = ceil_threshold(cluster.members.len(), self.threshold);
-                            if self.cluster_passed[cid] >= needed {
+                            if self.cluster_passed[cid] + self.cluster_waived[cid] >= needed {
                                 // Advance to the next cluster.
                                 if i + 1 < self.order.len() {
                                     self.phase = Phase::Cluster(i + 1);
@@ -414,6 +523,27 @@ impl StagedEngine {
 
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
         let idx = report.machine.index();
+        // Unreliable-channel idempotence: drop stale reports for a
+        // release older than the machine's latest notification, and
+        // never demote a machine that already passed (a duplicated
+        // delivery must be a strict no-op).
+        if report.release.0 < self.notified_release[idx]
+            || self.status[idx] == MachineStatus::Passed
+        {
+            return Vec::new();
+        }
+        // Any report proves the machine is alive: un-waive it (and back
+        // out its virtual-pass contribution) so the wave arithmetic
+        // waits for its real outcome instead.
+        if self.waived.remove(report.machine) {
+            let cid = self.cluster_of[idx];
+            if cid != NO_CLUSTER {
+                self.cluster_waived[cid as usize] -= 1;
+                if self.counted_rep.contains(report.machine) {
+                    self.waived_reps -= 1;
+                }
+            }
+        }
         let status = match report.outcome {
             TestOutcome::Pass => MachineStatus::Passed,
             TestOutcome::Fail { problem } => {
@@ -454,8 +584,65 @@ impl StagedEngine {
         out
     }
 
+    /// Timeout-based stage advancement (paper §5's offline-machine
+    /// degradation): when the `(passed + waived, release)` progress
+    /// marker has not moved for `rep_timeout` ticks, the machines
+    /// blocking the *current* phase that are still marked `Testing` are
+    /// waived — their reports (and the driver's retries) would have
+    /// arrived by now if they were coming — and the wave advances.
+    fn on_tick(&mut self, now: SimTime) -> Vec<Command> {
+        let Some(timeout) = self.rep_timeout else {
+            return Vec::new();
+        };
+        if self.completed {
+            return Vec::new();
+        }
+        let marker = (self.total_passed + self.waived.len(), self.release.0);
+        if marker != self.last_marker {
+            self.last_marker = marker;
+            self.last_change = now;
+            return Vec::new();
+        }
+        if now.saturating_sub(self.last_change) < timeout {
+            return Vec::new();
+        }
+        let targets: Vec<MachineId> = match self.phase {
+            Phase::GlobalReps => self.all_reps(),
+            Phase::Cluster(i) => {
+                let cid = self.order[i];
+                let cluster = &self.plan.clusters[cid];
+                match self.stage {
+                    ClusterStage::Reps => cluster.reps.clone(),
+                    ClusterStage::NonReps => cluster.members.clone(),
+                }
+            }
+            Phase::Draining => self.machines.clone(),
+        };
+        let mut waived_any = false;
+        for m in targets {
+            let idx = m.index();
+            if self.status[idx] == MachineStatus::Testing && self.waived.insert(m) {
+                self.timeouts += 1;
+                let cid = self.cluster_of[idx];
+                if cid != NO_CLUSTER {
+                    self.cluster_waived[cid as usize] += 1;
+                    if self.counted_rep.contains(m) {
+                        self.waived_reps += 1;
+                    }
+                }
+                waived_any = true;
+            }
+        }
+        self.last_change = now;
+        let mut out = Vec::new();
+        if waived_any {
+            self.step(&mut out);
+        }
+        out
+    }
+
     fn done(&self) -> bool {
-        self.total_passed == self.machines.len()
+        self.total_passed + self.waived.len() == self.machines.len()
     }
 }
 
@@ -497,6 +684,13 @@ impl Balanced {
         self.engine.telemetry = telemetry;
         self
     }
+
+    /// Enables timeout-based stage advancement (see
+    /// [`NoStaging::with_rep_timeout`]).
+    pub fn with_rep_timeout(mut self, timeout: SimTime) -> Self {
+        self.engine.rep_timeout = Some(timeout);
+        self
+    }
 }
 
 impl Protocol for Balanced {
@@ -511,6 +705,12 @@ impl Protocol for Balanced {
     }
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.engine.on_release(release, fixed)
+    }
+    fn on_tick(&mut self, now: SimTime) -> Vec<Command> {
+        self.engine.on_tick(now)
+    }
+    fn rep_timeouts(&self) -> u64 {
+        self.engine.timeouts
     }
     fn done(&self) -> bool {
         self.engine.done()
@@ -552,6 +752,13 @@ impl FrontLoading {
         self.engine.telemetry = telemetry;
         self
     }
+
+    /// Enables timeout-based stage advancement (see
+    /// [`NoStaging::with_rep_timeout`]).
+    pub fn with_rep_timeout(mut self, timeout: SimTime) -> Self {
+        self.engine.rep_timeout = Some(timeout);
+        self
+    }
 }
 
 impl Protocol for FrontLoading {
@@ -566,6 +773,12 @@ impl Protocol for FrontLoading {
     }
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.engine.on_release(release, fixed)
+    }
+    fn on_tick(&mut self, now: SimTime) -> Vec<Command> {
+        self.engine.on_tick(now)
+    }
+    fn rep_timeouts(&self) -> u64 {
+        self.engine.timeouts
     }
     fn done(&self) -> bool {
         self.engine.done()
@@ -839,6 +1052,85 @@ mod tests {
         assert!(p.done());
     }
 
+    /// Timeout-based degradation: a representative that never reports is
+    /// waived after the quiet-time budget, the wave advances, and the
+    /// `rep_timeouts` counter records the waiver. A late report from the
+    /// resurrected machine un-waives it and counts its real outcome.
+    #[test]
+    fn rep_timeout_waives_crashed_rep_and_advances() {
+        let pl = plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]);
+        let mut p = Balanced::new(pl.clone(), 1.0).with_rep_timeout(100);
+        let cmds = p.start();
+        assert_eq!(notified(&pl, &cmds), vec!["a"]);
+        // First tick records the progress marker; the second is inside
+        // the budget; the third crosses it and waives the silent rep.
+        assert!(p.on_tick(10).is_empty());
+        assert!(p.on_tick(50).is_empty());
+        let cmds = p.on_tick(120);
+        assert_eq!(notified(&pl, &cmds), vec!["b"], "waiver advanced the wave");
+        assert_eq!(p.rep_timeouts(), 1);
+        // Threshold 1.0 over {a, b}: the waived rep plus b's pass meet
+        // the wave-advance arithmetic.
+        let cmds = p.on_report(&pass(&pl, "b", 0));
+        assert!(notified(&pl, &cmds).contains(&"z".to_string()));
+        let cmds = p.on_report(&pass(&pl, "z", 0));
+        assert_eq!(cmds, vec![Command::Complete]);
+        assert!(p.done());
+        // The "crashed" rep resurrects with a late pass: un-waived and
+        // counted for real; the deployment stays done.
+        p.on_report(&pass(&pl, "a", 0));
+        assert!(p.done());
+        assert_eq!(p.rep_timeouts(), 1, "cumulative counter never decrements");
+    }
+
+    /// Regression (unreliable channels): replaying an already-delivered
+    /// report must not change `deploy.machines_notified` — a duplicated
+    /// Pass/Fail delivery is a strict no-op and triggers no
+    /// re-notification wave.
+    #[test]
+    fn replayed_reports_leave_machines_notified_unchanged() {
+        use std::sync::Arc;
+
+        use mirage_telemetry::Registry;
+
+        use crate::dispatch::ProtocolChoice;
+
+        let pl = plan(&[(&["a", "b"], 1, 1.0), (&["z"], 1, 9.0)]);
+        for choice in [
+            ProtocolChoice::NoStaging,
+            ProtocolChoice::Balanced,
+            ProtocolChoice::FrontLoading,
+        ] {
+            let name = choice.name();
+            let registry = Arc::new(Registry::new(64));
+            let mut p = choice
+                .build(pl.clone(), 1.0)
+                .with_telemetry(Telemetry::from_registry(Arc::clone(&registry)));
+            let cmds = p.start();
+            let first = match &cmds[0] {
+                Command::Notify { machines, .. } => machines[0],
+                other => panic!("{name}: unexpected {other:?}"),
+            };
+            let report = TestReport {
+                machine: first,
+                release: Release(0),
+                outcome: TestOutcome::Pass,
+            };
+            p.on_report(&report);
+            let before = registry.snapshot().counters["deploy.machines_notified"];
+            // Replay the same report three times: counters must not move
+            // and no commands may be emitted.
+            for _ in 0..3 {
+                assert!(
+                    p.on_report(&report).is_empty(),
+                    "{name}: replayed report emitted commands"
+                );
+            }
+            let after = registry.snapshot().counters["deploy.machines_notified"];
+            assert_eq!(before, after, "{name}: replay changed machines_notified");
+        }
+    }
+
     #[test]
     fn telemetry_counts_notifications_and_waves() {
         use std::sync::Arc;
@@ -876,9 +1168,13 @@ mod multi_rep_tests {
     }
 
     fn pass(plan: &DeployPlan, machine: &str) -> TestReport {
+        pass_at(plan, machine, 0)
+    }
+
+    fn pass_at(plan: &DeployPlan, machine: &str, release: u32) -> TestReport {
         TestReport {
             machine: plan.machine_id(machine).expect("machine in plan"),
-            release: Release(0),
+            release: Release(release),
             outcome: TestOutcome::Pass,
         }
     }
@@ -924,8 +1220,9 @@ mod multi_rep_tests {
         let mut fixed = ProblemSet::new();
         fixed.insert(ProblemId(0));
         assert_eq!(notified(&pl, &p.on_release(Release(1), &fixed)), vec!["r2"]);
-        // Now the non-reps go out.
-        let mut nonreps = notified(&pl, &p.on_report(&pass(&pl, "r2")));
+        // Now the non-reps go out (the retest reports the fixed release;
+        // a stale release-0 report would be dropped as a duplicate).
+        let mut nonreps = notified(&pl, &p.on_report(&pass_at(&pl, "r2", 1)));
         nonreps.sort();
         assert_eq!(nonreps, vec!["n1", "n2"]);
     }

@@ -15,8 +15,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::dispatch::{seeded_shuffle, ProtocolChoice};
 use crate::plan::DeployPlan;
-use crate::protocol::{MachineStatus, Release};
+use crate::protocol::{MachineStatus, Release, SimTime};
 
 /// One cluster with string membership (pre-interning shape).
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +147,11 @@ pub enum NamedCommand {
 }
 
 /// The string-keyed protocol interface (pre-interning shape).
+///
+/// Mirrors [`crate::Protocol`] hook-for-hook — including the
+/// unreliable-channel additions ([`NamedProtocol::on_tick`],
+/// [`NamedProtocol::rep_timeouts`]) — so the equivalence property
+/// tests drive both planes through one interface shape.
 pub trait NamedProtocol {
     /// Protocol name for reporting.
     fn name(&self) -> &'static str;
@@ -156,6 +162,16 @@ pub trait NamedProtocol {
     /// Handles the vendor shipping a corrected release; `fixed` is the
     /// cumulative set of fixed problem names.
     fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<NamedCommand>;
+    /// Periodic timer callback (mirror of [`crate::Protocol::on_tick`]);
+    /// the reference plane is only exercised on reliable channels, so
+    /// the default no-op is also the only implementation.
+    fn on_tick(&mut self, _now: SimTime) -> Vec<NamedCommand> {
+        Vec::new()
+    }
+    /// Mirror of [`crate::Protocol::rep_timeouts`].
+    fn rep_timeouts(&self) -> u64 {
+        0
+    }
     /// Returns `true` once every machine has passed.
     fn done(&self) -> bool;
 }
@@ -172,6 +188,10 @@ fn ceil_threshold(total: usize, threshold: f64) -> usize {
 pub struct NamedNoStaging {
     status: BTreeMap<String, MachineStatus>,
     failed_problem: BTreeMap<String, String>,
+    /// Release each machine was most recently notified for (absent ⇒
+    /// release 0); the stale-duplicate guard, mirroring the interned
+    /// plane's hardening.
+    notified_release: BTreeMap<String, u32>,
     passed: usize,
     release: Release,
     completed: bool,
@@ -188,6 +208,7 @@ impl NamedNoStaging {
         NamedNoStaging {
             status,
             failed_problem: BTreeMap::new(),
+            notified_release: BTreeMap::new(),
             passed: 0,
             release: Release(0),
             completed: false,
@@ -225,6 +246,19 @@ impl NamedProtocol for NamedNoStaging {
     }
 
     fn on_report(&mut self, report: &NamedReport) -> Vec<NamedCommand> {
+        // Unreliable-channel idempotence (mirrors the interned plane):
+        // drop reports for a release older than the machine's latest
+        // notification, and never demote a machine that already passed.
+        let notified = self
+            .notified_release
+            .get(&report.machine)
+            .copied()
+            .unwrap_or(0);
+        if report.release.0 < notified
+            || self.status.get(&report.machine) == Some(&MachineStatus::Passed)
+        {
+            return Vec::new();
+        }
         let status = match &report.outcome {
             NamedOutcome::Pass => MachineStatus::Passed,
             NamedOutcome::Fail { problem } => {
@@ -257,6 +291,7 @@ impl NamedProtocol for NamedNoStaging {
             .collect();
         for m in &failed {
             self.status.insert(m.clone(), MachineStatus::Testing);
+            self.notified_release.insert(m.clone(), release.0);
         }
         if failed.is_empty() {
             return self.completion();
@@ -303,6 +338,10 @@ struct NamedStagedEngine {
     phase: Phase,
     stage: ClusterStage,
     failed_problem: BTreeMap<String, String>,
+    /// Release each machine was most recently notified for (absent ⇒
+    /// release 0); the stale-duplicate guard, mirroring the interned
+    /// plane's hardening.
+    notified_release: BTreeMap<String, u32>,
     completed: bool,
 }
 
@@ -347,6 +386,7 @@ impl NamedStagedEngine {
             },
             stage: ClusterStage::Reps,
             failed_problem: BTreeMap::new(),
+            notified_release: BTreeMap::new(),
             completed: false,
         }
     }
@@ -366,6 +406,7 @@ impl NamedStagedEngine {
         }
         for m in &fresh {
             self.status.insert(m.clone(), MachineStatus::Testing);
+            self.notified_release.insert(m.clone(), self.release.0);
         }
         out.push(NamedCommand::Notify {
             machines: fresh,
@@ -470,6 +511,19 @@ impl NamedStagedEngine {
     }
 
     fn on_report(&mut self, report: &NamedReport) -> Vec<NamedCommand> {
+        // Unreliable-channel idempotence (mirrors the interned plane):
+        // drop reports for a release older than the machine's latest
+        // notification, and never demote a machine that already passed.
+        let notified = self
+            .notified_release
+            .get(&report.machine)
+            .copied()
+            .unwrap_or(0);
+        if report.release.0 < notified
+            || self.status.get(&report.machine) == Some(&MachineStatus::Passed)
+        {
+            return Vec::new();
+        }
         let status = match &report.outcome {
             NamedOutcome::Pass => MachineStatus::Passed,
             NamedOutcome::Fail { problem } => {
@@ -601,6 +655,79 @@ impl NamedProtocol for NamedFrontLoading {
     }
 }
 
+/// Enum dispatch over the string-keyed reference protocols — the
+/// mirror of [`crate::AnyProtocol`], so equivalence tests construct
+/// both planes from one [`ProtocolChoice`].
+#[derive(Debug, Clone)]
+pub enum AnyNamedProtocol {
+    /// See [`NamedNoStaging`].
+    NoStaging(NamedNoStaging),
+    /// See [`NamedBalanced`] (also the RandomStaging baseline).
+    Balanced(NamedBalanced),
+    /// See [`NamedFrontLoading`].
+    FrontLoading(NamedFrontLoading),
+}
+
+impl NamedProtocol for AnyNamedProtocol {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyNamedProtocol::NoStaging(p) => p.name(),
+            AnyNamedProtocol::Balanced(p) => p.name(),
+            AnyNamedProtocol::FrontLoading(p) => p.name(),
+        }
+    }
+    fn start(&mut self) -> Vec<NamedCommand> {
+        match self {
+            AnyNamedProtocol::NoStaging(p) => p.start(),
+            AnyNamedProtocol::Balanced(p) => p.start(),
+            AnyNamedProtocol::FrontLoading(p) => p.start(),
+        }
+    }
+    fn on_report(&mut self, report: &NamedReport) -> Vec<NamedCommand> {
+        match self {
+            AnyNamedProtocol::NoStaging(p) => p.on_report(report),
+            AnyNamedProtocol::Balanced(p) => p.on_report(report),
+            AnyNamedProtocol::FrontLoading(p) => p.on_report(report),
+        }
+    }
+    fn on_release(&mut self, release: Release, fixed: &BTreeSet<String>) -> Vec<NamedCommand> {
+        match self {
+            AnyNamedProtocol::NoStaging(p) => p.on_release(release, fixed),
+            AnyNamedProtocol::Balanced(p) => p.on_release(release, fixed),
+            AnyNamedProtocol::FrontLoading(p) => p.on_release(release, fixed),
+        }
+    }
+    fn done(&self) -> bool {
+        match self {
+            AnyNamedProtocol::NoStaging(p) => p.done(),
+            AnyNamedProtocol::Balanced(p) => p.done(),
+            AnyNamedProtocol::FrontLoading(p) => p.done(),
+        }
+    }
+}
+
+impl ProtocolChoice {
+    /// Builds the string-keyed reference twin of [`ProtocolChoice::build`]
+    /// over a [`NamedPlan`] — same protocol, same order (RandomStaging
+    /// uses the identical seeded shuffle), pre-interning data plane.
+    pub fn build_named(self, plan: NamedPlan, threshold: f64) -> AnyNamedProtocol {
+        match self {
+            ProtocolChoice::NoStaging => AnyNamedProtocol::NoStaging(NamedNoStaging::new(plan)),
+            ProtocolChoice::Balanced => {
+                AnyNamedProtocol::Balanced(NamedBalanced::new(plan, threshold))
+            }
+            ProtocolChoice::FrontLoading => {
+                AnyNamedProtocol::FrontLoading(NamedFrontLoading::new(plan, threshold))
+            }
+            ProtocolChoice::RandomStaging { seed } => {
+                let mut order: Vec<usize> = (0..plan.clusters.len()).collect();
+                seeded_shuffle(&mut order, seed);
+                AnyNamedProtocol::Balanced(NamedBalanced::with_order(plan, order, threshold))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,5 +840,74 @@ mod tests {
             NamedBalanced::with_order(plan(&[(&["a"], 1, 1.0), (&["b"], 1, 2.0)]), vec![1, 0], 1.0);
         assert_eq!(p.name(), "RandomStaging");
         assert_eq!(notified(&p.start()), vec!["b"]);
+    }
+
+    /// Regression (unreliable channels): replaying an already-delivered
+    /// report to any reference protocol must be a strict no-op — no
+    /// commands, no `done()` flapping, and no re-notifications that
+    /// would inflate `deploy.machines_notified` on the interned twin.
+    #[test]
+    fn duplicate_reports_are_no_ops_in_all_reference_protocols() {
+        let specs: &[(&[&str], usize, f64)] = &[(&["a", "b"], 1, 1.0), (&["c", "d"], 1, 2.0)];
+        let protos: Vec<Box<dyn NamedProtocol>> = vec![
+            Box::new(NamedNoStaging::new(plan(specs))),
+            Box::new(NamedBalanced::new(plan(specs), 1.0)),
+            Box::new(NamedFrontLoading::new(plan(specs), 1.0)),
+        ];
+        for mut p in protos {
+            let name = p.name();
+            let first = notified(&p.start());
+            // Duplicate Pass: second delivery emits nothing new.
+            let target = first.first().expect("start notifies someone").clone();
+            let once = p.on_report(&pass(&target, 0));
+            let again = p.on_report(&pass(&target, 0));
+            assert!(
+                again.is_empty(),
+                "{name}: duplicate pass re-emitted {again:?}"
+            );
+            // A duplicated *fail* for the same (now passed) machine must
+            // not demote it either.
+            let demote = p.on_report(&fail(&target, 0, "ghost"));
+            assert!(demote.is_empty(), "{name}: late fail demoted a pass");
+            let _ = once;
+        }
+    }
+
+    /// Stale reports for a superseded release are dropped: a machine
+    /// re-notified for release 1 ignores a replayed release-0 failure.
+    #[test]
+    fn stale_release_reports_are_dropped() {
+        let mut p = NamedNoStaging::new(plan(&[(&["a", "b"], 1, 0.0)]));
+        p.start();
+        p.on_report(&fail("a", 0, "p1"));
+        p.on_report(&pass("b", 0));
+        let fixed: BTreeSet<String> = ["p1".to_string()].into();
+        let cmds = p.on_release(Release(1), &fixed);
+        assert_eq!(notified(&cmds), vec!["a"]);
+        // The channel replays the old release-0 failure: ignored.
+        assert!(p.on_report(&fail("a", 0, "p1")).is_empty());
+        assert!(!p.done());
+        // The genuine release-1 pass still lands.
+        let cmds = p.on_report(&pass("a", 1));
+        assert_eq!(cmds, vec![NamedCommand::Complete]);
+        assert!(p.done());
+    }
+
+    #[test]
+    fn build_named_mirrors_protocol_choice() {
+        let dp = DeployPlan::from_named([(["a", "b"], 1, 1.0), (["c", "d"], 1, 2.0)]);
+        let named = NamedPlan::from_plan(&dp);
+        for choice in [
+            ProtocolChoice::NoStaging,
+            ProtocolChoice::Balanced,
+            ProtocolChoice::FrontLoading,
+            ProtocolChoice::RandomStaging { seed: 9 },
+        ] {
+            let mut p = choice.build_named(named.clone(), 1.0);
+            assert_eq!(p.name(), choice.name());
+            assert!(!p.start().is_empty());
+            assert_eq!(p.rep_timeouts(), 0);
+            assert!(p.on_tick(10).is_empty(), "reference plane never ticks");
+        }
     }
 }

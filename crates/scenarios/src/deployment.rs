@@ -17,7 +17,7 @@
 //! injects a single misplaced non-representative machine into the first
 //! or last cluster of the deployment order.
 
-use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
+use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol, ProtocolChoice};
 use mirage_sim::{latency_cdf, run, Scenario, ScenarioBuilder, SimMetrics, SimTime};
 
 /// Number of clusters in the paper's scenario.
@@ -210,13 +210,18 @@ pub fn problematic_machines() -> usize {
 
 /// Runs one protocol on one scenario, returning full metrics (for
 /// benches and the repro harness).
+///
+/// Protocol selection goes through the deploy crate's unified
+/// [`ProtocolChoice`]; when the scenario carries an active fault plan
+/// with a `rep_timeout`, the protocol is hardened to match.
 pub fn run_protocol(scenario: &Scenario, name: &str) -> SimMetrics {
-    match name {
-        "NoStaging" => run(scenario, &mut NoStaging::new(scenario.plan.clone())),
-        "Balanced" => run(scenario, &mut Balanced::new(scenario.plan.clone(), 1.0)),
-        "FrontLoading" => run(scenario, &mut FrontLoading::new(scenario.plan.clone(), 1.0)),
-        other => panic!("unknown protocol {other}"),
+    let choice =
+        ProtocolChoice::from_name(name).unwrap_or_else(|| panic!("unknown protocol {name}"));
+    let mut protocol = choice.build(scenario.plan.clone(), scenario.threshold);
+    if let Some(timeout) = scenario.faults.rep_timeout {
+        protocol = protocol.with_rep_timeout(timeout);
     }
+    run(scenario, &mut protocol)
 }
 
 #[cfg(test)]

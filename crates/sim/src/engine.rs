@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use mirage_deploy::{MachineId, ProblemId};
+use mirage_deploy::{MachineId, ProblemId, TestOutcome};
 
 /// Simulated time, in the paper's abstract "time units".
 pub type SimTime = u64;
@@ -43,6 +43,33 @@ pub enum Event {
         /// The problem that was fixed.
         problem: ProblemId,
     },
+    /// A test report arriving at the vendor over the (possibly lossy,
+    /// delaying, duplicating) report channel. Only scheduled when a
+    /// fault plan is active; on reliable channels reports are delivered
+    /// synchronously inside `TestDone` handling, preserving the
+    /// zero-fault event stream bit-for-bit.
+    ReportDelivery {
+        /// The machine whose report this is.
+        machine: MachineId,
+        /// The release the report is about.
+        release: u32,
+        /// The reported outcome.
+        outcome: TestOutcome,
+    },
+    /// Vendor-side retry timer: if `machine` still owes a report for
+    /// `release` when this fires, the notification is re-sent with
+    /// exponential backoff. Only scheduled when a fault plan is active.
+    RetryCheck {
+        /// The machine being watched.
+        machine: MachineId,
+        /// The release whose report is awaited.
+        release: u32,
+        /// How many retries have already been sent (backoff exponent).
+        attempt: u32,
+    },
+    /// Periodic protocol timer (drives `Protocol::on_tick` stall
+    /// detection). Only scheduled when a fault plan is active.
+    Tick,
 }
 
 /// One wheel slot: events at a single timestamp, drained via `head`
@@ -218,7 +245,7 @@ mod tests {
     fn machine_of(e: Event) -> u32 {
         match e {
             Event::TestDone { machine, .. } => machine.0,
-            Event::FixDone { .. } => panic!("expected TestDone"),
+            other => panic!("expected TestDone, got {other:?}"),
         }
     }
 

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 
 pub use engine::{Event, EventQueue, SimTime};
+pub use faults::{FaultPlan, FaultRng, FaultSpec};
 pub use metrics::{latency_cdf, ClusterLatency, SimMetrics};
 pub use runner::{run, run_with_telemetry, Simulation};
 pub use scenario::{Scenario, ScenarioBuilder, Timings};

@@ -46,6 +46,15 @@ pub struct SimMetrics {
     pub problems_discovered: Vec<ProblemId>,
     /// Faulty integrations that escaped detection (imperfect testing).
     pub escaped_problems: usize,
+    /// Messages (notifications or reports) dropped by the fault
+    /// injector. Zero on the reliable-channel fast path.
+    pub msgs_dropped: u64,
+    /// Messages duplicated in flight by the fault injector.
+    pub msgs_duplicated: u64,
+    /// Re-notifications the vendor sent after missing a report.
+    pub retries_sent: u64,
+    /// Machines the protocol waived after its rep-timeout expired.
+    pub rep_timeouts: u64,
 }
 
 impl SimMetrics {
@@ -55,6 +64,14 @@ impl SimMetrics {
             .iter()
             .filter(|t| t.is_some())
             .count()
+    }
+
+    /// True when every machine in a fleet of `total` passed at least
+    /// once. Under fault injection this is the convergence criterion:
+    /// churned machines count once they rejoin and pass, waived
+    /// machines only if a late report eventually lands.
+    pub fn converged(&self, total: usize) -> bool {
+        self.passed_count() == total
     }
 
     /// Pass time of a single machine id, if it passed.

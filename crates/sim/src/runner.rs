@@ -16,8 +16,15 @@ use mirage_deploy::{Command, ProblemId, ProblemSet, Protocol, Release, TestOutco
 use mirage_telemetry::{FlightEvent, Telemetry};
 
 use crate::engine::{Event, EventQueue, SimTime};
+use crate::faults::FaultRng;
 use crate::metrics::SimMetrics;
 use crate::scenario::Scenario;
+
+/// Safety valve against pathological loss rates (e.g. `loss == 1.0`):
+/// after this many re-notification attempts the vendor gives up on a
+/// machine even when [`crate::FaultPlan::max_retries`] is unset. At any
+/// realistic loss rate the chance of hitting this cap is negligible.
+const RETRY_SAFETY_CAP: u32 = 10_000;
 
 /// A running simulation binding a scenario to a protocol.
 #[derive(Debug)]
@@ -37,11 +44,38 @@ pub struct Simulation<'a> {
     queue_high_water: usize,
     metrics: SimMetrics,
     telemetry: Telemetry,
+    /// Whether the scenario carries a non-trivial fault plan. When
+    /// `false` every fault-path structure below stays empty and the
+    /// driver takes the original synchronous-delivery code paths —
+    /// bit-identical to the pre-fault simulator.
+    faults_active: bool,
+    /// Seeded fault RNG (only consulted when `faults_active`).
+    rng: FaultRng,
+    /// Per-machine outstanding notification: `(release, attempt)` the
+    /// vendor is awaiting a report for. Drives timed re-notification.
+    /// Empty unless `faults_active`.
+    awaiting: Vec<Option<(u32, u32)>>,
+    /// Dense per-machine churn windows `(leave, rejoin)` (rejoin ==
+    /// `SimTime::MAX` = crashed). Empty unless `faults_active`.
+    churn: Vec<Option<(SimTime, SimTime)>>,
+    /// Ticks issued so far (bounded by the plan's `max_ticks`).
+    ticks_issued: u64,
 }
 
 impl<'a> Simulation<'a> {
     /// Creates a simulation over `scenario`.
     pub fn new(scenario: &'a Scenario) -> Self {
+        let faults_active = !scenario.faults.is_none();
+        let n = scenario.machine_count();
+        let (awaiting, churn) = if faults_active {
+            let mut churn: Vec<Option<(SimTime, SimTime)>> = vec![None; n];
+            for &(m, leave, rejoin) in &scenario.faults.churn {
+                churn[m.index()] = Some((leave, rejoin));
+            }
+            (vec![None; n], churn)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Simulation {
             scenario,
             queue: EventQueue::new(),
@@ -52,10 +86,15 @@ impl<'a> Simulation<'a> {
             known_problems: ProblemSet::new(),
             queue_high_water: 0,
             metrics: SimMetrics {
-                machine_pass_time: vec![None; scenario.machine_count()],
+                machine_pass_time: vec![None; n],
                 ..SimMetrics::default()
             },
             telemetry: Telemetry::noop(),
+            faults_active,
+            rng: FaultRng::new(scenario.faults.seed),
+            awaiting,
+            churn,
+            ticks_issued: 0,
         }
     }
 
@@ -98,6 +137,12 @@ impl<'a> Simulation<'a> {
                 Command::Notify { machines, release } => {
                     self.telemetry
                         .counter("sim.machines_notified", machines.len() as u64);
+                    if self.faults_active {
+                        for m in machines {
+                            self.fault_notify(m, release.0);
+                        }
+                        continue;
+                    }
                     for m in machines {
                         self.metrics.total_tests += 1;
                         self.telemetry.event_with(|| FlightEvent::MachineNotified {
@@ -124,6 +169,234 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault path (never entered when `scenario.faults.is_none()`)
+    // ------------------------------------------------------------------
+
+    /// Earliest time `machine` can act on a delivery arriving at `t`,
+    /// accounting for its offline horizon and churn window. `None`
+    /// means the machine has crashed and will never act.
+    fn available_from(&self, machine: MachineId, t: SimTime) -> Option<SimTime> {
+        let start = t.max(self.scenario.offline_until[machine.index()]);
+        match self.churn[machine.index()] {
+            Some((leave, rejoin)) if start >= leave && start < rejoin => {
+                if rejoin == SimTime::MAX {
+                    None
+                } else {
+                    Some(rejoin)
+                }
+            }
+            _ => Some(start),
+        }
+    }
+
+    /// Notifies one machine through the unreliable channel and arms the
+    /// vendor's re-notification timer.
+    fn fault_notify(&mut self, machine: MachineId, release: u32) {
+        self.telemetry.event_with(|| FlightEvent::MachineNotified {
+            machine: self.scenario.plan.machine_name(machine).to_string(),
+            release,
+        });
+        self.awaiting[machine.index()] = Some((release, 0));
+        self.send_notification(machine, release);
+        let delay = self.scenario.faults.retry_delay(0);
+        self.queue.schedule(
+            self.now + delay,
+            Event::RetryCheck {
+                machine,
+                release,
+                attempt: 0,
+            },
+        );
+    }
+
+    /// One vendor→machine transmission: may be lost, duplicated, and
+    /// delayed. Each delivery that reaches a live machine schedules a
+    /// test run.
+    fn send_notification(&mut self, machine: MachineId, release: u32) {
+        let loss = self.scenario.faults.loss;
+        let dup = self.scenario.faults.duplication;
+        let max_delay = self.scenario.faults.max_delay;
+        let mut deliveries = 0u32;
+        if self.rng.chance(loss) {
+            self.metrics.msgs_dropped += 1;
+            self.telemetry.counter("sim.msgs_dropped", 1);
+        } else {
+            deliveries += 1;
+            if self.rng.chance(dup) {
+                self.metrics.msgs_duplicated += 1;
+                self.telemetry.counter("sim.msgs_duplicated", 1);
+                deliveries += 1;
+            }
+        }
+        for _ in 0..deliveries {
+            let delay = self.rng.below_inclusive(max_delay);
+            // A delivery into a crash window is gone for good; churn is
+            // not channel loss, so it is not counted as dropped.
+            if let Some(start) = self.available_from(machine, self.now + delay) {
+                self.metrics.total_tests += 1;
+                self.queue.schedule(
+                    start + self.scenario.timings.machine_cycle(),
+                    Event::TestDone { machine, release },
+                );
+            }
+        }
+    }
+
+    /// One machine→vendor transmission of a test report: may be lost,
+    /// duplicated, and delayed (the vendor itself is always up).
+    fn send_report(&mut self, machine: MachineId, release: u32, outcome: TestOutcome) {
+        let loss = self.scenario.faults.loss;
+        let dup = self.scenario.faults.duplication;
+        let max_delay = self.scenario.faults.max_delay;
+        let mut deliveries = 0u32;
+        if self.rng.chance(loss) {
+            self.metrics.msgs_dropped += 1;
+            self.telemetry.counter("sim.msgs_dropped", 1);
+        } else {
+            deliveries += 1;
+            if self.rng.chance(dup) {
+                self.metrics.msgs_duplicated += 1;
+                self.telemetry.counter("sim.msgs_duplicated", 1);
+                deliveries += 1;
+            }
+        }
+        for _ in 0..deliveries {
+            let delay = self.rng.below_inclusive(max_delay);
+            self.queue.schedule(
+                self.now + delay,
+                Event::ReportDelivery {
+                    machine,
+                    release,
+                    outcome,
+                },
+            );
+        }
+    }
+
+    /// Fault-path test completion: the machine-local effects (pass
+    /// time, overhead, escapes) happen here, but problem *discovery*
+    /// and the protocol callback wait for the report to actually reach
+    /// the vendor ([`Event::ReportDelivery`]).
+    fn fault_test_done(&mut self, machine: MachineId, release: u32) {
+        let mut passed = self.passes(machine, release);
+        if !passed && self.scenario.missed_detection.contains(machine) {
+            passed = true;
+            self.metrics.escaped_problems += 1;
+            self.telemetry.counter("sim.escaped_problems", 1);
+        }
+        let outcome = if passed {
+            if self.metrics.machine_pass_time[machine.index()].is_none() {
+                self.metrics.machine_pass_time[machine.index()] = Some(self.now);
+            }
+            self.telemetry.counter("sim.tests_passed", 1);
+            self.telemetry.event_with(|| FlightEvent::TestPassed {
+                machine: self.scenario.plan.machine_name(machine).to_string(),
+                release,
+            });
+            TestOutcome::Pass
+        } else {
+            self.metrics.failed_tests += 1;
+            self.telemetry.counter("sim.tests_failed", 1);
+            let problem = self
+                .scenario
+                .problem_of(machine)
+                .expect("failed machine must carry a problem");
+            self.telemetry.event_with(|| FlightEvent::TestFailed {
+                machine: self.scenario.plan.machine_name(machine).to_string(),
+                release,
+                problem: self.scenario.problems.name(problem).to_string(),
+            });
+            TestOutcome::Fail { problem }
+        };
+        self.send_report(machine, release, outcome);
+    }
+
+    /// A report reaches the vendor. Duplicates and stale releases are
+    /// harmless: discovery is idempotent here and the hardened
+    /// protocols drop replays in `on_report`.
+    fn handle_report_delivery(
+        &mut self,
+        protocol: &mut dyn Protocol,
+        machine: MachineId,
+        release: u32,
+        outcome: TestOutcome,
+    ) {
+        if let Some((awaited, _)) = self.awaiting[machine.index()] {
+            if release >= awaited {
+                self.awaiting[machine.index()] = None;
+            }
+        }
+        if let TestOutcome::Fail { problem } = outcome {
+            if self.known_problems.insert(problem) {
+                self.metrics.problems_discovered.push(problem);
+                self.telemetry.counter("sim.problems_discovered", 1);
+                self.telemetry
+                    .event_with(|| FlightEvent::ProblemDiscovered {
+                        problem: self.scenario.problems.name(problem).to_string(),
+                    });
+                self.fix_queue.push_back(problem);
+                self.start_next_fix();
+            }
+        }
+        let report = TestReport {
+            machine,
+            release: Release(release),
+            outcome,
+        };
+        let commands = protocol.on_report(&report);
+        self.exec(commands);
+        // Same stranding guard as the reliable path: a failure against a
+        // stale release whose problem is already fixed re-announces the
+        // latest release.
+        if let TestOutcome::Fail { problem } = outcome {
+            let latest = self.latest_release();
+            if latest.0 > release && self.fixed_by_release[latest.0 as usize].contains(problem) {
+                let commands =
+                    protocol.on_release(latest, &self.fixed_by_release[latest.0 as usize]);
+                self.exec(commands);
+            }
+        }
+    }
+
+    /// The vendor's re-notification timer fires: if the machine still
+    /// has not reported for this (release, attempt), resend through the
+    /// lossy channel with exponential backoff.
+    fn handle_retry_check(&mut self, machine: MachineId, release: u32, attempt: u32) {
+        if self.awaiting[machine.index()] != Some((release, attempt)) {
+            return; // Report arrived, or a newer notification superseded this one.
+        }
+        let cap = self
+            .scenario
+            .faults
+            .max_retries
+            .unwrap_or(RETRY_SAFETY_CAP)
+            .min(RETRY_SAFETY_CAP);
+        if attempt >= cap {
+            self.awaiting[machine.index()] = None;
+            return;
+        }
+        if self.available_from(machine, self.now).is_none() {
+            // Crashed for good: stop retrying. Timeout-based stage
+            // advancement (rep_timeout) is what unblocks the protocol.
+            self.awaiting[machine.index()] = None;
+            return;
+        }
+        self.metrics.retries_sent += 1;
+        self.telemetry.counter("deploy.retries_sent", 1);
+        self.send_notification(machine, release);
+        let next = attempt + 1;
+        self.awaiting[machine.index()] = Some((release, next));
+        self.queue.schedule(
+            self.now + self.scenario.faults.retry_delay(next),
+            Event::RetryCheck {
+                machine,
+                release,
+                attempt: next,
+            },
+        );
     }
 
     fn start_next_fix(&mut self) {
@@ -224,15 +497,44 @@ impl<'a> Simulation<'a> {
         let _span = self.telemetry.span("sim.run");
         let commands = protocol.start();
         self.exec(commands);
+        if self.faults_active && self.scenario.faults.rep_timeout.is_some() {
+            // Arm the protocol's stall-detection clock.
+            self.queue
+                .schedule(self.scenario.faults.tick_interval, Event::Tick);
+            self.ticks_issued = 1;
+        }
         self.note_queue_depth();
         while let Some((time, event)) = self.queue.pop() {
             self.now = time;
             self.telemetry.counter("sim.events_processed", 1);
             match event {
                 Event::TestDone { machine, release } => {
-                    self.handle_test_done(protocol, machine, release)
+                    if self.faults_active {
+                        self.fault_test_done(machine, release);
+                    } else {
+                        self.handle_test_done(protocol, machine, release);
+                    }
                 }
                 Event::FixDone { problem } => self.handle_fix_done(protocol, problem),
+                Event::ReportDelivery {
+                    machine,
+                    release,
+                    outcome,
+                } => self.handle_report_delivery(protocol, machine, release, outcome),
+                Event::RetryCheck {
+                    machine,
+                    release,
+                    attempt,
+                } => self.handle_retry_check(machine, release, attempt),
+                Event::Tick => {
+                    let commands = protocol.on_tick(self.now);
+                    self.exec(commands);
+                    if !protocol.done() && self.ticks_issued < self.scenario.faults.max_ticks {
+                        self.queue
+                            .schedule(self.now + self.scenario.faults.tick_interval, Event::Tick);
+                        self.ticks_issued += 1;
+                    }
+                }
             }
             self.note_queue_depth();
         }
@@ -240,6 +542,7 @@ impl<'a> Simulation<'a> {
         // matches the per-event publication behaviour.
         self.telemetry
             .gauge("sim.queue_depth", self.queue.len() as i64);
+        self.metrics.rep_timeouts = protocol.rep_timeouts();
         self.metrics
     }
 }

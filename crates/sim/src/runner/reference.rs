@@ -350,6 +350,10 @@ impl<'a> ReferenceSimulation<'a> {
             completion_time: self.completion_time,
             problems_discovered,
             escaped_problems: self.escaped_problems,
+            // The reference driver models a reliable channel only; the
+            // fault counters stay zero, which is exactly what the
+            // zero-fault equivalence property asserts against.
+            ..SimMetrics::default()
         }
     }
 }

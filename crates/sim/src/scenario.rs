@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use mirage_deploy::{DeployPlan, MachineId, MachineSet, ProblemId, ProblemTable};
 
 use crate::engine::SimTime;
+use crate::faults::{FaultPlan, FaultSpec};
 
 /// The three time constants of the paper's simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,10 @@ pub struct Scenario {
     /// "problems that pass initial testing" phenomenon. The paper's
     /// simulations assume perfect testing; this knob relaxes that.
     pub missed_detection: MachineSet,
+    /// The fault-injection plan for this run. [`FaultPlan::none`] (the
+    /// default) keeps the original reliable-channel fast path and is
+    /// bit-identical to the pre-fault simulator.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -85,6 +90,7 @@ impl Scenario {
             threshold: 1.0,
             offline_until: vec![0; n],
             missed_detection: MachineSet::new(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -99,18 +105,48 @@ impl Scenario {
         self.machine_problem.get(machine.index()).copied().flatten()
     }
 
+    /// Resolves a machine name, panicking with a uniform message.
+    fn must_id(&self, machine: &str) -> MachineId {
+        self.plan
+            .machine_id(machine)
+            .unwrap_or_else(|| panic!("unknown machine {machine:?}"))
+    }
+
+    /// Assigns `problem` to the named machine (internal lowering hook
+    /// for [`ScenarioBuilder::problem_on_machine`]).
+    fn place_problem(&mut self, machine: &str, problem: &str) {
+        let m = self.must_id(machine);
+        let p = self.problems.intern(problem);
+        self.machine_problem[m.index()] = Some(p);
+    }
+
+    /// Takes the named machine offline until `until` (internal lowering
+    /// hook for [`ScenarioBuilder::offline_machine`]).
+    fn place_offline(&mut self, machine: &str, until: SimTime) {
+        let m = self.must_id(machine);
+        self.offline_until[m.index()] = until;
+    }
+
+    /// Marks the named machine's testing as missing its problem
+    /// (internal lowering hook for
+    /// [`ScenarioBuilder::missed_detection_on`]).
+    fn place_missed_detection(&mut self, machine: &str) {
+        let m = self.must_id(machine);
+        self.missed_detection.insert(m);
+    }
+
     /// Assigns `problem` to the named machine (boundary helper).
     ///
     /// # Panics
     ///
     /// Panics if the machine is not in the plan.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use ScenarioBuilder::over_plan(..).problem_on_machine(..) instead; \
+                this shim will be removed next release"
+    )]
     pub fn assign_problem(&mut self, machine: &str, problem: &str) {
-        let m = self
-            .plan
-            .machine_id(machine)
-            .unwrap_or_else(|| panic!("unknown machine {machine:?}"));
-        let p = self.problems.intern(problem);
-        self.machine_problem[m.index()] = Some(p);
+        self.place_problem(machine, problem);
     }
 
     /// Takes the named machine offline until `until` (boundary helper).
@@ -118,12 +154,13 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if the machine is not in the plan.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use ScenarioBuilder::over_plan(..).offline_machine(..) instead; \
+                this shim will be removed next release"
+    )]
     pub fn set_offline_until(&mut self, machine: &str, until: SimTime) {
-        let m = self
-            .plan
-            .machine_id(machine)
-            .unwrap_or_else(|| panic!("unknown machine {machine:?}"));
-        self.offline_until[m.index()] = until;
+        self.place_offline(machine, until);
     }
 
     /// Marks the named machine's testing as missing its problem
@@ -132,12 +169,13 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if the machine is not in the plan.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use ScenarioBuilder::over_plan(..).missed_detection_on(..) instead; \
+                this shim will be removed next release"
+    )]
     pub fn set_missed_detection(&mut self, machine: &str) {
-        let m = self
-            .plan
-            .machine_id(machine)
-            .unwrap_or_else(|| panic!("unknown machine {machine:?}"));
-        self.missed_detection.insert(m);
+        self.place_missed_detection(machine);
     }
 
     /// Number of machines carrying any problem.
@@ -196,6 +234,7 @@ impl Scenario {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
+    base_plan: Option<DeployPlan>,
     cluster_count: usize,
     cluster_size: usize,
     reps_per_cluster: usize,
@@ -203,6 +242,10 @@ pub struct ScenarioBuilder {
     misplaced: Vec<(usize, String)>,
     offline: Vec<(usize, usize, SimTime)>,
     missed: Vec<(usize, usize)>,
+    named_problems: Vec<(String, String)>,
+    named_offline: Vec<(String, SimTime)>,
+    named_missed: Vec<String>,
+    faults: Option<FaultSpec>,
     timings: Timings,
     threshold: f64,
 }
@@ -211,6 +254,7 @@ impl ScenarioBuilder {
     /// Starts a builder with paper-default timings and threshold 1.0.
     pub fn new() -> Self {
         ScenarioBuilder {
+            base_plan: None,
             cluster_count: 0,
             cluster_size: 0,
             reps_per_cluster: 1,
@@ -218,9 +262,52 @@ impl ScenarioBuilder {
             misplaced: Vec::new(),
             offline: Vec::new(),
             missed: Vec::new(),
+            named_problems: Vec::new(),
+            named_offline: Vec::new(),
+            named_missed: Vec::new(),
+            faults: None,
             timings: Timings::paper_default(),
             threshold: 1.0,
         }
+    }
+
+    /// Builds the scenario over an existing, hand-constructed plan
+    /// instead of synthetic `c00-m00000`-style clusters.
+    ///
+    /// Use the name-based directives ([`Self::problem_on_machine`],
+    /// [`Self::offline_machine`], [`Self::missed_detection_on`]) with
+    /// this entry point; cluster-index directives also work as long as
+    /// the indexes exist in the plan.
+    pub fn over_plan(plan: DeployPlan) -> Self {
+        let mut b = Self::new();
+        b.base_plan = Some(plan);
+        b
+    }
+
+    /// Assigns `problem` to one named machine of the plan.
+    pub fn problem_on_machine(mut self, machine: &str, problem: &str) -> Self {
+        self.named_problems.push((machine.into(), problem.into()));
+        self
+    }
+
+    /// Takes one named machine offline until `until`.
+    pub fn offline_machine(mut self, machine: &str, until: SimTime) -> Self {
+        self.named_offline.push((machine.into(), until));
+        self
+    }
+
+    /// Makes the named machine's user-machine testing miss its problem.
+    pub fn missed_detection_on(mut self, machine: &str) -> Self {
+        self.named_missed.push(machine.into());
+        self
+    }
+
+    /// Attaches a fault-injection spec; it is lowered against the final
+    /// plan in [`Self::build`]. Without this call the scenario keeps
+    /// [`FaultPlan::none`] and the reliable-channel fast path.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
     }
 
     /// Sets `count` equal-size clusters of `size` machines with
@@ -282,16 +369,20 @@ impl ScenarioBuilder {
     /// # Panics
     ///
     /// Panics if a problem or misplaced-machine directive references a
-    /// cluster that does not exist, or if a misplaced machine is asked
-    /// for in a cluster with no non-representatives.
+    /// cluster that does not exist, if a misplaced machine is asked
+    /// for in a cluster with no non-representatives, or if a name-based
+    /// directive references a machine missing from the plan.
     pub fn build(self) -> Scenario {
-        let plan = DeployPlan::from_named((0..self.cluster_count).map(|c| {
-            let members: Vec<String> = (0..self.cluster_size)
-                .map(|i| format!("c{c:02}-m{i:05}"))
-                .collect();
-            let reps = self.reps_per_cluster.max(1).min(members.len().max(1));
-            (members, reps, c as f64)
-        }));
+        let plan = match self.base_plan {
+            Some(plan) => plan,
+            None => DeployPlan::from_named((0..self.cluster_count).map(|c| {
+                let members: Vec<String> = (0..self.cluster_size)
+                    .map(|i| format!("c{c:02}-m{i:05}"))
+                    .collect();
+                let reps = self.reps_per_cluster.max(1).min(members.len().max(1));
+                (members, reps, c as f64)
+            })),
+        };
 
         let mut scenario = Scenario::from_plan(plan);
         scenario.timings = self.timings;
@@ -351,6 +442,20 @@ impl ScenarioBuilder {
             for m in victims {
                 scenario.missed_detection.insert(m);
             }
+        }
+
+        for (machine, problem) in &self.named_problems {
+            scenario.place_problem(machine, problem);
+        }
+        for (machine, until) in &self.named_offline {
+            scenario.place_offline(machine, *until);
+        }
+        for machine in &self.named_missed {
+            scenario.place_missed_detection(machine);
+        }
+
+        if let Some(spec) = &self.faults {
+            scenario.faults = spec.lower(&scenario.plan);
         }
         scenario
     }
@@ -425,6 +530,58 @@ mod tests {
     }
 
     #[test]
+    fn over_plan_with_named_directives() {
+        let plan =
+            DeployPlan::from_named([(vec!["a", "b", "c"], 1, 0.0), (vec!["d", "e"], 1, 1.0)]);
+        let s = ScenarioBuilder::over_plan(plan)
+            .problem_on_machine("b", "p")
+            .offline_machine("c", 100)
+            .missed_detection_on("b")
+            .threshold(0.75)
+            .build();
+        assert_eq!(s.machine_count(), 5);
+        assert_eq!(s.problem_name_of("b"), Some("p"));
+        assert_eq!(s.offline_machine_names(), vec!["c".to_string()]);
+        let b = s.plan.machine_id("b").unwrap();
+        assert!(s.missed_detection.contains(b));
+        assert_eq!(s.threshold, 0.75);
+        assert!(s.faults.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn over_plan_unknown_machine_panics() {
+        let plan = DeployPlan::from_named([(["a"], 1, 0.0)]);
+        let _ = ScenarioBuilder::over_plan(plan)
+            .problem_on_machine("nope", "p")
+            .build();
+    }
+
+    #[test]
+    fn faults_spec_is_lowered_against_the_final_plan() {
+        let s = ScenarioBuilder::new()
+            .clusters(2, 4, 1)
+            .faults(
+                FaultSpec::new(0xFA17)
+                    .loss(0.2)
+                    .duplication(0.1)
+                    .churn(1, 2, 30, 200),
+            )
+            .build();
+        assert!(!s.faults.is_none());
+        assert_eq!(s.faults.seed, 0xFA17);
+        assert_eq!(s.faults.loss, 0.2);
+        assert_eq!(s.faults.churn.len(), 2);
+        // Churned machines are non-reps of cluster 1.
+        for &(m, leave, rejoin) in &s.faults.churn {
+            assert!(s.plan.clusters[1].members.contains(&m));
+            assert!(!s.plan.clusters[1].reps.contains(&m));
+            assert_eq!((leave, rejoin), (30, 200));
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn from_plan_boundary_helpers() {
         let plan = DeployPlan::from_named([(["a", "b", "c"], 1, 0.0)]);
         let mut s = Scenario::from_plan(plan);

@@ -8,10 +8,10 @@
 
 use std::collections::BTreeSet;
 
-use mirage_deploy::reference::{NamedBalanced, NamedFrontLoading, NamedNoStaging, NamedProtocol};
-use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
+use mirage_deploy::reference::{AnyNamedProtocol, NamedProtocol};
+use mirage_deploy::{AnyProtocol, Balanced, NoStaging, Protocol, ProtocolChoice};
 use mirage_sim::runner::reference::{run_reference, NamedScenario};
-use mirage_sim::{run, Scenario, ScenarioBuilder};
+use mirage_sim::{run, FaultSpec, Scenario, ScenarioBuilder};
 
 /// Deterministic xorshift64 generator for scenario specs.
 struct Rng(u64);
@@ -112,53 +112,33 @@ fn build(spec: &RandomScenario) -> Scenario {
     builder.build()
 }
 
-fn protocols(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Protocol>)> {
-    vec![
-        ("NoStaging", Box::new(NoStaging::new(scenario.plan.clone()))),
-        (
-            "Balanced",
-            Box::new(Balanced::new(scenario.plan.clone(), scenario.threshold)),
-        ),
-        (
-            "FrontLoading",
-            Box::new(FrontLoading::new(scenario.plan.clone(), scenario.threshold)),
-        ),
-        (
-            "RandomStaging",
-            Box::new(Balanced::with_order(
-                scenario.plan.clone(),
-                scenario.plan.order_by_distance_desc(),
-                scenario.threshold,
-            )),
-        ),
+/// The four protocol selections exercised by every property, through
+/// the unified dispatch surface (RandomStaging's shuffle is seeded per
+/// case so different cases explore different orders deterministically).
+fn choices(case: u64) -> [ProtocolChoice; 4] {
+    [
+        ProtocolChoice::NoStaging,
+        ProtocolChoice::Balanced,
+        ProtocolChoice::FrontLoading,
+        ProtocolChoice::RandomStaging { seed: case },
     ]
 }
 
+fn protocols(scenario: &Scenario, case: u64) -> Vec<(&'static str, AnyProtocol)> {
+    choices(case)
+        .into_iter()
+        .map(|c| (c.name(), c.build(scenario.plan.clone(), scenario.threshold)))
+        .collect()
+}
+
 /// The string-keyed reference protocols, in the same order as
-/// [`protocols`].
-fn named_protocols(named: &NamedScenario) -> Vec<(&'static str, Box<dyn NamedProtocol>)> {
-    vec![
-        (
-            "NoStaging",
-            Box::new(NamedNoStaging::new(named.plan.clone())),
-        ),
-        (
-            "Balanced",
-            Box::new(NamedBalanced::new(named.plan.clone(), named.threshold)),
-        ),
-        (
-            "FrontLoading",
-            Box::new(NamedFrontLoading::new(named.plan.clone(), named.threshold)),
-        ),
-        (
-            "RandomStaging",
-            Box::new(NamedBalanced::with_order(
-                named.plan.clone(),
-                named.plan.order_by_distance_desc(),
-                named.threshold,
-            )),
-        ),
-    ]
+/// [`protocols`] and with the same RandomStaging order (both sides
+/// derive it from the same seeded shuffle).
+fn named_protocols(named: &NamedScenario, case: u64) -> Vec<(&'static str, AnyNamedProtocol)> {
+    choices(case)
+        .into_iter()
+        .map(|c| (c.name(), c.build_named(named.plan.clone(), named.threshold)))
+        .collect()
 }
 
 /// Every protocol converges on every scenario: all machines pass,
@@ -170,8 +150,8 @@ fn all_protocols_converge() {
         let spec = random_scenario(&mut rng);
         let scenario = build(&spec);
         let total = scenario.machine_count();
-        for (name, mut protocol) in protocols(&scenario) {
-            let metrics = run(&scenario, protocol.as_mut());
+        for (name, mut protocol) in protocols(&scenario, case) {
+            let metrics = run(&scenario, &mut protocol);
             assert_eq!(
                 metrics.passed_count(),
                 total,
@@ -202,8 +182,8 @@ fn staging_never_increases_overhead() {
         let m = scenario.problem_machine_count();
         let nostaging = run(&scenario, &mut NoStaging::new(scenario.plan.clone()));
         assert_eq!(nostaging.failed_tests, m, "case {case} ({spec:?})");
-        for (name, mut protocol) in protocols(&scenario) {
-            let metrics = run(&scenario, protocol.as_mut());
+        for (name, mut protocol) in protocols(&scenario, case) {
+            let metrics = run(&scenario, &mut protocol);
             assert!(
                 metrics.failed_tests <= m,
                 "case {case}: {name} overhead {} exceeds NoStaging {m} ({spec:?})",
@@ -222,8 +202,8 @@ fn one_release_per_problem() {
         let spec = random_scenario(&mut rng);
         let scenario = build(&spec);
         let distinct = scenario.problem_populations().len() as u32;
-        for (name, mut protocol) in protocols(&scenario) {
-            let metrics = run(&scenario, protocol.as_mut());
+        for (name, mut protocol) in protocols(&scenario, case) {
+            let metrics = run(&scenario, &mut protocol);
             assert_eq!(
                 metrics.releases_shipped, distinct,
                 "case {case}: {name} shipped a surprising number of releases ({spec:?})"
@@ -270,12 +250,12 @@ fn interned_driver_matches_string_reference() {
         let spec = random_scenario_ext(&mut rng);
         let scenario = build(&spec);
         let named = NamedScenario::from_scenario(&scenario);
-        let fast = protocols(&scenario);
-        let slow = named_protocols(&named);
+        let fast = protocols(&scenario, case);
+        let slow = named_protocols(&named, case);
         for ((name, mut fast_p), (slow_name, mut slow_p)) in fast.into_iter().zip(slow) {
             assert_eq!(name, slow_name);
-            let fast_m = run(&scenario, fast_p.as_mut());
-            let slow_m = run_reference(&named, slow_p.as_mut());
+            let fast_m = run(&scenario, &mut fast_p);
+            let slow_m = run_reference(&named, &mut slow_p);
             assert_eq!(
                 fast_m, slow_m,
                 "case {case}: {name} diverged from the string reference ({spec:?})"
@@ -284,6 +264,112 @@ fn interned_driver_matches_string_reference() {
                 fast_p.done(),
                 slow_p.done(),
                 "case {case}: {name} done() diverged ({spec:?})"
+            );
+        }
+    }
+}
+
+/// **Zero-fault equivalence** (fault-path acceptance): a scenario
+/// carrying an explicit [`mirage_sim::FaultPlan::none`] — here attached
+/// through the builder's `faults(FaultSpec)` surface with no fault
+/// knobs set — produces *bit-identical* [`mirage_sim::SimMetrics`] to
+/// the pre-fault string-keyed reference driver, across ≥48 random
+/// scenarios and all four protocols. This is what licenses the fault
+/// machinery to exist at all: the reliable-channel fast path is
+/// untouched, including the new fault counters (all zero).
+#[test]
+fn fault_plan_none_is_bit_identical() {
+    let mut rng = Rng::new(0xFA);
+    for case in 0..48u64 {
+        let spec = random_scenario_ext(&mut rng);
+        let mut builder = ScenarioBuilder::new()
+            .clusters(spec.clusters, spec.size, 1)
+            .threshold(spec.threshold)
+            // A FaultSpec with no fault knobs lowers to FaultPlan::none().
+            .faults(FaultSpec::new(case));
+        if !spec.problem_clusters.is_empty() {
+            builder = builder.problem_in_clusters("p-main", &spec.problem_clusters);
+        }
+        if let Some((cluster, count, until)) = spec.offline {
+            builder = builder.offline_machines(cluster, count, until);
+        }
+        if let Some((cluster, count)) = spec.missed {
+            builder = builder.missed_detections(cluster, count);
+        }
+        let scenario = builder.build();
+        assert!(
+            scenario.faults.is_none(),
+            "case {case}: a knob-free FaultSpec must lower to the zero-fault plan"
+        );
+        let named = NamedScenario::from_scenario(&scenario);
+        let fast = protocols(&scenario, case);
+        let slow = named_protocols(&named, case);
+        for ((name, mut fast_p), (slow_name, mut slow_p)) in fast.into_iter().zip(slow) {
+            assert_eq!(name, slow_name);
+            let fast_m = run(&scenario, &mut fast_p);
+            let slow_m = run_reference(&named, &mut slow_p);
+            assert_eq!(
+                fast_m, slow_m,
+                "case {case}: {name} zero-fault run diverged from the pre-fault reference ({spec:?})"
+            );
+            assert_eq!(
+                (
+                    fast_m.msgs_dropped,
+                    fast_m.msgs_duplicated,
+                    fast_m.retries_sent,
+                    fast_m.rep_timeouts
+                ),
+                (0, 0, 0, 0),
+                "case {case}: {name} zero-fault run touched the fault counters ({spec:?})"
+            );
+        }
+    }
+}
+
+/// **Fault convergence** (hardening acceptance): under 30% message
+/// loss, 15% duplication, delivery delay, *and* transient churn, every
+/// protocol still converges to 100% of machines passed within the
+/// bounded tick budget, thanks to timed re-notification and
+/// timeout-based stage advancement.
+#[test]
+fn protocols_converge_under_heavy_faults() {
+    let mut rng = Rng::new(0xF0);
+    for case in 0..24u64 {
+        let spec = random_scenario(&mut rng);
+        let mut builder = ScenarioBuilder::new()
+            .clusters(spec.clusters, spec.size, 1)
+            .threshold(spec.threshold);
+        if !spec.problem_clusters.is_empty() {
+            builder = builder.problem_in_clusters("p-main", &spec.problem_clusters);
+        }
+        let mut faults = FaultSpec::new(0xC0FFEE ^ case)
+            .loss(0.30)
+            .duplication(0.15)
+            .delay(6)
+            .retry(20, 4)
+            .rep_timeout(600);
+        // Transient churn: a trailing non-rep of the last cluster leaves
+        // early and rejoins later (clusters of size 1 have no non-reps).
+        if spec.size > 1 {
+            faults = faults.churn(spec.clusters - 1, 1, 10, 400);
+        }
+        let scenario = builder.faults(faults).build();
+        assert!(!scenario.faults.is_none());
+        let total = scenario.machine_count();
+        for (name, mut protocol) in protocols(&scenario, case) {
+            let metrics = run(&scenario, &mut protocol);
+            assert_eq!(
+                metrics.passed_count(),
+                total,
+                "case {case}: {name} left machines behind under faults ({spec:?})"
+            );
+            assert!(
+                metrics.completion_time.is_some(),
+                "case {case}: {name} never completed under faults ({spec:?})"
+            );
+            assert!(
+                protocol.done(),
+                "case {case}: {name} not done under faults ({spec:?})"
             );
         }
     }

@@ -102,10 +102,11 @@ fn diffs_to_clusters_to_simulation() {
 
     // Drive the deployment plan through the discrete-event simulator.
     let plan = DeployPlan::from_clustering(&clustering, 1);
-    let mut scenario = mirage::sim::Scenario::from_plan(plan.clone());
+    let mut builder = mirage::sim::ScenarioBuilder::over_plan(plan.clone());
     for m in behavior.keys() {
-        scenario.assign_problem(m, "slow-breaks");
+        builder = builder.problem_on_machine(m, "slow-breaks");
     }
+    let scenario = builder.build();
     let metrics = run(&scenario, &mut Balanced::new(plan.clone(), 1.0));
     assert_eq!(metrics.passed_count(), 9);
     assert_eq!(metrics.failed_tests, 1, "only the slow cluster's rep");
