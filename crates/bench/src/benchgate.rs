@@ -1,0 +1,356 @@
+//! Validation of the committed `BENCH_*.json` documents.
+//!
+//! CI smoke steps regenerate benchmark JSONs and upload them, but the
+//! *committed* copies in the repository root are what EXPERIMENTS.md
+//! and the README cite — and nothing used to stop them from silently
+//! drifting (stale schema after a harness change, hand-mangled numbers,
+//! a truncated write). The `repro bench-check` subcommand runs the
+//! checks in this module over every committed document and fails the
+//! build when one no longer parses, no longer matches the expected
+//! schema, or no longer satisfies the invariants the CI smokes rely on:
+//!
+//! * `BENCH_clustering.json` — harness rows well-formed, dense-200
+//!   speedup vs the naive reference ≥ 1.0;
+//! * `BENCH_sim.json` — harness rows well-formed, every protocol's 100k
+//!   speedup vs the string-keyed reference ≥ 1.0, the 1M Balanced run
+//!   under its budget;
+//! * `BENCH_faults.json` — sweep rows well-formed, **every** loss rate
+//!   converged (and `all_converged` agrees with the rows);
+//! * `BENCH_urr.json` — harness rows well-formed, sharded ingest
+//!   speedup vs `report::reference` ≥ 1.0, query p50 ≤ p99.
+//!
+//! Checks are pure functions over the document text so the negative
+//! cases (corrupted JSON, missing keys, broken invariants) are unit
+//! tested right here in the repro harness.
+
+use std::fmt;
+
+use mirage_telemetry::json::Value;
+
+/// Which committed benchmark document a text claims to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchKind {
+    /// `BENCH_clustering.json` (suite `clustering-perf`).
+    Clustering,
+    /// `BENCH_sim.json` (suite `sim-perf`).
+    Sim,
+    /// `BENCH_faults.json` (suite `fault-sweep`).
+    Faults,
+    /// `BENCH_urr.json` (suite `urr-perf`).
+    Urr,
+}
+
+impl BenchKind {
+    /// Every kind with its committed file name.
+    pub const ALL: [(BenchKind, &'static str); 4] = [
+        (BenchKind::Clustering, "BENCH_clustering.json"),
+        (BenchKind::Sim, "BENCH_sim.json"),
+        (BenchKind::Faults, "BENCH_faults.json"),
+        (BenchKind::Urr, "BENCH_urr.json"),
+    ];
+
+    /// The `suite` value the document must carry.
+    pub fn suite(self) -> &'static str {
+        match self {
+            BenchKind::Clustering => "clustering-perf",
+            BenchKind::Sim => "sim-perf",
+            BenchKind::Faults => "fault-sweep",
+            BenchKind::Urr => "urr-perf",
+        }
+    }
+}
+
+/// Why a benchmark document failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateError(pub String);
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn fail(msg: impl Into<String>) -> GateError {
+    GateError(msg.into())
+}
+
+fn num(v: &Value, key: &str) -> Result<f64, GateError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| fail(format!("missing or non-numeric field '{key}'")))
+}
+
+fn string(v: &Value, key: &str) -> Result<String, GateError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| fail(format!("missing or non-string field '{key}'")))
+}
+
+fn boolean(v: &Value, key: &str) -> Result<bool, GateError> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(fail(format!("missing or non-boolean field '{key}'"))),
+    }
+}
+
+fn results(doc: &Value) -> Result<&[Value], GateError> {
+    let rows = doc
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| fail("missing 'results' array"))?;
+    if rows.is_empty() {
+        return Err(fail("'results' array is empty"));
+    }
+    Ok(rows)
+}
+
+/// Validates one harness-style result row (the shape every `*-perf`
+/// suite emits).
+fn check_harness_row(row: &Value) -> Result<(), GateError> {
+    let name = string(row, "name")?;
+    for key in ["samples", "min_ns", "p50_ns", "mean_ns", "max_ns"] {
+        let v = num(row, key).map_err(|e| fail(format!("row '{name}': {e}")))?;
+        if v < 0.0 {
+            return Err(fail(format!("row '{name}': '{key}' is negative")));
+        }
+    }
+    let min = num(row, "min_ns")?;
+    let max = num(row, "max_ns")?;
+    if min > max {
+        return Err(fail(format!("row '{name}': min_ns > max_ns")));
+    }
+    if num(row, "samples")? < 1.0 {
+        return Err(fail(format!("row '{name}': no samples")));
+    }
+    Ok(())
+}
+
+/// Parses `text` and checks it is a well-formed, invariant-satisfying
+/// document of `kind`. Returns the human-readable check lines on
+/// success.
+pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
+    let doc = Value::parse(text).map_err(|e| fail(format!("invalid JSON: {e}")))?;
+    if string(&doc, "suite")? != kind.suite() {
+        return Err(fail(format!(
+            "wrong suite: expected '{}', found '{}'",
+            kind.suite(),
+            string(&doc, "suite")?
+        )));
+    }
+    let mut notes = vec![format!("suite '{}' present", kind.suite())];
+    match kind {
+        BenchKind::Clustering => {
+            let rows = results(&doc)?;
+            for row in rows {
+                check_harness_row(row)?;
+            }
+            notes.push(format!("{} harness rows well-formed", rows.len()));
+            let speedup = num(&doc, "dense_200_speedup_vs_reference")?;
+            if speedup < 1.0 {
+                return Err(fail(format!(
+                    "dense-200 speedup vs reference regressed below 1.0 ({speedup})"
+                )));
+            }
+            notes.push(format!("dense-200 speedup vs reference: {speedup:.2}x"));
+        }
+        BenchKind::Sim => {
+            let rows = results(&doc)?;
+            for row in rows {
+                check_harness_row(row)?;
+            }
+            notes.push(format!("{} harness rows well-formed", rows.len()));
+            let speedups = doc
+                .get("speedup_100k_vs_reference")
+                .ok_or_else(|| fail("missing 'speedup_100k_vs_reference'"))?;
+            for protocol in ["NoStaging", "Balanced", "FrontLoading"] {
+                let s = num(speedups, protocol)?;
+                if s < 1.0 {
+                    return Err(fail(format!(
+                        "{protocol}: 100k speedup vs reference regressed below 1.0 ({s})"
+                    )));
+                }
+                notes.push(format!("{protocol} 100k speedup: {s:.2}x"));
+            }
+            if !boolean(&doc, "balanced_1m_under_10s")? {
+                return Err(fail("balanced_1m_under_10s is false"));
+            }
+            notes.push(format!(
+                "1M Balanced run: {:.3} s (< 10 s)",
+                num(&doc, "balanced_1m_seconds")?
+            ));
+        }
+        BenchKind::Faults => {
+            let rows = results(&doc)?;
+            for row in rows {
+                let protocol = string(row, "protocol")?;
+                let loss = num(row, "loss_pct")?;
+                for key in [
+                    "failed_tests",
+                    "msgs_dropped",
+                    "retries_sent",
+                    "rep_timeouts",
+                ] {
+                    num(row, key).map_err(|e| fail(format!("{protocol}@{loss}%: {e}")))?;
+                }
+                if !boolean(row, "converged")? {
+                    return Err(fail(format!("{protocol} did not converge at loss {loss}%")));
+                }
+            }
+            notes.push(format!("{} sweep rows, 100% convergence", rows.len()));
+            if !boolean(&doc, "all_converged")? {
+                return Err(fail("all_converged is false"));
+            }
+            notes.push("all_converged agrees with the rows".to_string());
+        }
+        BenchKind::Urr => {
+            let rows = results(&doc)?;
+            for row in rows {
+                check_harness_row(row)?;
+            }
+            notes.push(format!("{} harness rows well-formed", rows.len()));
+            let speedup = num(&doc, "ingest_speedup_100k_vs_reference")?;
+            if speedup < 1.0 {
+                return Err(fail(format!(
+                    "sharded ingest speedup vs reference regressed below 1.0 ({speedup})"
+                )));
+            }
+            notes.push(format!(
+                "sharded ingest speedup vs reference: {speedup:.2}x"
+            ));
+            let query = doc
+                .get("query")
+                .ok_or_else(|| fail("missing 'query' latency object"))?;
+            for q in [
+                "top_k",
+                "failure_groups",
+                "cluster_rates",
+                "first_seen_window",
+            ] {
+                let p50 = num(query, &format!("{q}_p50_ns"))?;
+                let p99 = num(query, &format!("{q}_p99_ns"))?;
+                if p50 > p99 {
+                    return Err(fail(format!("query '{q}': p50 > p99")));
+                }
+            }
+            notes.push("query p50/p99 pairs present and ordered".to_string());
+        }
+    }
+    Ok(notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness_row(name: &str) -> String {
+        format!(
+            "{{\"name\": \"{name}\", \"samples\": 5, \"min_ns\": 100, \
+             \"p50_ns\": 120, \"mean_ns\": 130, \"max_ns\": 200}}"
+        )
+    }
+
+    fn urr_doc(speedup: f64) -> String {
+        format!(
+            "{{\"suite\": \"urr-perf\", \"results\": [{}],\n\
+             \"ingest_speedup_100k_vs_reference\": {speedup},\n\
+             \"query\": {{\"top_k_p50_ns\": 1, \"top_k_p99_ns\": 2,\n\
+             \"failure_groups_p50_ns\": 1, \"failure_groups_p99_ns\": 2,\n\
+             \"cluster_rates_p50_ns\": 1, \"cluster_rates_p99_ns\": 2,\n\
+             \"first_seen_window_p50_ns\": 1, \"first_seen_window_p99_ns\": 2}}}}",
+            harness_row("urr/ingest/sharded-100k")
+        )
+    }
+
+    #[test]
+    fn valid_documents_pass() {
+        let clustering = format!(
+            "{{\"suite\": \"clustering-perf\", \"results\": [{}], \
+             \"dense_200_speedup_vs_reference\": 11.6}}",
+            harness_row("clustering/scaling/dense-200")
+        );
+        assert!(check(BenchKind::Clustering, &clustering).is_ok());
+
+        let sim = format!(
+            "{{\"suite\": \"sim-perf\", \"results\": [{}], \
+             \"speedup_100k_vs_reference\": {{\"NoStaging\": 7.2, \"Balanced\": 9.1, \
+             \"FrontLoading\": 10.7}}, \"balanced_1m_seconds\": 0.26, \
+             \"balanced_1m_under_10s\": true}}",
+            harness_row("sim/100k/interned/Balanced")
+        );
+        assert!(check(BenchKind::Sim, &sim).is_ok());
+
+        let faults = "{\"suite\": \"fault-sweep\", \"results\": [\
+             {\"protocol\": \"Balanced\", \"loss_pct\": 30, \"converged\": true, \
+             \"completion_time\": 100, \"failed_tests\": 3, \"msgs_dropped\": 5, \
+             \"retries_sent\": 4, \"rep_timeouts\": 0}], \"all_converged\": true}";
+        assert!(check(BenchKind::Faults, faults).is_ok());
+
+        assert!(check(BenchKind::Urr, &urr_doc(6.4)).is_ok());
+    }
+
+    #[test]
+    fn corrupted_json_fails() {
+        // Truncated write — the exact failure mode the gate exists for.
+        let truncated = &urr_doc(6.4)[..40];
+        let err = check(BenchKind::Urr, truncated).unwrap_err();
+        assert!(err.to_string().contains("invalid JSON"), "{err}");
+    }
+
+    #[test]
+    fn wrong_suite_fails() {
+        let err = check(BenchKind::Sim, &urr_doc(6.4)).unwrap_err();
+        assert!(err.to_string().contains("wrong suite"), "{err}");
+    }
+
+    #[test]
+    fn missing_keys_fail() {
+        let no_results = "{\"suite\": \"urr-perf\"}";
+        assert!(check(BenchKind::Urr, no_results).is_err());
+        let empty_results = "{\"suite\": \"urr-perf\", \"results\": []}";
+        assert!(check(BenchKind::Urr, empty_results).is_err());
+        let bad_row = "{\"suite\": \"clustering-perf\", \"results\": [{\"name\": \"x\"}], \
+             \"dense_200_speedup_vs_reference\": 2.0}";
+        let err = check(BenchKind::Clustering, bad_row).unwrap_err();
+        assert!(err.to_string().contains("row 'x'"), "{err}");
+    }
+
+    #[test]
+    fn hand_mangled_invariants_fail() {
+        // Speedup edited below 1.0.
+        let err = check(BenchKind::Urr, &urr_doc(0.4)).unwrap_err();
+        assert!(err.to_string().contains("below 1.0"), "{err}");
+
+        // A non-converged sweep row.
+        let faults = "{\"suite\": \"fault-sweep\", \"results\": [\
+             {\"protocol\": \"Balanced\", \"loss_pct\": 30, \"converged\": false, \
+             \"completion_time\": null, \"failed_tests\": 3, \"msgs_dropped\": 5, \
+             \"retries_sent\": 4, \"rep_timeouts\": 0}], \"all_converged\": true}";
+        let err = check(BenchKind::Faults, faults).unwrap_err();
+        assert!(err.to_string().contains("did not converge"), "{err}");
+
+        // all_converged flag flipped while rows still say true.
+        let faults = "{\"suite\": \"fault-sweep\", \"results\": [\
+             {\"protocol\": \"Balanced\", \"loss_pct\": 0, \"converged\": true, \
+             \"completion_time\": 1, \"failed_tests\": 0, \"msgs_dropped\": 0, \
+             \"retries_sent\": 0, \"rep_timeouts\": 0}], \"all_converged\": false}";
+        assert!(check(BenchKind::Faults, faults).is_err());
+
+        // min > max in a harness row.
+        let sim = "{\"suite\": \"sim-perf\", \"results\": [\
+             {\"name\": \"r\", \"samples\": 3, \"min_ns\": 500, \"p50_ns\": 120, \
+             \"mean_ns\": 130, \"max_ns\": 200}], \
+             \"speedup_100k_vs_reference\": {\"NoStaging\": 2.0, \"Balanced\": 2.0, \
+             \"FrontLoading\": 2.0}, \"balanced_1m_seconds\": 0.3, \
+             \"balanced_1m_under_10s\": true}";
+        let err = check(BenchKind::Sim, sim).unwrap_err();
+        assert!(err.to_string().contains("min_ns > max_ns"), "{err}");
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(BenchKind::ALL.len(), 4);
+        assert_eq!(BenchKind::Urr.suite(), "urr-perf");
+        assert_eq!(BenchKind::ALL[0].1, "BENCH_clustering.json");
+    }
+}

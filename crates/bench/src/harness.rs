@@ -6,8 +6,8 @@
 //! sample count, min / median / mean times, and optional throughput.
 //!
 //! Timing uses [`std::time::Instant`] around whole closure invocations.
-//! Each benchmark warms up once, then samples until either
-//! [`Harness::target`] wall time is spent or a sample cap is reached,
+//! Each benchmark warms up once, then samples until either the
+//! per-benchmark wall-time budget is spent or a sample cap is reached,
 //! so sub-microsecond and multi-second workloads both finish promptly.
 //! Set `MIRAGE_BENCH_MS` to grow or shrink the per-benchmark budget.
 

@@ -8,7 +8,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
+pub mod benchgate;
 pub mod harness;
 
 use mirage_sim::SimTime;

@@ -77,6 +77,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod agent;
 pub mod campaign;

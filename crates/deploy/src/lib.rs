@@ -36,11 +36,12 @@
 //! report is a 12-byte `Copy` value and handling it costs a few array
 //! indexings. Names exist only at the boundaries (plan construction,
 //! rendering) via the plan's [`MachineTable`]. The original
-//! string-keyed protocols are retained under [`reference`] so
+//! string-keyed protocols are retained under [`mod@reference`] so
 //! equivalence tests and benchmarks can compare against them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod dispatch;
 pub mod ids;

@@ -10,7 +10,7 @@
 //! The types mirror [`crate::protocol`] with names in place of ids:
 //! [`NamedCommand`], [`NamedReport`], [`NamedOutcome`], and the
 //! [`NamedProtocol`] trait; [`NamedPlan`] mirrors
-//! [`DeployPlan`](crate::DeployPlan) and is constructed from one via
+//! [`DeployPlan`] and is constructed from one via
 //! [`NamedPlan::from_plan`].
 
 use std::collections::{BTreeMap, BTreeSet};

@@ -16,21 +16,54 @@
 //! vendor querying [`Urr::failure_groups`] sees each distinct problem
 //! once, with the affected machine/cluster population attached.
 //!
-//! The repository is thread-safe (`std::sync::RwLock`) because reports
-//! arrive concurrently from many user machines, and serialisable via
-//! the workspace's dependency-free JSON module
-//! ([`mirage_telemetry::json`]) because in deployment it would be
-//! transferred or co-located with the vendor.
+//! # Architecture
+//!
+//! The repository is a *sharded, interned, incrementally-indexed*
+//! subsystem designed to stay on during million-machine simulation
+//! sweeps:
+//!
+//! * **Lock-striped shards.** Failure reports are routed to
+//!   `next_pow2(threads)` shards by an FNV-1a hash of the failure
+//!   signature, so every report for one signature lands in one shard
+//!   and per-signature aggregation never crosses shard boundaries.
+//! * **Dense interning.** Machine names, failure signatures, and
+//!   `(package, version)` releases are interned to `u32` ids
+//!   ([`MachineRef`], [`SigId`], [`ReleaseId`]) once at the boundary;
+//!   the hot ingest path ([`Urr::deposit_interned_batch`]) moves only
+//!   `Copy` records.
+//! * **Word-packed sets.** Per-signature machine/cluster membership is
+//!   deduplicated with packed bitsets plus `(seq, id)` order vectors,
+//!   replacing the per-report `Vec<String>` accumulation of the
+//!   original prototype.
+//! * **Incremental inverted index.** Group, cluster, and release
+//!   tallies are updated on ingest, so vendor queries (top-k failure
+//!   groups, per-cluster failure rates, signature drill-downs,
+//!   time-windowed first-seen scans) merge pre-aggregated state instead
+//!   of re-scanning every report.
+//!
+//! The original string-keyed prototype is retained verbatim as
+//! [`reference::Urr`]; a seeded property test proves both planes
+//! produce identical [`UrrStats`] / [`FailureGroup`] results over
+//! random report streams.
+//!
+//! The repository is thread-safe and serialisable via the workspace's
+//! dependency-free JSON module ([`mirage_telemetry::json`]) because in
+//! deployment it would be transferred or co-located with the vendor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod codec;
 pub mod image;
+pub mod reference;
 pub mod report;
 pub mod urr;
 
 pub use codec::JsonError;
 pub use image::ReportImage;
 pub use report::{Report, ReportOutcome};
-pub use urr::{FailureGroup, ReleaseSummary, Urr, UrrStats};
+pub use urr::{
+    ClusterFailureRate, FailureGroup, InternedOutcome, InternedReport, MachineRef, ReleaseId,
+    ReleaseSummary, SigId, Urr, UrrStats,
+};

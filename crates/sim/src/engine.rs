@@ -3,10 +3,10 @@
 //! Simulation events are tiny [`Copy`] values keyed by dense interned
 //! ids, so the queue stores them inline — no slab, no free list, no
 //! per-event allocation. Ordering uses the *calendar queue* structure:
-//! a power-of-two wheel of [`WHEEL`] buckets indexed by `time % WHEEL`,
+//! a power-of-two wheel of `WHEEL` buckets indexed by `time % WHEEL`,
 //! each bucket a `Vec` drained front-to-back (FIFO within a timestamp
 //! for free), plus a sorted overflow map for events scheduled further
-//! than [`WHEEL`] ticks ahead. `schedule` is O(1) amortised; `pop`
+//! than `WHEEL` ticks ahead. `schedule` is O(1) amortised; `pop`
 //! is O(1) amortised for the dense event streams a deployment run
 //! produces (machine cycles of ~15 ticks, fix delays of ~500 — both far
 //! inside the wheel horizon).

@@ -20,18 +20,27 @@
 //! `fix_time` to debug; fixes are worked on one at a time in report
 //! order; each completed fix ships as a new release which failed machines
 //! re-test.
+//!
+//! A scenario built with [`ScenarioBuilder::with_urr`] additionally
+//! deposits every vendor-received outcome into a shared
+//! [`mirage_report::Urr`] through the buffered, fully interned
+//! [`urr_sink`] bridge, so a simulation run leaves behind a queryable
+//! Upgrade Report Repository (paper §3.4 meets §4.3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod urr_sink;
 
 pub use engine::{Event, EventQueue, SimTime};
 pub use faults::{FaultPlan, FaultRng, FaultSpec};
 pub use metrics::{latency_cdf, ClusterLatency, SimMetrics};
 pub use runner::{run, run_with_telemetry, Simulation};
 pub use scenario::{Scenario, ScenarioBuilder, Timings};
+pub use urr_sink::UrrSink;

@@ -4,7 +4,7 @@
 //! per-problem state is flat-indexed, and the telemetry flight events
 //! render machine/problem names lazily (zero cost when telemetry is a
 //! noop). The original string-keyed driver — binary-heap queue, name
-//! maps and all — survives under [`reference`] so equivalence tests
+//! maps and all — survives under [`mod@reference`] so equivalence tests
 //! can prove this driver produces identical [`SimMetrics`].
 
 pub mod reference;
@@ -15,10 +15,13 @@ use mirage_deploy::MachineId;
 use mirage_deploy::{Command, ProblemId, ProblemSet, Protocol, Release, TestOutcome, TestReport};
 use mirage_telemetry::{FlightEvent, Telemetry};
 
+use std::sync::Arc;
+
 use crate::engine::{Event, EventQueue, SimTime};
 use crate::faults::FaultRng;
 use crate::metrics::SimMetrics;
 use crate::scenario::Scenario;
+use crate::urr_sink::UrrSink;
 
 /// Safety valve against pathological loss rates (e.g. `loss == 1.0`):
 /// after this many re-notification attempts the vendor gives up on a
@@ -60,6 +63,10 @@ pub struct Simulation<'a> {
     churn: Vec<Option<(SimTime, SimTime)>>,
     /// Ticks issued so far (bounded by the plan's `max_ticks`).
     ticks_issued: u64,
+    /// Report-repository bridge, present only when the scenario was
+    /// built [`crate::ScenarioBuilder::with_urr`]. `None` keeps the
+    /// loop bit-identical to the unwired driver.
+    urr_sink: Option<UrrSink>,
 }
 
 impl<'a> Simulation<'a> {
@@ -95,6 +102,10 @@ impl<'a> Simulation<'a> {
             awaiting,
             churn,
             ticks_issued: 0,
+            urr_sink: scenario
+                .urr
+                .as_ref()
+                .map(|urr| UrrSink::new(scenario, Arc::clone(urr))),
         }
     }
 
@@ -329,6 +340,10 @@ impl<'a> Simulation<'a> {
                 self.awaiting[machine.index()] = None;
             }
         }
+        // The vendor received this report: deposit it (duplicated
+        // deliveries deposit again — the repository deduplicates by
+        // signature when grouping).
+        self.sink_report(machine, release, outcome);
         if let TestOutcome::Fail { problem } = outcome {
             if self.known_problems.insert(problem) {
                 self.metrics.problems_discovered.push(problem);
@@ -399,6 +414,20 @@ impl<'a> Simulation<'a> {
         );
     }
 
+    /// Deposits one vendor-received outcome into the attached report
+    /// repository, if any. Strictly observational: no simulation state
+    /// is read back from the repository.
+    #[inline]
+    fn sink_report(&mut self, machine: MachineId, release: u32, outcome: TestOutcome) {
+        if let Some(sink) = &mut self.urr_sink {
+            let problem = match outcome {
+                TestOutcome::Pass => None,
+                TestOutcome::Fail { problem } => Some(problem),
+            };
+            sink.record(machine, release, problem);
+        }
+    }
+
     fn start_next_fix(&mut self) {
         if self.fixing.is_none() {
             if let Some(problem) = self.fix_queue.pop_front() {
@@ -454,6 +483,9 @@ impl<'a> Simulation<'a> {
             }
             TestOutcome::Fail { problem }
         };
+        // On the reliable channel the report reaches the vendor
+        // synchronously: deposit it now.
+        self.sink_report(machine, release, outcome);
         let report = TestReport {
             machine,
             release: Release(release),
@@ -537,6 +569,10 @@ impl<'a> Simulation<'a> {
                 }
             }
             self.note_queue_depth();
+        }
+        // Drain any buffered repository deposits before the run ends.
+        if let Some(sink) = &mut self.urr_sink {
+            sink.flush();
         }
         // Publish the final (empty) depth so the gauge's last value
         // matches the per-event publication behaviour.

@@ -7,8 +7,10 @@
 //! plan's machine table and the scenario's [`ProblemTable`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mirage_deploy::{DeployPlan, MachineId, MachineSet, ProblemId, ProblemTable};
+use mirage_report::Urr;
 
 use crate::engine::SimTime;
 use crate::faults::{FaultPlan, FaultSpec};
@@ -75,6 +77,11 @@ pub struct Scenario {
     /// default) keeps the original reliable-channel fast path and is
     /// bit-identical to the pre-fault simulator.
     pub faults: FaultPlan,
+    /// Optional Upgrade Report Repository: when attached (via
+    /// [`ScenarioBuilder::with_urr`]) every vendor-received test outcome
+    /// is also deposited as a structured report. `None` (the default)
+    /// keeps the simulator bit-identical to the unwired driver.
+    pub urr: Option<Arc<Urr>>,
 }
 
 impl Scenario {
@@ -91,6 +98,7 @@ impl Scenario {
             offline_until: vec![0; n],
             missed_detection: MachineSet::new(),
             faults: FaultPlan::none(),
+            urr: None,
         }
     }
 
@@ -246,6 +254,7 @@ pub struct ScenarioBuilder {
     named_offline: Vec<(String, SimTime)>,
     named_missed: Vec<String>,
     faults: Option<FaultSpec>,
+    urr: Option<Arc<Urr>>,
     timings: Timings,
     threshold: f64,
 }
@@ -266,6 +275,7 @@ impl ScenarioBuilder {
             named_offline: Vec::new(),
             named_missed: Vec::new(),
             faults: None,
+            urr: None,
             timings: Timings::paper_default(),
             threshold: 1.0,
         }
@@ -307,6 +317,16 @@ impl ScenarioBuilder {
     /// [`FaultPlan::none`] and the reliable-channel fast path.
     pub fn faults(mut self, spec: FaultSpec) -> Self {
         self.faults = Some(spec);
+        self
+    }
+
+    /// Attaches an Upgrade Report Repository: every test outcome the
+    /// vendor receives during the run is also deposited into `urr` as a
+    /// structured report (paper §3.4 closing the loop with §4.3).
+    /// Without this call the scenario carries no repository and the
+    /// simulation loop is bit-identical to the unwired driver.
+    pub fn with_urr(mut self, urr: Arc<Urr>) -> Self {
+        self.urr = Some(urr);
         self
     }
 
@@ -457,6 +477,7 @@ impl ScenarioBuilder {
         if let Some(spec) = &self.faults {
             scenario.faults = spec.lower(&scenario.plan);
         }
+        scenario.urr = self.urr;
         scenario
     }
 }

@@ -65,6 +65,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod compare;
 pub mod record;
