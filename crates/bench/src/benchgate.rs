@@ -17,7 +17,12 @@
 //! * `BENCH_faults.json` — sweep rows well-formed, **every** loss rate
 //!   converged (and `all_converged` agrees with the rows);
 //! * `BENCH_urr.json` — harness rows well-formed, sharded ingest
-//!   speedup vs `report::reference` ≥ 1.0, query p50 ≤ p99.
+//!   speedup vs `report::reference` ≥ 1.0, query p50 ≤ p99;
+//! * `BENCH_trace.json` — harness rows well-formed, journaling overhead
+//!   under the 15% acceptance budget on the full (non-smoke) fleet,
+//!   nothing dropped from the journal, and the embedded Chrome
+//!   `trace_event` sample schema-valid (string `name`, known `ph`
+//!   phase, numeric `pid`/`tid`).
 //!
 //! Checks are pure functions over the document text so the negative
 //! cases (corrupted JSON, missing keys, broken invariants) are unit
@@ -38,15 +43,18 @@ pub enum BenchKind {
     Faults,
     /// `BENCH_urr.json` (suite `urr-perf`).
     Urr,
+    /// `BENCH_trace.json` (suite `trace-overhead`).
+    Trace,
 }
 
 impl BenchKind {
     /// Every kind with its committed file name.
-    pub const ALL: [(BenchKind, &'static str); 4] = [
+    pub const ALL: [(BenchKind, &'static str); 5] = [
         (BenchKind::Clustering, "BENCH_clustering.json"),
         (BenchKind::Sim, "BENCH_sim.json"),
         (BenchKind::Faults, "BENCH_faults.json"),
         (BenchKind::Urr, "BENCH_urr.json"),
+        (BenchKind::Trace, "BENCH_trace.json"),
     ];
 
     /// The `suite` value the document must carry.
@@ -56,6 +64,7 @@ impl BenchKind {
             BenchKind::Sim => "sim-perf",
             BenchKind::Faults => "fault-sweep",
             BenchKind::Urr => "urr-perf",
+            BenchKind::Trace => "trace-overhead",
         }
     }
 }
@@ -235,6 +244,71 @@ pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
             }
             notes.push("query p50/p99 pairs present and ordered".to_string());
         }
+        BenchKind::Trace => {
+            let rows = results(&doc)?;
+            for row in rows {
+                check_harness_row(row)?;
+            }
+            for required in ["trace/plain-run", "trace/journaled-run"] {
+                if !rows
+                    .iter()
+                    .any(|r| r.get("name").and_then(Value::as_str) == Some(required))
+                {
+                    return Err(fail(format!("missing harness row '{required}'")));
+                }
+            }
+            notes.push(format!("{} harness rows well-formed", rows.len()));
+            let overhead = num(&doc, "overhead_pct")?;
+            if !boolean(&doc, "smoke")? {
+                if overhead >= 15.0 {
+                    return Err(fail(format!(
+                        "journaling overhead {overhead}% breaches the 15% acceptance budget"
+                    )));
+                }
+                notes.push(format!("journaling overhead {overhead}% (< 15%)"));
+            }
+            if num(&doc, "journal_dropped")? != 0.0 {
+                return Err(fail("journal dropped entries (spill should retain all)"));
+            }
+            if num(&doc, "journal_total")? < 1.0 {
+                return Err(fail("journal recorded no entries"));
+            }
+            if num(&doc, "trace_events")? < 1.0 {
+                return Err(fail("exported trace has no events"));
+            }
+            let sample = doc
+                .get("trace_sample")
+                .and_then(Value::as_array)
+                .ok_or_else(|| fail("missing 'trace_sample' array"))?;
+            if sample.is_empty() {
+                return Err(fail("'trace_sample' array is empty"));
+            }
+            for (i, ev) in sample.iter().enumerate() {
+                let name =
+                    string(ev, "name").map_err(|e| fail(format!("trace_sample[{i}]: {e}")))?;
+                let ph = string(ev, "ph").map_err(|e| fail(format!("trace_sample[{i}]: {e}")))?;
+                // The phases the exporter emits: metadata, async
+                // begin/end, complete slices, and instants.
+                if !["M", "b", "e", "X", "i"].contains(&ph.as_str()) {
+                    return Err(fail(format!(
+                        "trace_sample[{i}] ('{name}'): unknown trace_event phase '{ph}'"
+                    )));
+                }
+                for key in ["pid", "tid"] {
+                    num(ev, key).map_err(|e| fail(format!("trace_sample[{i}] ('{name}'): {e}")))?;
+                }
+                // Every non-metadata record is a timeline record and
+                // needs a timestamp.
+                if ph != "M" {
+                    num(ev, "ts")
+                        .map_err(|e| fail(format!("trace_sample[{i}] ('{name}'): {e}")))?;
+                }
+            }
+            notes.push(format!(
+                "{} sampled trace_event records schema-valid",
+                sample.len()
+            ));
+        }
     }
     Ok(notes)
 }
@@ -347,10 +421,69 @@ mod tests {
         assert!(err.to_string().contains("min_ns > max_ns"), "{err}");
     }
 
+    fn trace_doc(overhead: f64, smoke: bool, dropped: u64, ph: &str) -> String {
+        format!(
+            "{{\"suite\": \"trace-overhead\", \"smoke\": {smoke}, \"machines\": 1000,\n\
+             \"results\": [{}, {}],\n\
+             \"overhead_pct\": {overhead}, \"journal_total\": 3000,\n\
+             \"journal_dropped\": {dropped}, \"trace_events\": 10,\n\
+             \"trace_sample\": [\
+             {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0}},\
+             {{\"name\": \"stage 0\", \"ph\": \"{ph}\", \"id\": 0, \"ts\": 0, \
+             \"pid\": 1, \"tid\": 0}}]}}",
+            harness_row("trace/plain-run"),
+            harness_row("trace/journaled-run"),
+        )
+    }
+
+    #[test]
+    fn valid_trace_document_passes() {
+        let notes = check(BenchKind::Trace, &trace_doc(9.1, false, 0, "b")).unwrap();
+        assert!(notes.iter().any(|n| n.contains("overhead")), "{notes:?}");
+        // Smoke documents skip the overhead budget (debug builds are
+        // noise-dominated) but still get the schema checks.
+        assert!(check(BenchKind::Trace, &trace_doc(80.0, true, 0, "b")).is_ok());
+    }
+
+    #[test]
+    fn trace_invariant_breaches_fail() {
+        // Overhead over the acceptance budget on a full-fleet document.
+        let err = check(BenchKind::Trace, &trace_doc(15.0, false, 0, "b")).unwrap_err();
+        assert!(err.to_string().contains("15% acceptance budget"), "{err}");
+
+        // Dropped journal entries: the spill was mis-configured.
+        let err = check(BenchKind::Trace, &trace_doc(9.1, false, 7, "b")).unwrap_err();
+        assert!(err.to_string().contains("dropped"), "{err}");
+
+        // Unknown trace_event phase in the sampled export.
+        let err = check(BenchKind::Trace, &trace_doc(9.1, false, 0, "Q")).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown trace_event phase"),
+            "{err}"
+        );
+
+        // A timeline record without a timestamp.
+        let no_ts = trace_doc(9.1, false, 0, "b").replace("\"ts\": 0, ", "");
+        let err = check(BenchKind::Trace, &no_ts).unwrap_err();
+        assert!(err.to_string().contains("'ts'"), "{err}");
+
+        // A required harness row is missing.
+        let doc = format!(
+            "{{\"suite\": \"trace-overhead\", \"smoke\": false, \
+             \"results\": [{}], \"overhead_pct\": 9.1, \"journal_total\": 1, \
+             \"journal_dropped\": 0, \"trace_events\": 1, \"trace_sample\": []}}",
+            harness_row("trace/plain-run")
+        );
+        let err = check(BenchKind::Trace, &doc).unwrap_err();
+        assert!(err.to_string().contains("trace/journaled-run"), "{err}");
+    }
+
     #[test]
     fn kind_metadata() {
-        assert_eq!(BenchKind::ALL.len(), 4);
+        assert_eq!(BenchKind::ALL.len(), 5);
         assert_eq!(BenchKind::Urr.suite(), "urr-perf");
+        assert_eq!(BenchKind::Trace.suite(), "trace-overhead");
         assert_eq!(BenchKind::ALL[0].1, "BENCH_clustering.json");
+        assert_eq!(BenchKind::ALL[4].1, "BENCH_trace.json");
     }
 }

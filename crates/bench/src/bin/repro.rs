@@ -17,10 +17,15 @@
 //!                      (--smoke shrinks the fleet for CI)
 //!   urr-perf           URR ingest/query benchmark → BENCH_urr.json
 //!                      (--smoke shrinks the report volume for CI)
+//!   trace              journal overhead benchmark → BENCH_trace.json, plus a
+//!                      Perfetto-loadable Chrome trace → mirage-trace.json
+//!                      (--smoke shrinks the fleet for CI)
+//!   health             per-wave health rollup under 30% message loss →
+//!                      mirage-health.json (--smoke shrinks the fleet for CI)
 //!   bench-check        validate the committed BENCH_*.json documents
 //!                      (reads from --csv dir, default "."; exits 1 on failure)
 //!   all                everything (default; excludes *-perf, fault-sweep,
-//!                      and bench-check)
+//!                      trace, health, and bench-check)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
@@ -71,6 +76,33 @@ fn main() {
             "all".to_string()
         }
     });
+    const KNOWN: [&str; 20] = [
+        "all",
+        "fig1",
+        "fig2",
+        "fig3",
+        "table1",
+        "fig6",
+        "fig7",
+        "merge",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "overhead",
+        "telemetry",
+        "clustering-perf",
+        "sim-perf",
+        "fault-sweep",
+        "urr-perf",
+        "trace",
+        "health",
+    ];
+    if !KNOWN.contains(&arg.as_str()) && arg != "bench-check" {
+        eprintln!("error: unknown experiment '{arg}'");
+        eprintln!("known: {}, bench-check", KNOWN.join(", "));
+        std::process::exit(2);
+    }
     let all = arg == "all";
     if all || arg == "fig1" {
         fig1(csv_dir.as_deref());
@@ -125,6 +157,12 @@ fn main() {
     }
     if arg == "urr-perf" {
         urr_perf(csv_dir.as_deref(), smoke);
+    }
+    if arg == "trace" {
+        trace(csv_dir.as_deref(), smoke);
+    }
+    if arg == "health" {
+        health(csv_dir.as_deref(), smoke);
     }
     if arg == "bench-check" {
         bench_check(csv_dir.as_deref());
@@ -532,6 +570,310 @@ fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
         speedup >= floor,
         "sharded ingest speedup {speedup:.2}x fell below the {floor}x regression floor; see {}",
         path.display()
+    );
+}
+
+/// Measures the sim-time journal's overhead on the paper's 100k-machine
+/// Figure-10 scenario and writes `BENCH_trace.json` plus a
+/// Perfetto-loadable Chrome `trace_event` document (`mirage-trace.json`)
+/// — into the `--csv` directory when given, the working directory
+/// otherwise.
+///
+/// Two harness rows: `trace/plain-run` (the uninstrumented Balanced
+/// run) and `trace/journaled-run` (the same run with a journal-enabled
+/// registry attached to both driver and protocol, full timeline spilled
+/// so nothing is dropped). The headline `overhead_pct` is the paired
+/// min-over-min difference; the non-smoke run asserts it stays under
+/// 15%. The exported trace renders deployment waves as async slices
+/// and a bounded sample of machines as named tracks.
+///
+/// `--smoke` shrinks the fleet to 8×125 so CI can exercise the whole
+/// path in debug builds. The per-benchmark budget follows
+/// `MIRAGE_BENCH_MS` (default 150 ms).
+fn trace(csv: Option<&std::path::Path>, smoke: bool) {
+    use std::sync::Arc;
+
+    use mirage_bench::harness::Harness;
+    use mirage_deploy::{Balanced, MachineId, ProblemId};
+    use mirage_sim::{run, run_with_telemetry, ScenarioBuilder};
+    use mirage_telemetry::json::Value;
+    use mirage_telemetry::trace_export::chrome_trace;
+    use mirage_telemetry::{Journal, Registry, Telemetry, TraceConfig};
+
+    heading(if smoke {
+        "Trace: journal overhead + Perfetto export (smoke fleet)"
+    } else {
+        "Trace: journal overhead + Perfetto export (100k machines)"
+    });
+
+    let scenario = if smoke {
+        ScenarioBuilder::new()
+            .clusters(8, 125, 1)
+            .problem_in_clusters(deployment::PREVALENT, &[2, 3, 4])
+            .problem_in_clusters(deployment::RARE_A, &[5])
+            .problem_in_clusters(deployment::RARE_B, &[6])
+            .build()
+    } else {
+        deployment::sound_scenario(deployment::ProblemPlacement::Late)
+    };
+    let machines = scenario.machine_count();
+
+    // Paired overhead benchmark: the journaled closure attaches a bare
+    // `Journal` as the recorder (no registry, no counters, no flight
+    // ring), so the delta is the journal's own cost — the clock stores,
+    // every record call, and the spill. The journal is reused across
+    // samples (reset keeps its allocations warm) so one-time page
+    // faults don't masquerade as per-run overhead.
+    let mut h = Harness::new("trace-overhead");
+    let bench_journal = Arc::new(Journal::with_spill(1 << 16));
+    // Interleaved sampling: sequential rows would charge clock drift
+    // (turbo decay, neighbours) entirely to the journaled run and
+    // inflate the overhead ratio by tens of percent.
+    h.bench_paired(
+        "trace/plain-run",
+        "trace/journaled-run",
+        || run(&scenario, &mut Balanced::new(scenario.plan.clone(), 1.0)).failed_tests,
+        || {
+            bench_journal.reset();
+            let telemetry = Telemetry::from_recorder(Arc::clone(&bench_journal) as _);
+            let mut protocol =
+                Balanced::new(scenario.plan.clone(), 1.0).with_telemetry(telemetry.clone());
+            run_with_telemetry(&scenario, &mut protocol, telemetry).failed_tests
+        },
+    );
+    let find = |name: &str| {
+        h.results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benchmark ran")
+    };
+    let plain = find("trace/plain-run");
+    let journaled = find("trace/journaled-run");
+    let overhead_pct =
+        (journaled.min_ns as f64 - plain.min_ns as f64) / plain.min_ns.max(1) as f64 * 100.0;
+    println!("=> journaling overhead: {overhead_pct:.1}% (paired min-over-min)");
+
+    // One retained journaled run feeds the Perfetto export.
+    let registry = Arc::new(Registry::with_journal(1024, Journal::with_spill(1 << 16)));
+    let telemetry = Telemetry::from_registry(Arc::clone(&registry));
+    let mut protocol = Balanced::new(scenario.plan.clone(), 1.0).with_telemetry(telemetry.clone());
+    let metrics = run_with_telemetry(&scenario, &mut protocol, telemetry);
+    let journal = registry.journal();
+    let entries = journal.entries();
+    let run_end = metrics.completion_time.unwrap_or_else(|| journal.now());
+    let doc = chrome_trace(
+        &entries,
+        run_end,
+        &|m| scenario.plan.machine_name(MachineId(m)).to_string(),
+        &|p| scenario.problems.name(ProblemId(p)).to_string(),
+        &TraceConfig::default(),
+    );
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    let dir = csv
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let trace_path = dir.join("mirage-trace.json");
+    std::fs::write(&trace_path, doc.to_compact()).expect("write mirage-trace.json");
+    println!(
+        "  wrote {} ({trace_events} trace events over {} journal entries)",
+        trace_path.display(),
+        journal.total()
+    );
+
+    // BENCH_trace.json: harness rows, the overhead headline, journal
+    // accounting, and the head of the trace for schema validation.
+    let results = Value::arr(h.results().iter().map(|r| {
+        Value::obj([
+            ("name", Value::str(r.name.clone())),
+            ("samples", Value::from(r.samples)),
+            ("min_ns", Value::from(r.min_ns)),
+            ("p50_ns", Value::from(r.p50_ns)),
+            ("mean_ns", Value::from(r.mean_ns.round())),
+            ("max_ns", Value::from(r.max_ns)),
+        ])
+    }));
+    let sample = Value::arr(
+        doc.get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .take(24)
+            .cloned(),
+    );
+    let bench = Value::obj([
+        ("suite", Value::str("trace-overhead")),
+        (
+            "note",
+            Value::str(format!(
+                "{machines} machines under Balanced; journaled = driver + protocol attach a \
+                 bare spilling Journal recorder (full timeline retained, nothing dropped); \
+                 samples interleaved plain/journaled so clock drift cancels; overhead_pct = \
+                 paired min-over-min; trace_sample = first 24 Chrome trace_event records of \
+                 the exported Perfetto document"
+            )),
+        ),
+        ("smoke", Value::from(smoke)),
+        ("machines", Value::from(machines)),
+        ("results", results),
+        (
+            "overhead_pct",
+            Value::from((overhead_pct * 100.0).round() / 100.0),
+        ),
+        ("journal_total", Value::from(journal.total())),
+        ("journal_dropped", Value::from(journal.dropped())),
+        ("trace_events", Value::from(trace_events)),
+        ("trace_sample", sample),
+    ]);
+    let path = dir.join("BENCH_trace.json");
+    let mut text = bench.to_pretty();
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    std::fs::write(&path, text).expect("write BENCH_trace.json");
+    println!("(wrote {})", path.display());
+
+    // In-binary regression gate: the acceptance bound, full fleet only
+    // (debug smoke builds are noise-dominated).
+    if !smoke {
+        assert!(
+            overhead_pct < 15.0,
+            "journaling overhead {overhead_pct:.1}% exceeds the 15% budget; see {}",
+            path.display()
+        );
+    }
+}
+
+/// Runs the paper's staged deployment under 30% message loss with a
+/// journal attached, folds the journal into per-wave health frames, and
+/// writes `mirage-health.json` — into the `--csv` directory when given,
+/// the working directory otherwise.
+///
+/// The printed table is the watchdog's verdict per wave: convergence
+/// lag percentiles, failure rate, retry amplification, and the
+/// `healthy`/`degraded`/`unhealthy` classification. Under this much
+/// loss the retry machinery works overtime, so the run asserts that at
+/// least one wave is flagged degraded or worse — the watchdog must
+/// *notice* a degraded channel.
+///
+/// `--smoke` shrinks the fleet to 8×125 so CI can exercise the whole
+/// path in debug builds.
+fn health(csv: Option<&std::path::Path>, smoke: bool) {
+    use std::sync::Arc;
+
+    use mirage_deploy::Balanced;
+    use mirage_sim::{run_with_telemetry, FaultSpec, ScenarioBuilder};
+    use mirage_telemetry::health::{health_report_json, rollup};
+    use mirage_telemetry::{HealthStatus, Journal, Registry, Telemetry, WatchdogConfig};
+
+    heading(if smoke {
+        "Health: per-wave rollup under 30% message loss (smoke fleet)"
+    } else {
+        "Health: per-wave rollup under 30% message loss (100k machines)"
+    });
+
+    let (clusters, size) = if smoke { (8, 125) } else { (20, 5_000) };
+    let spec = FaultSpec::new(0x4EA1)
+        .loss(0.30)
+        .duplication(0.15)
+        .delay(10)
+        .retry(20, 4)
+        .rep_timeout(4_000);
+    let scenario = ScenarioBuilder::new()
+        .clusters(clusters, size, 1)
+        .problem_in_clusters(
+            deployment::PREVALENT,
+            &[clusters - 6, clusters - 5, clusters - 4],
+        )
+        .problem_in_clusters(deployment::RARE_A, &[clusters - 3])
+        .problem_in_clusters(deployment::RARE_B, &[clusters - 2])
+        .faults(spec)
+        .build();
+
+    let registry = Arc::new(Registry::with_journal(1024, Journal::with_spill(1 << 16)));
+    let telemetry = Telemetry::from_registry(Arc::clone(&registry));
+    let mut protocol = Balanced::new(scenario.plan.clone(), 1.0).with_telemetry(telemetry.clone());
+    let metrics = run_with_telemetry(&scenario, &mut protocol, telemetry);
+    println!(
+        "  run: passed {}/{}, completion {:?}, retries {}, dropped {}",
+        metrics.passed_count(),
+        scenario.machine_count(),
+        metrics.completion_time,
+        metrics.retries_sent,
+        metrics.msgs_dropped
+    );
+
+    let journal = registry.journal();
+    let entries = journal.entries();
+    let mut machine_cluster = vec![0u32; scenario.machine_count()];
+    for cluster in &scenario.plan.clusters {
+        for m in &cluster.members {
+            machine_cluster[m.index()] = cluster.id as u32;
+        }
+    }
+    let run_end = metrics.completion_time.unwrap_or_else(|| journal.now());
+    let frames = rollup(
+        &entries,
+        &machine_cluster,
+        run_end,
+        &WatchdogConfig::default(),
+    );
+
+    println!(
+        "\n  {:<5} {:<8} {:>8} {:>8} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>10}",
+        "wave",
+        "cluster",
+        "start",
+        "end",
+        "notified",
+        "fail%",
+        "retryx",
+        "waived",
+        "lag p50",
+        "lag p99",
+        "status"
+    );
+    for f in &frames {
+        println!(
+            "  {:<5} {:<8} {:>8} {:>8} {:>9} {:>7.2} {:>7.2} {:>7} {:>8} {:>8} {:>10}",
+            f.wave,
+            f.cluster.map_or("-".to_string(), |c| c.to_string()),
+            f.start,
+            f.end,
+            f.notified,
+            f.failure_rate * 100.0,
+            f.retry_amplification,
+            f.waivers,
+            f.lag_p50,
+            f.lag_p99,
+            f.status.name()
+        );
+    }
+    let flagged = frames
+        .iter()
+        .filter(|f| f.status >= HealthStatus::Degraded)
+        .count();
+    println!(
+        "=> watchdog flagged {flagged} of {} waves degraded or worse under 30% loss",
+        frames.len()
+    );
+
+    let dir = csv
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join("mirage-health.json");
+    let mut text = health_report_json(&frames).to_pretty();
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    std::fs::write(&path, text).expect("write mirage-health.json");
+    println!("(wrote {})", path.display());
+
+    assert!(
+        flagged >= 1,
+        "the watchdog flagged no waves under 30% message loss"
     );
 }
 

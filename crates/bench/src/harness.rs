@@ -100,6 +100,44 @@ impl Harness {
         self.run(name, Some(bytes), f)
     }
 
+    /// Times two closures with strictly interleaved samples (A, B, A,
+    /// B, …) and records one result row for each.
+    ///
+    /// Sequential benchmarks silently charge slow drift — turbo-clock
+    /// decay, thermal throttling, background load — to whichever
+    /// closure runs later, which can dwarf the real difference in a
+    /// paired comparison (an overhead measurement, an A/B of two
+    /// implementations). Interleaving lands the drift on both sides
+    /// equally, so `min(A)` and `min(B)` come from the same
+    /// environment. The pair shares a doubled time budget.
+    pub fn bench_paired<RA, RB>(
+        &mut self,
+        name_a: &str,
+        name_b: &str,
+        mut fa: impl FnMut() -> RA,
+        mut fb: impl FnMut() -> RB,
+    ) {
+        // One untimed warmup each to populate caches and lazy state.
+        black_box(fa());
+        black_box(fb());
+        let started = Instant::now();
+        let mut samples_a: Vec<u64> = Vec::new();
+        let mut samples_b: Vec<u64> = Vec::new();
+        loop {
+            let t0 = Instant::now();
+            black_box(fa());
+            samples_a.push(t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            black_box(fb());
+            samples_b.push(t0.elapsed().as_nanos() as u64);
+            if started.elapsed() >= self.target * 2 || samples_a.len() >= self.max_samples {
+                break;
+            }
+        }
+        self.record(name_a, None, samples_a);
+        self.record(name_b, None, samples_b);
+    }
+
     fn run<R>(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut() -> R) -> &BenchStats {
         // One untimed warmup to populate caches and lazy state.
         black_box(f());
@@ -115,6 +153,11 @@ impl Harness {
                 break;
             }
         }
+        self.record(name, bytes, samples_ns);
+        self.results.last().expect("just pushed")
+    }
+
+    fn record(&mut self, name: &str, bytes: Option<u64>, mut samples_ns: Vec<u64>) {
         samples_ns.sort_unstable();
         let stats = BenchStats {
             name: name.to_string(),
@@ -138,7 +181,6 @@ impl Harness {
             fmt_ns(stats.mean_ns),
         );
         self.results.push(stats);
-        self.results.last().expect("just pushed")
     }
 
     /// All results recorded so far.

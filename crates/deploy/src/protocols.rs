@@ -8,7 +8,7 @@
 //! walks, no allocation. The previous string-keyed implementations are
 //! retained in [`crate::reference`] for equivalence testing.
 
-use mirage_telemetry::{FlightEvent, Telemetry};
+use mirage_telemetry::{FlightEvent, JournalEvent, Telemetry};
 
 use crate::ids::{MachineId, MachineSet, ProblemId, ProblemSet};
 use crate::plan::DeployPlan;
@@ -234,10 +234,18 @@ impl Protocol for NoStaging {
         // Stalled past the budget: waive every machine still testing —
         // its report (and the driver's retries) would have landed by
         // now if it were coming.
+        let mut newly_waived = Vec::new();
         for (idx, st) in self.status.iter().enumerate() {
             if *st == MachineStatus::Testing && self.waived.insert(MachineId(idx as u32)) {
                 self.timeouts += 1;
+                newly_waived.push(idx as u32);
             }
+        }
+        for machine in newly_waived {
+            self.telemetry.journal(JournalEvent::Waiver {
+                machine,
+                release: self.release.0,
+            });
         }
         self.last_change = now;
         self.completion()
@@ -440,6 +448,10 @@ impl StagedEngine {
                                 wave: 0,
                                 cluster: cid,
                             });
+                            self.telemetry.journal(JournalEvent::WaveAdvance {
+                                wave: 0,
+                                cluster: cid as u32,
+                            });
                             let non_reps = self.plan.clusters[cid].non_reps();
                             self.notify(non_reps, out);
                         }
@@ -474,6 +486,10 @@ impl StagedEngine {
                                     self.telemetry.event(FlightEvent::WaveAdvanced {
                                         wave: i + 1,
                                         cluster: next,
+                                    });
+                                    self.telemetry.journal(JournalEvent::WaveAdvance {
+                                        wave: (i + 1) as u32,
+                                        cluster: next as u32,
                                     });
                                     if self.global_rep_phase {
                                         // Representatives already passed in
@@ -623,6 +639,10 @@ impl StagedEngine {
             let idx = m.index();
             if self.status[idx] == MachineStatus::Testing && self.waived.insert(m) {
                 self.timeouts += 1;
+                self.telemetry.journal(JournalEvent::Waiver {
+                    machine: m.index() as u32,
+                    release: self.release.0,
+                });
                 let cid = self.cluster_of[idx];
                 if cid != NO_CLUSTER {
                     self.cluster_waived[cid as usize] += 1;

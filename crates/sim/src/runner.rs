@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use mirage_deploy::MachineId;
 use mirage_deploy::{Command, ProblemId, ProblemSet, Protocol, Release, TestOutcome, TestReport};
+use mirage_telemetry::journal::{FaultKind, JournalEvent, NO_PROBLEM};
 use mirage_telemetry::{FlightEvent, Telemetry};
 
 use std::sync::Arc;
@@ -28,6 +29,11 @@ use crate::urr_sink::UrrSink;
 /// machine even when [`crate::FaultPlan::max_retries`] is unset. At any
 /// realistic loss rate the chance of hitting this cap is negligible.
 const RETRY_SAFETY_CAP: u32 = 10_000;
+
+/// Journal emissions buffered in the driver before one batched flush.
+/// Bounds the buffer at ~128 KiB while amortising the recorder's lock
+/// to a few dozen acquisitions per run.
+const JOURNAL_FLUSH_LEN: usize = 4_096;
 
 /// A running simulation binding a scenario to a protocol.
 #[derive(Debug)]
@@ -47,6 +53,14 @@ pub struct Simulation<'a> {
     queue_high_water: usize,
     metrics: SimMetrics,
     telemetry: Telemetry,
+    /// Cached `telemetry.journals()` so the per-event journal check is
+    /// one local load (set once at the top of [`Simulation::run`]).
+    journaling: bool,
+    /// Local `(sim time, event)` buffer: every journal emission lands
+    /// here first and is flushed thousands at a time through
+    /// [`Telemetry::journal_timed`], so journaling costs a `Vec::push`
+    /// per event instead of a recorder critical-section.
+    journal_buf: Vec<(SimTime, JournalEvent)>,
     /// Whether the scenario carries a non-trivial fault plan. When
     /// `false` every fault-path structure below stays empty and the
     /// driver takes the original synchronous-delivery code paths —
@@ -97,6 +111,8 @@ impl<'a> Simulation<'a> {
                 ..SimMetrics::default()
             },
             telemetry: Telemetry::noop(),
+            journaling: false,
+            journal_buf: Vec::new(),
             faults_active,
             rng: FaultRng::new(scenario.faults.seed),
             awaiting,
@@ -117,6 +133,28 @@ impl<'a> Simulation<'a> {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Journals one event stamped with the current sim time, buffered
+    /// locally. Flushed in [`JOURNAL_FLUSH_LEN`] chunks and at run end,
+    /// so the journal receives events slightly after (but timed exactly
+    /// as) they happened — exporters re-sort by `(time, seq)`.
+    #[inline]
+    fn jot(&mut self, event: JournalEvent) {
+        if self.journaling {
+            self.journal_buf.push((self.now, event));
+            if self.journal_buf.len() >= JOURNAL_FLUSH_LEN {
+                self.flush_journal();
+            }
+        }
+    }
+
+    /// Flushes the buffered journal events in one timed batch.
+    fn flush_journal(&mut self) {
+        if !self.journal_buf.is_empty() {
+            self.telemetry.journal_timed(&self.journal_buf);
+            self.journal_buf.clear();
+        }
     }
 
     /// Publishes the queue depth gauge only when the depth sets a new
@@ -156,8 +194,13 @@ impl<'a> Simulation<'a> {
                     }
                     for m in machines {
                         self.metrics.total_tests += 1;
-                        self.telemetry.event_with(|| FlightEvent::MachineNotified {
-                            machine: self.scenario.plan.machine_name(m).to_string(),
+                        self.telemetry
+                            .event_with(|| FlightEvent::MachineNotifiedId {
+                                machine: m.index() as u32,
+                                release: release.0,
+                            });
+                        self.jot(JournalEvent::Notify {
+                            machine: m.index() as u32,
                             release: release.0,
                         });
                         // A machine offline at notification time acts on
@@ -206,8 +249,13 @@ impl<'a> Simulation<'a> {
     /// Notifies one machine through the unreliable channel and arms the
     /// vendor's re-notification timer.
     fn fault_notify(&mut self, machine: MachineId, release: u32) {
-        self.telemetry.event_with(|| FlightEvent::MachineNotified {
-            machine: self.scenario.plan.machine_name(machine).to_string(),
+        self.telemetry
+            .event_with(|| FlightEvent::MachineNotifiedId {
+                machine: machine.index() as u32,
+                release,
+            });
+        self.jot(JournalEvent::Notify {
+            machine: machine.index() as u32,
             release,
         });
         self.awaiting[machine.index()] = Some((release, 0));
@@ -234,11 +282,19 @@ impl<'a> Simulation<'a> {
         if self.rng.chance(loss) {
             self.metrics.msgs_dropped += 1;
             self.telemetry.counter("sim.msgs_dropped", 1);
+            self.jot(JournalEvent::Fault {
+                fault: FaultKind::Loss,
+                machine: machine.index() as u32,
+            });
         } else {
             deliveries += 1;
             if self.rng.chance(dup) {
                 self.metrics.msgs_duplicated += 1;
                 self.telemetry.counter("sim.msgs_duplicated", 1);
+                self.jot(JournalEvent::Fault {
+                    fault: FaultKind::Duplication,
+                    machine: machine.index() as u32,
+                });
                 deliveries += 1;
             }
         }
@@ -266,11 +322,19 @@ impl<'a> Simulation<'a> {
         if self.rng.chance(loss) {
             self.metrics.msgs_dropped += 1;
             self.telemetry.counter("sim.msgs_dropped", 1);
+            self.jot(JournalEvent::Fault {
+                fault: FaultKind::Loss,
+                machine: machine.index() as u32,
+            });
         } else {
             deliveries += 1;
             if self.rng.chance(dup) {
                 self.metrics.msgs_duplicated += 1;
                 self.telemetry.counter("sim.msgs_duplicated", 1);
+                self.jot(JournalEvent::Fault {
+                    fault: FaultKind::Duplication,
+                    machine: machine.index() as u32,
+                });
                 deliveries += 1;
             }
         }
@@ -303,9 +367,14 @@ impl<'a> Simulation<'a> {
                 self.metrics.machine_pass_time[machine.index()] = Some(self.now);
             }
             self.telemetry.counter("sim.tests_passed", 1);
-            self.telemetry.event_with(|| FlightEvent::TestPassed {
-                machine: self.scenario.plan.machine_name(machine).to_string(),
+            self.telemetry.event_with(|| FlightEvent::TestPassedId {
+                machine: machine.index() as u32,
                 release,
+            });
+            self.jot(JournalEvent::Test {
+                machine: machine.index() as u32,
+                release,
+                problem: NO_PROBLEM,
             });
             TestOutcome::Pass
         } else {
@@ -315,10 +384,15 @@ impl<'a> Simulation<'a> {
                 .scenario
                 .problem_of(machine)
                 .expect("failed machine must carry a problem");
-            self.telemetry.event_with(|| FlightEvent::TestFailed {
-                machine: self.scenario.plan.machine_name(machine).to_string(),
+            self.telemetry.event_with(|| FlightEvent::TestFailedId {
+                machine: machine.index() as u32,
                 release,
-                problem: self.scenario.problems.name(problem).to_string(),
+                problem: problem.index() as u16,
+            });
+            self.jot(JournalEvent::Test {
+                machine: machine.index() as u32,
+                release,
+                problem: problem.index() as u16,
             });
             TestOutcome::Fail { problem }
         };
@@ -340,6 +414,11 @@ impl<'a> Simulation<'a> {
                 self.awaiting[machine.index()] = None;
             }
         }
+        self.jot(JournalEvent::Report {
+            machine: machine.index() as u32,
+            release,
+            passed: matches!(outcome, TestOutcome::Pass),
+        });
         // The vendor received this report: deposit it (duplicated
         // deliveries deposit again — the repository deduplicates by
         // signature when grouping).
@@ -349,8 +428,8 @@ impl<'a> Simulation<'a> {
                 self.metrics.problems_discovered.push(problem);
                 self.telemetry.counter("sim.problems_discovered", 1);
                 self.telemetry
-                    .event_with(|| FlightEvent::ProblemDiscovered {
-                        problem: self.scenario.problems.name(problem).to_string(),
+                    .event_with(|| FlightEvent::ProblemDiscoveredId {
+                        problem: problem.index() as u16,
                     });
                 self.fix_queue.push_back(problem);
                 self.start_next_fix();
@@ -401,6 +480,11 @@ impl<'a> Simulation<'a> {
         }
         self.metrics.retries_sent += 1;
         self.telemetry.counter("deploy.retries_sent", 1);
+        self.jot(JournalEvent::Retry {
+            machine: machine.index() as u32,
+            release,
+            attempt,
+        });
         self.send_notification(machine, release);
         let next = attempt + 1;
         self.awaiting[machine.index()] = Some((release, next));
@@ -419,11 +503,19 @@ impl<'a> Simulation<'a> {
     /// is read back from the repository.
     #[inline]
     fn sink_report(&mut self, machine: MachineId, release: u32, outcome: TestOutcome) {
+        if self.urr_sink.is_none() {
+            return;
+        }
+        let problem = match outcome {
+            TestOutcome::Pass => None,
+            TestOutcome::Fail { problem } => Some(problem),
+        };
+        self.jot(JournalEvent::UrrDeposit {
+            machine: machine.index() as u32,
+            release,
+            problem: problem.map_or(NO_PROBLEM, |p| p.index() as u16),
+        });
         if let Some(sink) = &mut self.urr_sink {
-            let problem = match outcome {
-                TestOutcome::Pass => None,
-                TestOutcome::Fail { problem } => Some(problem),
-            };
             sink.record(machine, release, problem);
         }
     }
@@ -454,8 +546,8 @@ impl<'a> Simulation<'a> {
                 self.metrics.machine_pass_time[machine.index()] = Some(self.now);
             }
             self.telemetry.counter("sim.tests_passed", 1);
-            self.telemetry.event_with(|| FlightEvent::TestPassed {
-                machine: self.scenario.plan.machine_name(machine).to_string(),
+            self.telemetry.event_with(|| FlightEvent::TestPassedId {
+                machine: machine.index() as u32,
                 release,
             });
             TestOutcome::Pass
@@ -466,25 +558,38 @@ impl<'a> Simulation<'a> {
                 .scenario
                 .problem_of(machine)
                 .expect("failed machine must carry a problem");
-            self.telemetry.event_with(|| FlightEvent::TestFailed {
-                machine: self.scenario.plan.machine_name(machine).to_string(),
+            self.telemetry.event_with(|| FlightEvent::TestFailedId {
+                machine: machine.index() as u32,
                 release,
-                problem: self.scenario.problems.name(problem).to_string(),
+                problem: problem.index() as u16,
             });
             if self.known_problems.insert(problem) {
                 self.metrics.problems_discovered.push(problem);
                 self.telemetry.counter("sim.problems_discovered", 1);
                 self.telemetry
-                    .event_with(|| FlightEvent::ProblemDiscovered {
-                        problem: self.scenario.problems.name(problem).to_string(),
+                    .event_with(|| FlightEvent::ProblemDiscoveredId {
+                        problem: problem.index() as u16,
                     });
                 self.fix_queue.push_back(problem);
                 self.start_next_fix();
             }
             TestOutcome::Fail { problem }
         };
-        // On the reliable channel the report reaches the vendor
-        // synchronously: deposit it now.
+        // On the reliable channel the test and its report land at the
+        // vendor synchronously: journal both here.
+        self.jot(JournalEvent::Test {
+            machine: machine.index() as u32,
+            release,
+            problem: match outcome {
+                TestOutcome::Pass => NO_PROBLEM,
+                TestOutcome::Fail { problem } => problem.index() as u16,
+            },
+        });
+        self.jot(JournalEvent::Report {
+            machine: machine.index() as u32,
+            release,
+            passed: matches!(outcome, TestOutcome::Pass),
+        });
         self.sink_report(machine, release, outcome);
         let report = TestReport {
             machine,
@@ -527,6 +632,7 @@ impl<'a> Simulation<'a> {
     /// Runs the simulation to completion, consuming it.
     pub fn run(mut self, protocol: &mut dyn Protocol) -> SimMetrics {
         let _span = self.telemetry.span("sim.run");
+        self.journaling = self.telemetry.journals();
         let commands = protocol.start();
         self.exec(commands);
         if self.faults_active && self.scenario.faults.rep_timeout.is_some() {
@@ -537,7 +643,12 @@ impl<'a> Simulation<'a> {
         }
         self.note_queue_depth();
         while let Some((time, event)) = self.queue.pop() {
-            self.now = time;
+            if time != self.now {
+                // Many queue events share one sim timestamp; publish the
+                // journal clock only when it actually moves.
+                self.now = time;
+                self.telemetry.journal_time(time);
+            }
             self.telemetry.counter("sim.events_processed", 1);
             match event {
                 Event::TestDone { machine, release } => {
@@ -574,6 +685,7 @@ impl<'a> Simulation<'a> {
         if let Some(sink) = &mut self.urr_sink {
             sink.flush();
         }
+        self.flush_journal();
         // Publish the final (empty) depth so the gauge's last value
         // matches the per-event publication behaviour.
         self.telemetry

@@ -7,11 +7,13 @@
 //! run exercises the same cases deterministically and offline.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use mirage_deploy::reference::{AnyNamedProtocol, NamedProtocol};
 use mirage_deploy::{AnyProtocol, Balanced, NoStaging, Protocol, ProtocolChoice};
 use mirage_sim::runner::reference::{run_reference, NamedScenario};
-use mirage_sim::{run, FaultSpec, Scenario, ScenarioBuilder};
+use mirage_sim::{run, run_with_telemetry, FaultSpec, Scenario, ScenarioBuilder};
+use mirage_telemetry::{Journal, Registry, Telemetry};
 
 /// Deterministic xorshift64 generator for scenario specs.
 struct Rng(u64);
@@ -321,6 +323,72 @@ fn fault_plan_none_is_bit_identical() {
                 ),
                 (0, 0, 0, 0),
                 "case {case}: {name} zero-fault run touched the fault counters ({spec:?})"
+            );
+        }
+    }
+}
+
+/// **Journal neutrality** (observatory acceptance): attaching a
+/// journal-enabled [`Registry`] to both the driver and the protocol
+/// produces *bit-identical* [`mirage_sim::SimMetrics`] to a plain,
+/// uninstrumented run, across 48 random scenarios (extension knobs
+/// included, heavy faults on half the cases) and all four protocols.
+/// The journal is strictly observational: it records the timeline but
+/// never feeds back into simulation state.
+#[test]
+fn journaled_run_is_bit_identical() {
+    let mut rng = Rng::new(0x0B);
+    for case in 0..48u64 {
+        let spec = random_scenario_ext(&mut rng);
+        let mut builder = ScenarioBuilder::new()
+            .clusters(spec.clusters, spec.size, 1)
+            .threshold(spec.threshold);
+        if !spec.problem_clusters.is_empty() {
+            builder = builder.problem_in_clusters("p-main", &spec.problem_clusters);
+        }
+        if let Some((cluster, count, until)) = spec.offline {
+            builder = builder.offline_machines(cluster, count, until);
+        }
+        if let Some((cluster, count)) = spec.missed {
+            builder = builder.missed_detections(cluster, count);
+        }
+        // Half the cases run under heavy faults so the fault/retry/
+        // waiver journal arms are exercised, not just the happy path.
+        if case % 2 == 1 {
+            builder = builder.faults(
+                FaultSpec::new(0x0B5E ^ case)
+                    .loss(0.30)
+                    .duplication(0.15)
+                    .delay(6)
+                    .retry(20, 4)
+                    .rep_timeout(600),
+            );
+        }
+        let scenario = builder.build();
+        for choice in choices(case) {
+            let name = choice.name();
+            let mut plain_p = choice.build(scenario.plan.clone(), scenario.threshold);
+            let plain = run(&scenario, &mut plain_p);
+
+            let registry = Arc::new(Registry::with_journal(4096, Journal::with_spill(4096)));
+            let telemetry = Telemetry::from_registry(Arc::clone(&registry));
+            let mut journaled_p = choice
+                .build(scenario.plan.clone(), scenario.threshold)
+                .with_telemetry(telemetry.clone());
+            let journaled = run_with_telemetry(&scenario, &mut journaled_p, telemetry);
+
+            assert_eq!(
+                plain, journaled,
+                "case {case}: {name} metrics diverged under journaling ({spec:?})"
+            );
+            assert!(
+                registry.journal().total() > 0,
+                "case {case}: {name} journaled run recorded nothing ({spec:?})"
+            );
+            assert_eq!(
+                registry.journal().dropped(),
+                0,
+                "case {case}: {name} spill journal dropped events ({spec:?})"
             );
         }
     }

@@ -12,6 +12,14 @@ use std::sync::Mutex;
 use crate::json::Value;
 
 /// One structured event in a campaign or simulation run.
+///
+/// The `*Id` variants carry **dense indexes** instead of names and are
+/// what hot paths (the simulation driver) emit: building one never
+/// allocates. Names are rendered lazily at export time via
+/// [`FlightEvent::to_json_named`]. The string variants remain for
+/// campaign-layer callers that already own owned names. An id variant
+/// reports the same [`FlightEvent::kind`] as its string twin, so
+/// taxonomy counts are stable across the two encodings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlightEvent {
     /// A machine was told to download and test a release.
@@ -21,10 +29,24 @@ pub enum FlightEvent {
         /// Release number it was notified about.
         release: u32,
     },
+    /// Dense-id twin of [`FlightEvent::MachineNotified`].
+    MachineNotifiedId {
+        /// Dense machine index.
+        machine: u32,
+        /// Release number it was notified about.
+        release: u32,
+    },
     /// A machine's sandbox validation passed and it integrated.
     TestPassed {
         /// Machine id.
         machine: String,
+        /// Release that passed.
+        release: u32,
+    },
+    /// Dense-id twin of [`FlightEvent::TestPassed`].
+    TestPassedId {
+        /// Dense machine index.
+        machine: u32,
         /// Release that passed.
         release: u32,
     },
@@ -36,6 +58,15 @@ pub enum FlightEvent {
         release: u32,
         /// The failure signature / problem id.
         problem: String,
+    },
+    /// Dense-id twin of [`FlightEvent::TestFailed`].
+    TestFailedId {
+        /// Dense machine index.
+        machine: u32,
+        /// Release that failed.
+        release: u32,
+        /// Dense problem index.
+        problem: u16,
     },
     /// A staged protocol advanced its deployment wave to a new cluster.
     WaveAdvanced {
@@ -54,28 +85,62 @@ pub enum FlightEvent {
         /// The problem id / failure signature.
         problem: String,
     },
+    /// Dense-id twin of [`FlightEvent::ProblemDiscovered`].
+    ProblemDiscoveredId {
+        /// Dense problem index.
+        problem: u16,
+    },
 }
 
 impl FlightEvent {
-    /// The event's taxonomy name (stable, snake_case).
+    /// The event's taxonomy name (stable, snake_case). Dense-id twins
+    /// share their string variant's name.
     pub fn kind(&self) -> &'static str {
         match self {
-            FlightEvent::MachineNotified { .. } => "machine_notified",
-            FlightEvent::TestPassed { .. } => "test_passed",
-            FlightEvent::TestFailed { .. } => "test_failed",
+            FlightEvent::MachineNotified { .. } | FlightEvent::MachineNotifiedId { .. } => {
+                "machine_notified"
+            }
+            FlightEvent::TestPassed { .. } | FlightEvent::TestPassedId { .. } => "test_passed",
+            FlightEvent::TestFailed { .. } | FlightEvent::TestFailedId { .. } => "test_failed",
             FlightEvent::WaveAdvanced { .. } => "wave_advanced",
             FlightEvent::ReleaseShipped { .. } => "release_shipped",
-            FlightEvent::ProblemDiscovered { .. } => "problem_discovered",
+            FlightEvent::ProblemDiscovered { .. } | FlightEvent::ProblemDiscoveredId { .. } => {
+                "problem_discovered"
+            }
         }
     }
 
     /// Serialises the event payload (without the sequence number).
+    /// Dense-id variants render their raw indexes; use
+    /// [`FlightEvent::to_json_named`] to render names instead.
     pub fn to_json(&self) -> Value {
+        self.to_json_named(&|m| Value::from(m), &|p| Value::from(u64::from(p)))
+    }
+
+    /// Serialises the event payload, rendering dense machine/problem
+    /// ids through the supplied resolvers (the PR 3 pattern: ids on
+    /// the hot path, names only at the export boundary).
+    pub fn to_json_named(
+        &self,
+        machine: &dyn Fn(u32) -> Value,
+        problem: &dyn Fn(u16) -> Value,
+    ) -> Value {
         let mut pairs = vec![("event".to_string(), Value::str(self.kind()))];
         match self {
             FlightEvent::MachineNotified { machine, release }
             | FlightEvent::TestPassed { machine, release } => {
                 pairs.push(("machine".into(), Value::str(machine.clone())));
+                pairs.push(("release".into(), Value::from(*release)));
+            }
+            FlightEvent::MachineNotifiedId {
+                machine: m,
+                release,
+            }
+            | FlightEvent::TestPassedId {
+                machine: m,
+                release,
+            } => {
+                pairs.push(("machine".into(), machine(*m)));
                 pairs.push(("release".into(), Value::from(*release)));
             }
             FlightEvent::TestFailed {
@@ -87,6 +152,15 @@ impl FlightEvent {
                 pairs.push(("release".into(), Value::from(*release)));
                 pairs.push(("problem".into(), Value::str(problem.clone())));
             }
+            FlightEvent::TestFailedId {
+                machine: m,
+                release,
+                problem: p,
+            } => {
+                pairs.push(("machine".into(), machine(*m)));
+                pairs.push(("release".into(), Value::from(*release)));
+                pairs.push(("problem".into(), problem(*p)));
+            }
             FlightEvent::WaveAdvanced { wave, cluster } => {
                 pairs.push(("wave".into(), Value::from(*wave)));
                 pairs.push(("cluster".into(), Value::from(*cluster)));
@@ -96,6 +170,9 @@ impl FlightEvent {
             }
             FlightEvent::ProblemDiscovered { problem } => {
                 pairs.push(("problem".into(), Value::str(problem.clone())));
+            }
+            FlightEvent::ProblemDiscoveredId { problem: p } => {
+                pairs.push(("problem".into(), problem(*p)));
             }
         }
         Value::Obj(pairs)
@@ -267,6 +344,83 @@ mod tests {
         r.record(notified(0));
         r.record(notified(1));
         assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_still_counts_everything_exactly() {
+        let r = FlightRecorder::new(0);
+        for i in 0..5 {
+            r.record(notified(i));
+        }
+        r.record(FlightEvent::ReleaseShipped { release: 1 });
+        // Only the newest event survives, but totals stay exact.
+        let events = r.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 5);
+        assert_eq!(events[0].event.kind(), "release_shipped");
+        assert_eq!(r.total(), 6);
+        assert_eq!(r.dropped(), 5);
+        assert_eq!(r.counts()["machine_notified"], 5);
+    }
+
+    #[test]
+    fn capacity_one_ring_wraps_every_record() {
+        let r = FlightRecorder::new(1);
+        r.record(notified(0));
+        assert_eq!(r.dropped(), 0);
+        r.record(notified(1));
+        r.record(notified(2));
+        let events = r.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    fn dense_id_variants_share_kinds_and_render_lazily() {
+        let by_id = FlightEvent::TestFailedId {
+            machine: 17,
+            release: 2,
+            problem: 3,
+        };
+        let by_name = FlightEvent::TestFailed {
+            machine: "c00-m00017".into(),
+            release: 2,
+            problem: "mysql/crash".into(),
+        };
+        assert_eq!(by_id.kind(), by_name.kind());
+        assert_eq!(
+            FlightEvent::MachineNotifiedId {
+                machine: 0,
+                release: 0
+            }
+            .kind(),
+            "machine_notified"
+        );
+        assert_eq!(
+            FlightEvent::TestPassedId {
+                machine: 0,
+                release: 0
+            }
+            .kind(),
+            "test_passed"
+        );
+        assert_eq!(
+            FlightEvent::ProblemDiscoveredId { problem: 3 }.kind(),
+            "problem_discovered"
+        );
+        // Raw export keeps the dense index...
+        let raw = by_id.to_json();
+        assert_eq!(raw.get("machine").unwrap().as_u64(), Some(17));
+        assert_eq!(raw.get("problem").unwrap().as_u64(), Some(3));
+        // ...named export renders through the resolvers.
+        let named = by_id.to_json_named(&|m| Value::str(format!("c00-m{m:05}")), &|p| {
+            Value::str(format!("problem-{p}"))
+        });
+        assert_eq!(named.get("machine").unwrap().as_str(), Some("c00-m00017"));
+        assert_eq!(named.get("problem").unwrap().as_str(), Some("problem-3"));
+        assert_eq!(named.get("event").unwrap().as_str(), Some("test_failed"));
     }
 
     #[test]

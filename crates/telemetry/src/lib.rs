@@ -9,7 +9,7 @@
 //! crate registry is unreachable, and it is safe to thread through every
 //! hot path.
 //!
-//! Three pillars:
+//! Four pillars:
 //!
 //! 1. **Metrics registry** ([`Registry`]): atomic counters, gauges with
 //!    high-water marks, and fixed-bucket histograms with p50/p90/p99
@@ -23,6 +23,11 @@
 //!    pass / test fail / wave advanced / release shipped / problem
 //!    discovered) exportable as JSON-lines and summarised in a
 //!    [`Snapshot`].
+//! 4. **Sim-time journal** ([`Journal`]): a bounded (optionally
+//!    spilling) timeline of dense-id [`JournalEvent`]s stamped with
+//!    the simulation clock, folded into per-wave health frames by
+//!    [`health::rollup`] and exported as a Perfetto-loadable Chrome
+//!    `trace_event` document by [`trace_export::chrome_trace`].
 //!
 //! Everything funnels through the cheap [`Recorder`] trait. The default
 //! [`Telemetry::noop`] handle short-circuits before doing any work, so
@@ -55,14 +60,20 @@
 #![deny(deprecated)]
 
 pub mod flight;
+pub mod health;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace_export;
 
 pub use flight::{FlightEvent, FlightRecorder, TimedEvent};
+pub use health::{ClusterHealth, HealthStatus, WatchdogConfig, WaveHealth};
+pub use journal::{FaultKind, Journal, JournalEntry, JournalEvent, JournalKind, NO_PROBLEM};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
-pub use recorder::{NoopRecorder, Recorder, Telemetry};
+pub use recorder::{Capabilities, NoopRecorder, Recorder, Telemetry};
 pub use registry::{Registry, Snapshot};
 pub use span::Span;
+pub use trace_export::TraceConfig;

@@ -4,7 +4,51 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::flight::FlightEvent;
+use crate::journal::JournalEvent;
 use crate::span::Span;
+
+/// Which surfaces a [`Recorder`] actually stores.
+///
+/// The [`Telemetry`] handle caches this at construction and gates each
+/// call on the matching flag, so a recorder that only stores one
+/// surface (e.g. a bare [`crate::Journal`]) costs a predicted branch —
+/// not a virtual call — on every surface it ignores. That is what keeps
+/// a journal-only run's overhead down to the journal itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    /// Counters, gauges, and histograms.
+    pub metrics: bool,
+    /// Hierarchical span timings.
+    pub spans: bool,
+    /// Flight-recorder events.
+    pub events: bool,
+    /// Sim-time journal entries and clock updates.
+    pub journal: bool,
+}
+
+impl Capabilities {
+    /// Every surface on — the conservative default for full recorders.
+    pub const ALL: Capabilities = Capabilities {
+        metrics: true,
+        spans: true,
+        events: true,
+        journal: true,
+    };
+
+    /// Every surface off (the no-op handle).
+    pub const NONE: Capabilities = Capabilities {
+        metrics: false,
+        spans: false,
+        events: false,
+        journal: false,
+    };
+
+    /// Only the sim-time journal.
+    pub const JOURNAL_ONLY: Capabilities = Capabilities {
+        journal: true,
+        ..Capabilities::NONE
+    };
+}
 
 /// The sink instrumentation writes to.
 ///
@@ -16,6 +60,14 @@ pub trait Recorder: Send + Sync {
     /// this to skip building event payloads entirely.
     fn enabled(&self) -> bool {
         false
+    }
+
+    /// Which surfaces this recorder stores. Defaults to all so existing
+    /// recorders keep receiving every call; recorders that ignore a
+    /// surface should turn its flag off and let [`Telemetry`] skip the
+    /// virtual call entirely.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::ALL
     }
 
     /// Adds `delta` to the named counter.
@@ -42,6 +94,40 @@ pub trait Recorder: Send + Sync {
     fn record_event(&self, event: FlightEvent) {
         let _ = event;
     }
+
+    /// Advances the journal's sim-time clock. Drivers call this once
+    /// per dequeued simulation event; entries recorded until the next
+    /// call are stamped with `now`.
+    fn journal_time(&self, now: u64) {
+        let _ = now;
+    }
+
+    /// Records a sim-time journal event.
+    fn record_journal(&self, event: JournalEvent) {
+        let _ = event;
+    }
+
+    /// Records a batch of journal events that share the current clock
+    /// reading. Hot paths that emit several events from one simulation
+    /// step use this so the recorder can amortise its synchronisation
+    /// over the batch.
+    fn record_journal_batch(&self, events: &[JournalEvent]) {
+        for &event in events {
+            self.record_journal(event);
+        }
+    }
+
+    /// Records a batch of journal events carrying explicit sim times.
+    /// Single-threaded drivers buffer `(time, event)` pairs and flush
+    /// thousands at once, so a recorder can amortise its
+    /// synchronisation over the whole batch; the journal clock ends at
+    /// the batch's final time.
+    fn record_journal_timed(&self, batch: &[(u64, JournalEvent)]) {
+        for &(time, event) in batch {
+            self.journal_time(time);
+            self.record_journal(event);
+        }
+    }
 }
 
 /// A recorder that stores nothing. [`Telemetry::noop`] avoids even the
@@ -49,7 +135,11 @@ pub trait Recorder: Send + Sync {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopRecorder;
 
-impl Recorder for NoopRecorder {}
+impl Recorder for NoopRecorder {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::NONE
+    }
+}
 
 /// A cheap, cloneable handle to a recorder.
 ///
@@ -60,6 +150,7 @@ impl Recorder for NoopRecorder {}
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<dyn Recorder>>,
+    caps: Capabilities,
 }
 
 impl fmt::Debug for Telemetry {
@@ -73,46 +164,62 @@ impl fmt::Debug for Telemetry {
 impl Telemetry {
     /// The no-op handle.
     pub fn noop() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            caps: Capabilities::NONE,
+        }
     }
 
-    /// Wraps an arbitrary recorder.
+    /// Wraps an arbitrary recorder, caching its [`Capabilities`].
     pub fn from_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        let caps = recorder.capabilities();
         Telemetry {
             inner: Some(recorder),
+            caps,
         }
     }
 
     /// Wraps a shared [`crate::Registry`].
     pub fn from_registry(registry: Arc<crate::Registry>) -> Self {
-        Telemetry {
-            inner: Some(registry),
-        }
+        Telemetry::from_recorder(registry)
     }
 
     /// Whether events will actually be stored.
     pub fn enabled(&self) -> bool {
-        self.inner.as_ref().is_some_and(|r| r.enabled())
+        self.caps.events && self.inner.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Whether journal entries will actually be stored. Hot paths that
+    /// assemble event *batches* check this first so uninstrumented runs
+    /// skip the assembly entirely.
+    pub fn journals(&self) -> bool {
+        self.caps.journal && self.inner.is_some()
     }
 
     /// Adds `delta` to the named counter.
     pub fn counter(&self, name: &str, delta: u64) {
-        if let Some(r) = &self.inner {
-            r.add(name, delta);
+        if self.caps.metrics {
+            if let Some(r) = &self.inner {
+                r.add(name, delta);
+            }
         }
     }
 
     /// Sets the named gauge (its high-water mark is kept).
     pub fn gauge(&self, name: &str, value: i64) {
-        if let Some(r) = &self.inner {
-            r.gauge_set(name, value);
+        if self.caps.metrics {
+            if let Some(r) = &self.inner {
+                r.gauge_set(name, value);
+            }
         }
     }
 
     /// Records a histogram sample.
     pub fn observe(&self, name: &str, value: u64) {
-        if let Some(r) = &self.inner {
-            r.observe(name, value);
+        if self.caps.metrics {
+            if let Some(r) = &self.inner {
+                r.observe(name, value);
+            }
         }
     }
 
@@ -121,8 +228,10 @@ impl Telemetry {
     /// Prefer [`Telemetry::event_with`] on hot paths so the payload is
     /// only built when telemetry is live.
     pub fn event(&self, event: FlightEvent) {
-        if let Some(r) = &self.inner {
-            r.record_event(event);
+        if self.caps.events {
+            if let Some(r) = &self.inner {
+                r.record_event(event);
+            }
         }
     }
 
@@ -135,6 +244,48 @@ impl Telemetry {
         }
     }
 
+    /// Advances the recorder's journal clock to sim time `now`.
+    pub fn journal_time(&self, now: u64) {
+        if self.caps.journal {
+            if let Some(r) = &self.inner {
+                r.journal_time(now);
+            }
+        }
+    }
+
+    /// Records a sim-time journal event. [`crate::journal::JournalEvent`]s
+    /// are `Copy` dense-id payloads, so building one is free — no lazy
+    /// variant is needed.
+    pub fn journal(&self, event: JournalEvent) {
+        if self.caps.journal {
+            if let Some(r) = &self.inner {
+                r.record_journal(event);
+            }
+        }
+    }
+
+    /// Records a batch of journal events sharing the current clock
+    /// reading — one virtual call and one recorder-side critical
+    /// section for the whole batch.
+    pub fn journal_batch(&self, events: &[JournalEvent]) {
+        if self.caps.journal && !events.is_empty() {
+            if let Some(r) = &self.inner {
+                r.record_journal_batch(events);
+            }
+        }
+    }
+
+    /// Records a batch of journal events with explicit per-event sim
+    /// times. This is the cheapest way to journal a hot loop: buffer
+    /// `(time, event)` pairs locally and flush thousands per call.
+    pub fn journal_timed(&self, batch: &[(u64, JournalEvent)]) {
+        if self.caps.journal && !batch.is_empty() {
+            if let Some(r) = &self.inner {
+                r.record_journal_timed(batch);
+            }
+        }
+    }
+
     /// Opens a hierarchical timing span; the returned RAII guard records
     /// the elapsed time under the nested span path on drop.
     pub fn span(&self, name: &'static str) -> Span {
@@ -142,8 +293,10 @@ impl Telemetry {
     }
 
     pub(crate) fn record_span(&self, path: &str, nanos: u64) {
-        if let Some(r) = &self.inner {
-            r.record_span(path, nanos);
+        if self.caps.spans {
+            if let Some(r) = &self.inner {
+                r.record_span(path, nanos);
+            }
         }
     }
 }
@@ -160,6 +313,11 @@ mod tests {
         t.gauge("g", 5);
         t.observe("h", 10);
         t.event(FlightEvent::ReleaseShipped { release: 0 });
+        t.journal_time(40);
+        t.journal(JournalEvent::Notify {
+            machine: 0,
+            release: 0,
+        });
         let _span = t.span("nothing");
         // event_with must not even build the payload.
         t.event_with(|| unreachable!("noop handle built an event"));
@@ -181,5 +339,10 @@ mod tests {
         r.observe("x", 1);
         r.record_span("x", 1);
         r.record_event(FlightEvent::ReleaseShipped { release: 0 });
+        r.journal_time(1);
+        r.record_journal(JournalEvent::Notify {
+            machine: 0,
+            release: 0,
+        });
     }
 }

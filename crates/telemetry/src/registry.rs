@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 use crate::flight::{FlightEvent, FlightRecorder, TimedEvent};
+use crate::journal::{Journal, JournalEvent, JournalKind};
 use crate::json::Value;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
 use crate::recorder::Recorder;
@@ -30,6 +31,7 @@ pub struct Registry {
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     spans: RwLock<BTreeMap<String, Arc<Histogram>>>,
     flight: FlightRecorder,
+    journal: Journal,
 }
 
 fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -41,21 +43,35 @@ fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str)
 }
 
 impl Registry {
-    /// Creates a registry whose flight recorder keeps `event_capacity`
-    /// events.
+    /// Creates a registry whose flight recorder and journal each keep
+    /// `event_capacity` entries (journal evictions are dropped, not
+    /// spilled).
     pub fn new(event_capacity: usize) -> Self {
+        Registry::with_journal(event_capacity, Journal::new(event_capacity))
+    }
+
+    /// Creates a registry with an explicitly configured journal — e.g.
+    /// [`Journal::with_spill`] when a full-fidelity timeline is wanted
+    /// for trace export or health rollups.
+    pub fn with_journal(event_capacity: usize, journal: Journal) -> Self {
         Registry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
             spans: RwLock::new(BTreeMap::new()),
             flight: FlightRecorder::new(event_capacity),
+            journal,
         }
     }
 
     /// The flight recorder.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// The sim-time journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Takes a consistent-enough point-in-time snapshot of everything.
@@ -103,6 +119,14 @@ impl Registry {
             events_total: self.flight.total(),
             events_dropped: self.flight.dropped(),
             events: self.flight.events(),
+            journal_counts: JournalKind::ALL
+                .iter()
+                .zip(self.journal.counts())
+                .filter(|(_, n)| *n > 0)
+                .map(|(k, n)| (k.name().to_string(), n))
+                .collect(),
+            journal_total: self.journal.total(),
+            journal_dropped: self.journal.dropped(),
         }
     }
 }
@@ -137,6 +161,22 @@ impl Recorder for Registry {
     fn record_event(&self, event: FlightEvent) {
         self.flight.record(event);
     }
+
+    fn journal_time(&self, now: u64) {
+        self.journal.set_time(now);
+    }
+
+    fn record_journal(&self, event: JournalEvent) {
+        self.journal.record(event);
+    }
+
+    fn record_journal_batch(&self, events: &[JournalEvent]) {
+        self.journal.record_batch(events);
+    }
+
+    fn record_journal_timed(&self, batch: &[(u64, JournalEvent)]) {
+        self.journal.record_timed(batch);
+    }
 }
 
 /// A frozen, serialisable view of a [`Registry`].
@@ -158,6 +198,13 @@ pub struct Snapshot {
     pub events_dropped: u64,
     /// The retained flight events, oldest first.
     pub events: Vec<TimedEvent>,
+    /// Exact journal-entry counts by kind (kinds with zero entries are
+    /// omitted).
+    pub journal_counts: BTreeMap<String, u64>,
+    /// Total journal entries recorded.
+    pub journal_total: u64,
+    /// Journal entries evicted and lost (0 when spill is enabled).
+    pub journal_dropped: u64,
 }
 
 fn summary_json(s: &HistogramSummary) -> Value {
@@ -225,12 +272,26 @@ impl Snapshot {
                 Value::Arr(self.events.iter().map(|e| e.to_json()).collect()),
             ),
         ]);
+        let journal = Value::obj([
+            (
+                "counts",
+                Value::Obj(
+                    self.journal_counts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            ("total", Value::from(self.journal_total)),
+            ("dropped", Value::from(self.journal_dropped)),
+        ]);
         Value::obj([
             ("counters", counters),
             ("gauges", gauges),
             ("histograms", histo(&self.histograms)),
             ("spans", histo(&self.spans)),
             ("flight", flight),
+            ("journal", journal),
         ])
         .to_pretty()
     }
@@ -263,6 +324,46 @@ mod tests {
         assert_eq!(snap.spans["phase"].count, 1);
         assert_eq!(snap.event_counts["release_shipped"], 1);
         assert_eq!(snap.events_total, 1);
+    }
+
+    #[test]
+    fn journal_flows_through_registry_and_snapshot() {
+        let registry = Arc::new(Registry::with_journal(16, Journal::with_spill(4)));
+        let t = Telemetry::from_registry(Arc::clone(&registry));
+        t.journal_time(30);
+        t.journal(JournalEvent::Notify {
+            machine: 2,
+            release: 0,
+        });
+        t.journal(JournalEvent::Test {
+            machine: 2,
+            release: 0,
+            problem: crate::journal::NO_PROBLEM,
+        });
+        assert_eq!(registry.journal().now(), 30);
+        let entries = registry.journal().entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].time, 30);
+        let snap = registry.snapshot();
+        assert_eq!(snap.journal_total, 2);
+        assert_eq!(snap.journal_counts["notify"], 1);
+        assert_eq!(snap.journal_counts["test"], 1);
+        assert!(!snap.journal_counts.contains_key("retry"));
+        let v = Value::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            v.get("journal")
+                .unwrap()
+                .get("counts")
+                .unwrap()
+                .get("notify")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("journal").unwrap().get("total").unwrap().as_u64(),
+            Some(2)
+        );
     }
 
     #[test]
