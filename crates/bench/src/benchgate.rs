@@ -12,10 +12,15 @@
 //! * `BENCH_clustering.json` — harness rows well-formed, dense-200
 //!   speedup vs the naive reference ≥ 1.0;
 //! * `BENCH_sim.json` — harness rows well-formed, every protocol's 100k
-//!   speedup vs the string-keyed reference ≥ 1.0, the 1M Balanced run
-//!   under its budget;
+//!   speedup vs the string-keyed reference ≥ 1.0, the parallel w1/w8
+//!   rows present with the 1M w8-vs-w1 speedup above its regression
+//!   floor, and both the 1M (sequential) and 10M (parallel, single
+//!   `scale` sample) Balanced runs under their 10 s budgets;
 //! * `BENCH_faults.json` — sweep rows well-formed, **every** loss rate
 //!   converged (and `all_converged` agrees with the rows);
+//! * `BENCH_sweep.json` — grid rows well-formed, every protocol ×
+//!   threshold × loss cell converged on the shared-arena parallel
+//!   driver (and `all_converged` agrees with the rows);
 //! * `BENCH_urr.json` — harness rows well-formed, sharded ingest
 //!   speedup vs `report::reference` ≥ 1.0, query p50 ≤ p99;
 //! * `BENCH_trace.json` — harness rows well-formed, journaling overhead
@@ -24,12 +29,18 @@
 //!   `trace_event` sample schema-valid (string `name`, known `ph`
 //!   phase, numeric `pid`/`tid`).
 //!
+//! Harness rows must carry at least [`MIN_SAMPLES`] samples unless
+//! they are explicitly marked `"scale": true` — a single-observation
+//! statistic is either an intentional scale run or a truncated write,
+//! and the marker is how a document says which.
+//!
 //! Checks are pure functions over the document text so the negative
 //! cases (corrupted JSON, missing keys, broken invariants) are unit
 //! tested right here in the repro harness.
 
 use std::fmt;
 
+use crate::harness::MIN_SAMPLES;
 use mirage_telemetry::json::Value;
 
 /// Which committed benchmark document a text claims to be.
@@ -41,6 +52,8 @@ pub enum BenchKind {
     Sim,
     /// `BENCH_faults.json` (suite `fault-sweep`).
     Faults,
+    /// `BENCH_sweep.json` (suite `sim-sweep`).
+    Sweep,
     /// `BENCH_urr.json` (suite `urr-perf`).
     Urr,
     /// `BENCH_trace.json` (suite `trace-overhead`).
@@ -49,10 +62,11 @@ pub enum BenchKind {
 
 impl BenchKind {
     /// Every kind with its committed file name.
-    pub const ALL: [(BenchKind, &'static str); 5] = [
+    pub const ALL: [(BenchKind, &'static str); 6] = [
         (BenchKind::Clustering, "BENCH_clustering.json"),
         (BenchKind::Sim, "BENCH_sim.json"),
         (BenchKind::Faults, "BENCH_faults.json"),
+        (BenchKind::Sweep, "BENCH_sweep.json"),
         (BenchKind::Urr, "BENCH_urr.json"),
         (BenchKind::Trace, "BENCH_trace.json"),
     ];
@@ -63,6 +77,7 @@ impl BenchKind {
             BenchKind::Clustering => "clustering-perf",
             BenchKind::Sim => "sim-perf",
             BenchKind::Faults => "fault-sweep",
+            BenchKind::Sweep => "sim-sweep",
             BenchKind::Urr => "urr-perf",
             BenchKind::Trace => "trace-overhead",
         }
@@ -129,8 +144,20 @@ fn check_harness_row(row: &Value) -> Result<(), GateError> {
     if min > max {
         return Err(fail(format!("row '{name}': min_ns > max_ns")));
     }
-    if num(row, "samples")? < 1.0 {
+    let samples = num(row, "samples")?;
+    if samples < 1.0 {
         return Err(fail(format!("row '{name}': no samples")));
+    }
+    // Single-observation statistics are only acceptable when the row
+    // explicitly says so: `"scale": true` marks an intentional
+    // single-shot scale run; anything else under the floor is a
+    // truncated or degenerate measurement.
+    let scale = matches!(row.get("scale"), Some(Value::Bool(true)));
+    if !scale && samples < MIN_SAMPLES as f64 {
+        return Err(fail(format!(
+            "row '{name}': {samples} sample(s); non-scale rows need at least {MIN_SAMPLES} \
+             (mark intentional single-shots with \"scale\": true)"
+        )));
     }
     Ok(())
 }
@@ -188,6 +215,36 @@ pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
                 "1M Balanced run: {:.3} s (< 10 s)",
                 num(&doc, "balanced_1m_seconds")?
             ));
+            // Parallel-driver rows: the w1/w8 pair the headline speedup
+            // is computed from must exist, and the 1M speedup must stay
+            // above its regression floor. The floor is deliberately
+            // below the committed figure (~1.7x, measured run-only on a
+            // single-core host where the gain is purely algorithmic —
+            // batched pass absorption, placement merge) so runner noise
+            // cannot flake the gate while a real regression toward 1.0x
+            // still fails loudly.
+            for required in ["sim/1m/parallel/w1/Balanced", "sim/1m/parallel/w8/Balanced"] {
+                if !rows
+                    .iter()
+                    .any(|r| r.get("name").and_then(Value::as_str) == Some(required))
+                {
+                    return Err(fail(format!("missing harness row '{required}'")));
+                }
+            }
+            let par = num(&doc, "parallel_speedup_1m_w8_vs_w1")?;
+            if par < 1.25 {
+                return Err(fail(format!(
+                    "1M parallel w8-vs-w1 speedup regressed below the 1.25x floor ({par})"
+                )));
+            }
+            notes.push(format!("1M parallel w8 vs w1 speedup: {par:.2}x"));
+            if !boolean(&doc, "balanced_10m_under_10s")? {
+                return Err(fail("balanced_10m_under_10s is false"));
+            }
+            notes.push(format!(
+                "10M Balanced parallel run: {:.3} s (< 10 s)",
+                num(&doc, "balanced_10m_seconds")?
+            ));
         }
         BenchKind::Faults => {
             let rows = results(&doc)?;
@@ -211,6 +268,35 @@ pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
                 return Err(fail("all_converged is false"));
             }
             notes.push("all_converged agrees with the rows".to_string());
+        }
+        BenchKind::Sweep => {
+            let rows = results(&doc)?;
+            let workers = num(&doc, "workers")?;
+            if workers < 1.0 {
+                return Err(fail("sweep ran with no workers"));
+            }
+            for row in rows {
+                let protocol = string(row, "protocol")?;
+                let threshold = num(row, "threshold")?;
+                let loss = num(row, "loss_pct")?;
+                for key in ["failed_tests", "escaped", "wall_ms"] {
+                    num(row, key)
+                        .map_err(|e| fail(format!("{protocol}@thr{threshold}/{loss}%: {e}")))?;
+                }
+                if !boolean(row, "converged")? {
+                    return Err(fail(format!(
+                        "{protocol} did not converge at threshold {threshold}, loss {loss}%"
+                    )));
+                }
+            }
+            notes.push(format!(
+                "{} grid cells ({workers} workers), 100% convergence",
+                rows.len()
+            ));
+            if !boolean(&doc, "all_converged")? {
+                return Err(fail("all_converged is false"));
+            }
+            notes.push("all_converged agrees with the cells".to_string());
         }
         BenchKind::Urr => {
             let rows = results(&doc)?;
@@ -324,6 +410,38 @@ mod tests {
         )
     }
 
+    fn scale_row(name: &str) -> String {
+        format!(
+            "{{\"name\": \"{name}\", \"samples\": 1, \"min_ns\": 100, \
+             \"p50_ns\": 100, \"mean_ns\": 100, \"max_ns\": 100, \"scale\": true}}"
+        )
+    }
+
+    fn sim_doc(par_speedup: f64) -> String {
+        format!(
+            "{{\"suite\": \"sim-perf\", \"results\": [{}, {}, {}, {}], \
+             \"speedup_100k_vs_reference\": {{\"NoStaging\": 7.2, \"Balanced\": 9.1, \
+             \"FrontLoading\": 10.7}}, \"balanced_1m_seconds\": 0.26, \
+             \"balanced_1m_under_10s\": true, \
+             \"parallel_speedup_100k_w8_vs_w1\": 1.5, \
+             \"parallel_speedup_1m_w8_vs_w1\": {par_speedup}, \
+             \"balanced_10m_seconds\": 4.2, \"balanced_10m_under_10s\": true}}",
+            harness_row("sim/100k/interned/Balanced"),
+            harness_row("sim/1m/parallel/w1/Balanced"),
+            harness_row("sim/1m/parallel/w8/Balanced"),
+            scale_row("sim/10m/parallel/w8/Balanced"),
+        )
+    }
+
+    fn sweep_doc(converged: bool) -> String {
+        format!(
+            "{{\"suite\": \"sim-sweep\", \"smoke\": false, \"workers\": 8, \"results\": [\
+             {{\"protocol\": \"Balanced\", \"threshold\": 0.9, \"loss_pct\": 20, \
+             \"converged\": {converged}, \"completion_time\": 16273, \"failed_tests\": 5, \
+             \"escaped\": 0, \"wall_ms\": 39.8}}], \"all_converged\": {converged}}}"
+        )
+    }
+
     fn urr_doc(speedup: f64) -> String {
         format!(
             "{{\"suite\": \"urr-perf\", \"results\": [{}],\n\
@@ -345,14 +463,11 @@ mod tests {
         );
         assert!(check(BenchKind::Clustering, &clustering).is_ok());
 
-        let sim = format!(
-            "{{\"suite\": \"sim-perf\", \"results\": [{}], \
-             \"speedup_100k_vs_reference\": {{\"NoStaging\": 7.2, \"Balanced\": 9.1, \
-             \"FrontLoading\": 10.7}}, \"balanced_1m_seconds\": 0.26, \
-             \"balanced_1m_under_10s\": true}}",
-            harness_row("sim/100k/interned/Balanced")
+        let notes = check(BenchKind::Sim, &sim_doc(1.7)).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("parallel w8 vs w1")),
+            "{notes:?}"
         );
-        assert!(check(BenchKind::Sim, &sim).is_ok());
 
         let faults = "{\"suite\": \"fault-sweep\", \"results\": [\
              {\"protocol\": \"Balanced\", \"loss_pct\": 30, \"converged\": true, \
@@ -360,7 +475,59 @@ mod tests {
              \"retries_sent\": 4, \"rep_timeouts\": 0}], \"all_converged\": true}";
         assert!(check(BenchKind::Faults, faults).is_ok());
 
+        assert!(check(BenchKind::Sweep, &sweep_doc(true)).is_ok());
+
         assert!(check(BenchKind::Urr, &urr_doc(6.4)).is_ok());
+    }
+
+    #[test]
+    fn sample_floor_enforced_unless_scale_marked() {
+        // Two samples and no marker: a truncated measurement.
+        let two_samples = "{\"suite\": \"clustering-perf\", \"results\": [\
+             {\"name\": \"r\", \"samples\": 2, \"min_ns\": 100, \"p50_ns\": 120, \
+             \"mean_ns\": 130, \"max_ns\": 200}], \
+             \"dense_200_speedup_vs_reference\": 2.0}";
+        let err = check(BenchKind::Clustering, two_samples).unwrap_err();
+        assert!(err.to_string().contains("\"scale\": true"), "{err}");
+
+        // The same row explicitly marked as a scale run passes.
+        let marked = two_samples.replace("\"samples\": 2", "\"samples\": 2, \"scale\": true");
+        assert!(check(BenchKind::Clustering, &marked).is_ok());
+
+        // `"scale": false` is not a marker.
+        let unmarked = two_samples.replace("\"samples\": 2", "\"samples\": 2, \"scale\": false");
+        assert!(check(BenchKind::Clustering, &unmarked).is_err());
+    }
+
+    #[test]
+    fn parallel_speedup_floor_enforced() {
+        let err = check(BenchKind::Sim, &sim_doc(1.1)).unwrap_err();
+        assert!(err.to_string().contains("1.25x floor"), "{err}");
+
+        // The w1/w8 pair must be present for the headline to mean
+        // anything.
+        let missing = sim_doc(1.7).replace("sim/1m/parallel/w8/Balanced", "sim/1m/other");
+        let err = check(BenchKind::Sim, &missing).unwrap_err();
+        assert!(err.to_string().contains("w8"), "{err}");
+
+        // The 10M budget flag is load-bearing.
+        let slow10m = sim_doc(1.7).replace(
+            "\"balanced_10m_under_10s\": true",
+            "\"balanced_10m_under_10s\": false",
+        );
+        let err = check(BenchKind::Sim, &slow10m).unwrap_err();
+        assert!(err.to_string().contains("balanced_10m_under_10s"), "{err}");
+    }
+
+    #[test]
+    fn sweep_non_convergence_fails() {
+        let err = check(BenchKind::Sweep, &sweep_doc(false)).unwrap_err();
+        assert!(err.to_string().contains("did not converge"), "{err}");
+
+        // Flag flipped while the rows still say converged.
+        let flag_only =
+            sweep_doc(true).replace("\"all_converged\": true", "\"all_converged\": false");
+        assert!(check(BenchKind::Sweep, &flag_only).is_err());
     }
 
     #[test]
@@ -480,10 +647,12 @@ mod tests {
 
     #[test]
     fn kind_metadata() {
-        assert_eq!(BenchKind::ALL.len(), 5);
+        assert_eq!(BenchKind::ALL.len(), 6);
         assert_eq!(BenchKind::Urr.suite(), "urr-perf");
+        assert_eq!(BenchKind::Sweep.suite(), "sim-sweep");
         assert_eq!(BenchKind::Trace.suite(), "trace-overhead");
         assert_eq!(BenchKind::ALL[0].1, "BENCH_clustering.json");
-        assert_eq!(BenchKind::ALL[4].1, "BENCH_trace.json");
+        assert_eq!(BenchKind::ALL[3].1, "BENCH_sweep.json");
+        assert_eq!(BenchKind::ALL[5].1, "BENCH_trace.json");
     }
 }

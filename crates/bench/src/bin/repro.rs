@@ -15,6 +15,9 @@
 //!   sim-perf           simulator hot-path benchmark → BENCH_sim.json
 //!   fault-sweep        convergence vs message-loss rate → BENCH_faults.json
 //!                      (--smoke shrinks the fleet for CI)
+//!   sweep              protocol × threshold × loss grid through the parallel
+//!                      driver on one shared SimArena → BENCH_sweep.json
+//!                      (--smoke shrinks the fleet and grid for CI)
 //!   urr-perf           URR ingest/query benchmark → BENCH_urr.json
 //!                      (--smoke shrinks the report volume for CI)
 //!   trace              journal overhead benchmark → BENCH_trace.json, plus a
@@ -25,7 +28,7 @@
 //!   bench-check        validate the committed BENCH_*.json documents
 //!                      (reads from --csv dir, default "."; exits 1 on failure)
 //!   all                everything (default; excludes *-perf, fault-sweep,
-//!                      trace, health, and bench-check)
+//!                      sweep, trace, health, and bench-check)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
@@ -76,7 +79,7 @@ fn main() {
             "all".to_string()
         }
     });
-    const KNOWN: [&str; 20] = [
+    const KNOWN: [&str; 21] = [
         "all",
         "fig1",
         "fig2",
@@ -94,6 +97,7 @@ fn main() {
         "clustering-perf",
         "sim-perf",
         "fault-sweep",
+        "sweep",
         "urr-perf",
         "trace",
         "health",
@@ -154,6 +158,9 @@ fn main() {
     }
     if arg == "fault-sweep" {
         fault_sweep(csv_dir.as_deref(), smoke);
+    }
+    if arg == "sweep" {
+        sweep(csv_dir.as_deref(), smoke);
     }
     if arg == "urr-perf" {
         urr_perf(csv_dir.as_deref(), smoke);
@@ -235,7 +242,7 @@ fn bench_check(csv: Option<&std::path::Path>) {
 fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
     use std::time::{Duration, Instant};
 
-    use mirage_bench::harness::{black_box, fmt_ns, BenchStats};
+    use mirage_bench::harness::{black_box, fmt_ns, BenchStats, MIN_SAMPLES};
     use mirage_report::{reference, InternedOutcome, InternedReport, Report, ReportOutcome, Urr};
 
     heading(if smoke {
@@ -294,6 +301,7 @@ fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
             mean_ns: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
             max_ns: *samples.last().expect("non-empty"),
             bytes: None,
+            scale: false,
         };
         println!(
             "{:<44} {:>8} {:>12} {:>12} {:>12}",
@@ -319,7 +327,9 @@ fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
         let mut samples: Vec<u64> = Vec::new();
         loop {
             samples.push(run());
-            if started.elapsed() >= budget || samples.len() >= 1_000 {
+            if (started.elapsed() >= budget && samples.len() >= MIN_SAMPLES)
+                || samples.len() >= 1_000
+            {
                 break;
             }
         }
@@ -395,7 +405,9 @@ fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
     loop {
         sharded_ns.push(sharded_pass());
         reference_ns.push(reference_pass());
-        if started.elapsed() >= budget * 2 || sharded_ns.len() >= 500 {
+        if (started.elapsed() >= budget * 2 && sharded_ns.len() >= MIN_SAMPLES)
+            || sharded_ns.len() >= 500
+        {
             break;
         }
     }
@@ -1011,34 +1023,221 @@ fn fault_sweep(csv: Option<&std::path::Path>, smoke: bool) {
     );
 }
 
+/// Runs a protocol × threshold × message-loss grid through the sharded
+/// parallel driver, every cell reusing one [`mirage_sim::SimArena`],
+/// and writes `BENCH_sweep.json` — into the `--csv` directory when
+/// given, the working directory otherwise.
+///
+/// This is the sweep workload the arena exists for: dozens of
+/// simulator runs back to back, where per-run queue and scratch
+/// allocation would otherwise dominate the small cells. The grid
+/// covers the three staged protocols at thresholds 1.0 and 0.9 under
+/// 0/10/20% message loss (duplication at half the loss rate, ±10-tick
+/// delay, vendor hardening on, seeded per cell so the sweep replays
+/// exactly).
+///
+/// The worker count is `MIRAGE_SIM_THREADS` when set, 8 otherwise —
+/// fixed rather than host-derived so the committed document does not
+/// depend on the machine that produced it. Every cell must converge to
+/// a full fleet pass; the run exits non-zero otherwise.
+///
+/// `--smoke` shrinks the fleet to 8×125 and the grid to threshold 1.0 ×
+/// loss {0, 20}% so CI can exercise the whole path in debug builds.
+fn sweep(csv: Option<&std::path::Path>, smoke: bool) {
+    use std::time::Instant;
+
+    use mirage_deploy::ProtocolChoice;
+    use mirage_sim::{run_parallel_in, FaultSpec, ScenarioBuilder, SimArena};
+    use mirage_telemetry::Telemetry;
+
+    heading(if smoke {
+        "Sweep (smoke fleet): protocol x threshold x loss grid, shared arena"
+    } else {
+        "Sweep: protocol x threshold x loss grid, shared arena (100k machines)"
+    });
+
+    let (clusters, size) = if smoke { (8, 125) } else { (20, 5_000) };
+    let protocols = [
+        ProtocolChoice::NoStaging,
+        ProtocolChoice::Balanced,
+        ProtocolChoice::FrontLoading,
+    ];
+    let thresholds: &[f64] = if smoke { &[1.0] } else { &[1.0, 0.9] };
+    let loss_pcts: &[u32] = if smoke { &[0, 20] } else { &[0, 10, 20] };
+    let workers = std::env::var("MIRAGE_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(8);
+
+    struct Cell {
+        protocol: &'static str,
+        threshold: f64,
+        loss_pct: u32,
+        converged: bool,
+        completion: Option<u64>,
+        failed_tests: usize,
+        escaped: usize,
+        wall_ms: f64,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut arena = SimArena::new();
+    let sweep_started = Instant::now();
+
+    for &loss_pct in loss_pcts {
+        // One scenario per loss rate, shared by every protocol and
+        // threshold cell at that rate.
+        let mut builder = ScenarioBuilder::new()
+            .clusters(clusters, size, 1)
+            .problem_in_clusters(
+                deployment::PREVALENT,
+                &[clusters - 6, clusters - 5, clusters - 4],
+            )
+            .problem_in_clusters(deployment::RARE_A, &[clusters - 3])
+            .problem_in_clusters(deployment::RARE_B, &[clusters - 2]);
+        if loss_pct > 0 {
+            let loss = f64::from(loss_pct) / 100.0;
+            builder = builder.faults(
+                FaultSpec::new(0x5EE9_0000 + u64::from(loss_pct))
+                    .loss(loss)
+                    .duplication(loss / 2.0)
+                    .delay(10)
+                    .rep_timeout(4_000),
+            );
+        }
+        let scenario = builder.build();
+        let total = scenario.machine_count();
+        for &threshold in thresholds {
+            for choice in protocols {
+                let mut protocol = choice.build(scenario.plan.clone(), threshold);
+                let t0 = Instant::now();
+                let m = run_parallel_in(
+                    &mut arena,
+                    &scenario,
+                    &mut protocol,
+                    Telemetry::noop(),
+                    workers,
+                );
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let converged = m.passed_count() == total;
+                println!(
+                    "  loss {loss_pct:>2}%  thr {threshold:.1}  {:<12}  passed {:>6}/{total}  \
+                     completion {:?}  failed {}  escaped {}  ({wall_ms:.1} ms)",
+                    choice.name(),
+                    m.passed_count(),
+                    m.completion_time,
+                    m.failed_tests,
+                    m.escaped_problems,
+                );
+                cells.push(Cell {
+                    protocol: choice.name(),
+                    threshold,
+                    loss_pct,
+                    converged,
+                    completion: m.completion_time,
+                    failed_tests: m.failed_tests,
+                    escaped: m.escaped_problems,
+                    wall_ms,
+                });
+            }
+        }
+    }
+
+    let all_converged = cells.iter().all(|c| c.converged);
+    println!(
+        "=> {} cells in {:.2} s on one arena ({workers} workers): {}",
+        cells.len(),
+        sweep_started.elapsed().as_secs_f64(),
+        if all_converged {
+            "all converged to a full fleet pass"
+        } else {
+            "CONVERGENCE FAILURES (see rows)"
+        }
+    );
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"sim-sweep\",\n");
+    json.push_str(&format!(
+        "  \"note\": \"{} machines ({}x{}), problems placed late; grid = protocol x \
+         threshold x loss with duplication = loss/2, delay uniform 0..=10, rep_timeout \
+         4000, seeded per loss rate; every cell runs through run_parallel_in on one \
+         shared SimArena; wall_ms is informational (host-dependent)\",\n",
+        clusters * size,
+        clusters,
+        size
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"threshold\": {:.1}, \"loss_pct\": {}, \
+             \"converged\": {}, \"completion_time\": {}, \"failed_tests\": {}, \
+             \"escaped\": {}, \"wall_ms\": {:.1}}}{}\n",
+            c.protocol,
+            c.threshold,
+            c.loss_pct,
+            c.converged,
+            c.completion.map_or("null".to_string(), |t| t.to_string()),
+            c.failed_tests,
+            c.escaped,
+            c.wall_ms,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"all_converged\": {all_converged}\n}}\n"));
+
+    let path = csv
+        .map(|d| d.join("BENCH_sweep.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json"));
+    std::fs::write(&path, json).expect("write BENCH_sweep.json");
+    println!("(wrote {})", path.display());
+    assert!(
+        all_converged,
+        "sweep found non-converging cells; see {}",
+        path.display()
+    );
+}
+
 /// Benchmarks the deployment simulator's hot path and writes
 /// `BENCH_sim.json` — into the `--csv` directory when given, the
 /// working directory otherwise.
 ///
-/// Three workloads per protocol (NoStaging / Balanced / FrontLoading):
+/// Workloads:
 ///
-/// * the paper's 100k-machine Figure-10 scenario on the *interned*
-///   driver (dense ids, calendar queue);
-/// * the same scenario on the retained *string-keyed reference* driver
-///   (`BinaryHeap` + slab, `BTreeMap` state) — the live baseline the
-///   speedup figures are computed against;
+/// * the paper's 100k-machine Figure-10 scenario, *interned* driver vs
+///   the retained *string-keyed reference* driver, paired per protocol
+///   (NoStaging / Balanced / FrontLoading) so clock drift lands on both
+///   sides equally;
 /// * a 1,000,000-machine variant (100 clusters × 10 000) on the
-///   interned driver only.
+///   interned sequential driver, per protocol;
+/// * the sharded parallel driver under Balanced at 100k and 1M with
+///   1/2/4/8 workers (`w1` delegates to the sequential oracle — it *is*
+///   the one-worker configuration). Each sample clones the plan and
+///   builds the protocol untimed, then times the run; the parallel rows
+///   reuse a `SimArena` across samples, the sequential row's in-run
+///   allocation being its real per-run cost;
+/// * one single-shot `scale` row: 10M machines (1000×10 000), Balanced,
+///   8 workers — the acceptance workload for the sub-10 s budget.
 ///
-/// Before timing anything, the two drivers are asserted to produce
-/// identical `SimMetrics` on the 100k scenario (the same property the
-/// seeded proptests check on random scenarios). The per-benchmark
-/// budget follows `MIRAGE_BENCH_MS` (default 150 ms).
+/// Before timing anything, the reference driver and the parallel driver
+/// at 2/4/8 workers are asserted bit-identical to the sequential
+/// interned driver on the 100k scenario (the same properties the seeded
+/// proptests check on random scenarios). The per-benchmark budget
+/// follows `MIRAGE_BENCH_MS` (default 150 ms).
 fn sim_perf(csv: Option<&std::path::Path>) {
-    use mirage_bench::harness::Harness;
+    use std::time::Instant;
+
+    use mirage_bench::harness::{black_box, Harness};
     use mirage_deploy::reference::{
         NamedBalanced, NamedFrontLoading, NamedNoStaging, NamedProtocol,
     };
     use mirage_deploy::{Balanced, FrontLoading, NoStaging, Protocol};
     use mirage_sim::runner::reference::{run_reference, NamedScenario};
-    use mirage_sim::{run, Scenario, ScenarioBuilder};
+    use mirage_sim::{run, run_parallel_in, Scenario, ScenarioBuilder, SimArena};
+    use mirage_telemetry::Telemetry;
 
-    heading("Simulator performance (interned data plane vs string-keyed reference)");
+    heading("Simulator performance (interned vs reference, sequential vs parallel)");
 
     let s100k = deployment::sound_scenario(deployment::ProblemPlacement::Late);
     let named = NamedScenario::from_scenario(&s100k);
@@ -1074,7 +1273,7 @@ fn sim_perf(csv: Option<&std::path::Path>) {
     };
 
     // Sanity: the drivers agree on the full 100k scenario before any
-    // timing (same equivalence the seeded proptests establish).
+    // timing (same equivalences the seeded proptests establish).
     for (name, make) in &fast {
         let fast_m = run(&s100k, make(&s100k).as_mut());
         let slow_m = run_reference(&named, slow(name, &named).as_mut());
@@ -1083,18 +1282,28 @@ fn sim_perf(csv: Option<&std::path::Path>) {
             "{name}: drivers diverged on the 100k scenario"
         );
     }
-    println!("  (drivers bit-identical on the 100k scenario for all three protocols)\n");
+    {
+        let mut arena = SimArena::new();
+        let expect = run(&s100k, &mut Balanced::new(s100k.plan.clone(), 1.0));
+        for workers in [2usize, 4, 8] {
+            let mut p = Balanced::new(s100k.plan.clone(), 1.0);
+            let got = run_parallel_in(&mut arena, &s100k, &mut p, Telemetry::noop(), workers);
+            assert_eq!(
+                expect, got,
+                "parallel driver diverged at {workers} workers on the 100k scenario"
+            );
+        }
+    }
+    println!("  (reference and parallel drivers bit-identical to sequential on 100k)\n");
 
     let mut h = Harness::new("sim-perf");
     for (name, make) in &fast {
-        h.bench(&format!("sim/100k/interned/{name}"), || {
-            run(&s100k, make(&s100k).as_mut()).failed_tests
-        });
-    }
-    for (name, _) in &fast {
-        h.bench(&format!("sim/100k/reference/{name}"), || {
-            run_reference(&named, slow(name, &named).as_mut()).failed_tests
-        });
+        h.bench_paired(
+            &format!("sim/100k/interned/{name}"),
+            &format!("sim/100k/reference/{name}"),
+            || run(&s100k, make(&s100k).as_mut()).failed_tests,
+            || run_reference(&named, slow(name, &named).as_mut()).failed_tests,
+        );
     }
     for (name, make) in &fast {
         h.bench(&format!("sim/1m/interned/{name}"), || {
@@ -1102,24 +1311,71 @@ fn sim_perf(csv: Option<&std::path::Path>) {
         });
     }
 
+    // Parallel-driver rows: per sample, the plan clone and protocol
+    // construction stay untimed (identically on every row — at 1M the
+    // clone alone dwarfs the run), then the run itself is timed. Each
+    // row reuses its own arena across samples; `w1` delegates to the
+    // sequential driver, whose internal allocation is its honest
+    // per-run cost.
+    fn par_ns(s: &Scenario, arena: &mut SimArena, workers: usize) -> u64 {
+        let mut p = Balanced::new(s.plan.clone(), 1.0);
+        let t0 = Instant::now();
+        black_box(run_parallel_in(arena, s, &mut p, Telemetry::noop(), workers).failed_tests);
+        t0.elapsed().as_nanos() as u64
+    }
+    for (s, size) in [(&s100k, "100k"), (&s1m, "1m")] {
+        // The headline pair (w1 vs w8) samples strictly interleaved;
+        // the intermediate counts pair up likewise.
+        for (w_a, w_b) in [(1usize, 8usize), (2, 4)] {
+            let mut arena_a = SimArena::new();
+            let mut arena_b = SimArena::new();
+            h.bench_paired_ns(
+                &format!("sim/{size}/parallel/w{w_a}/Balanced"),
+                &format!("sim/{size}/parallel/w{w_b}/Balanced"),
+                || par_ns(s, &mut arena_a, w_a),
+                || par_ns(s, &mut arena_b, w_b),
+            );
+        }
+    }
+
+    // The 10M acceptance workload: one honest sample (construction
+    // untimed), marked `scale` so bench-check knows the single sample
+    // is intentional.
+    let s10m = ScenarioBuilder::new()
+        .clusters(1_000, 10_000, 1)
+        .problem_in_clusters(deployment::PREVALENT, &[750, 800, 850])
+        .problem_in_clusters(deployment::RARE_A, &[900])
+        .problem_in_clusters(deployment::RARE_B, &[950])
+        .build();
+    let mut arena10 = SimArena::new();
+    let mut proto10 = Some(Balanced::new(s10m.plan.clone(), 1.0));
+    h.bench_scale("sim/10m/parallel/w8/Balanced", || {
+        let mut p = proto10.take().expect("bench_scale samples exactly once");
+        run_parallel_in(&mut arena10, &s10m, &mut p, Telemetry::noop(), 8).failed_tests
+    });
+
     // Hand-rolled JSON (the workspace is offline; no serde).
     let mut json = String::from("{\n  \"suite\": \"sim-perf\",\n");
     json.push_str(
         "  \"note\": \"100k = the paper's Figure-10 scenario (20x5000, problems late); \
-         1m = 100x10000 with the same late placement; reference = the retained \
-         string-keyed BinaryHeap driver + protocols\",\n",
+         1m = 100x10000, 10m = 1000x10000 with the same late placement; reference = the \
+         retained string-keyed BinaryHeap driver + protocols; parallel rows time the run \
+         only (plan clone + protocol construction untimed on every row), reuse a SimArena \
+         across samples, and w1 is the sequential oracle the sharded driver is \
+         bit-identical to; scale rows are intentionally single-sample\",\n",
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in h.results().iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p50_ns\": {}, \
-             \"mean_ns\": {:.0}, \"max_ns\": {}}}{}\n",
+             \"mean_ns\": {:.0}, \"max_ns\": {}{}}}{}\n",
             r.name,
             r.samples,
             r.min_ns,
             r.p50_ns,
             r.mean_ns,
             r.max_ns,
+            if r.scale { ", \"scale\": true" } else { "" },
             if i + 1 < h.results().len() { "," } else { "" }
         ));
     }
@@ -1144,11 +1400,33 @@ fn sim_perf(csv: Option<&std::path::Path>) {
     json.push_str("  },\n");
     let b1m = find("sim/1m/interned/Balanced");
     let b1m_secs = b1m.min_ns as f64 / 1e9;
-    println!("=> 1M-machine Balanced run: {b1m_secs:.2} s (min)");
+    println!("=> 1M-machine Balanced run: {b1m_secs:.2} s (min, sequential)");
     json.push_str(&format!("  \"balanced_1m_seconds\": {b1m_secs:.3},\n"));
     json.push_str(&format!(
-        "  \"balanced_1m_under_10s\": {}\n}}\n",
+        "  \"balanced_1m_under_10s\": {},\n",
         b1m_secs < 10.0
+    ));
+    let par_speedup = |size: &str| {
+        let w1 = find(&format!("sim/{size}/parallel/w1/Balanced"));
+        let w8 = find(&format!("sim/{size}/parallel/w8/Balanced"));
+        w1.min_ns as f64 / w8.min_ns.max(1) as f64
+    };
+    let sp100k = par_speedup("100k");
+    let sp1m = par_speedup("1m");
+    println!(
+        "=> parallel w8 vs w1 (Balanced, min-over-min): {sp100k:.2}x at 100k, {sp1m:.2}x at 1M"
+    );
+    json.push_str(&format!(
+        "  \"parallel_speedup_100k_w8_vs_w1\": {sp100k:.2},\n"
+    ));
+    json.push_str(&format!("  \"parallel_speedup_1m_w8_vs_w1\": {sp1m:.2},\n"));
+    let b10m = find("sim/10m/parallel/w8/Balanced");
+    let b10m_secs = b10m.min_ns as f64 / 1e9;
+    println!("=> 10M-machine Balanced run (8 workers): {b10m_secs:.2} s (single scale sample)");
+    json.push_str(&format!("  \"balanced_10m_seconds\": {b10m_secs:.3},\n"));
+    json.push_str(&format!(
+        "  \"balanced_10m_under_10s\": {}\n}}\n",
+        b10m_secs < 10.0
     ));
 
     let path = csv

@@ -9,7 +9,12 @@
 //! Each benchmark warms up once, then samples until either the
 //! per-benchmark wall-time budget is spent or a sample cap is reached,
 //! so sub-microsecond and multi-second workloads both finish promptly.
-//! Set `MIRAGE_BENCH_MS` to grow or shrink the per-benchmark budget.
+//! Regular benchmarks always take at least three samples, even past
+//! the budget, so the committed statistics are never a single
+//! observation; workloads too large for that get explicit single-shot
+//! rows through [`Harness::bench_scale`], marked `scale` so the
+//! bench-check gate can tell the two apart. Set `MIRAGE_BENCH_MS` to
+//! grow or shrink the per-benchmark budget.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -31,6 +36,9 @@ pub struct BenchStats {
     pub max_ns: u64,
     /// Bytes processed per iteration (for throughput rows).
     pub bytes: Option<u64>,
+    /// Single-shot scale row (see [`Harness::bench_scale`]): exactly
+    /// one sample by design, exempt from the minimum-sample gate.
+    pub scale: bool,
 }
 
 impl BenchStats {
@@ -56,6 +64,11 @@ pub fn fmt_ns(ns: f64) -> String {
         format!("{:.2} s", ns / 1e9)
     }
 }
+
+/// Floor on timed samples for regular benchmarks: statistics from one
+/// or two observations are noise, so the budget loop keeps sampling
+/// until it has at least this many.
+pub const MIN_SAMPLES: usize = 3;
 
 /// A benchmark suite: runs closures and prints aligned result rows.
 pub struct Harness {
@@ -130,12 +143,63 @@ impl Harness {
             let t0 = Instant::now();
             black_box(fb());
             samples_b.push(t0.elapsed().as_nanos() as u64);
-            if started.elapsed() >= self.target * 2 || samples_a.len() >= self.max_samples {
+            if (started.elapsed() >= self.target * 2 && samples_a.len() >= MIN_SAMPLES)
+                || samples_a.len() >= self.max_samples
+            {
                 break;
             }
         }
-        self.record(name_a, None, samples_a);
-        self.record(name_b, None, samples_b);
+        self.record(name_a, None, false, samples_a);
+        self.record(name_b, None, false, samples_b);
+    }
+
+    /// Like [`Harness::bench_paired`], but each closure returns the
+    /// nanoseconds of its own timed region.
+    ///
+    /// Use this when per-sample setup must stay out of the statistics —
+    /// cloning a large deployment plan, resetting a reusable arena —
+    /// on *both* sides of the pair, while samples remain strictly
+    /// interleaved. The closures are trusted to time symmetric regions;
+    /// an asymmetric exclusion would bias the comparison.
+    pub fn bench_paired_ns(
+        &mut self,
+        name_a: &str,
+        name_b: &str,
+        mut fa: impl FnMut() -> u64,
+        mut fb: impl FnMut() -> u64,
+    ) {
+        // One untimed warmup each to populate caches and lazy state.
+        black_box(fa());
+        black_box(fb());
+        let started = Instant::now();
+        let mut samples_a: Vec<u64> = Vec::new();
+        let mut samples_b: Vec<u64> = Vec::new();
+        loop {
+            samples_a.push(fa());
+            samples_b.push(fb());
+            if (started.elapsed() >= self.target * 2 && samples_a.len() >= MIN_SAMPLES)
+                || samples_a.len() >= self.max_samples
+            {
+                break;
+            }
+        }
+        self.record(name_a, None, false, samples_a);
+        self.record(name_b, None, false, samples_b);
+    }
+
+    /// Times `f` exactly once — no warmup, one sample — and records the
+    /// row marked as a *scale* run.
+    ///
+    /// For workloads so large that even [`MIN_SAMPLES`] repetitions are
+    /// unaffordable (a 10M-machine simulation), one honest sample beats
+    /// none; the `scale` marker tells `bench-check` the single sample
+    /// is intentional rather than a truncated run.
+    pub fn bench_scale<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchStats {
+        let t0 = Instant::now();
+        black_box(f());
+        let sample = t0.elapsed().as_nanos() as u64;
+        self.record(name, None, true, vec![sample]);
+        self.results.last().expect("just pushed")
     }
 
     fn run<R>(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut() -> R) -> &BenchStats {
@@ -149,15 +213,17 @@ impl Harness {
             let t0 = Instant::now();
             black_box(f());
             samples_ns.push(t0.elapsed().as_nanos() as u64);
-            if started.elapsed() >= self.target || samples_ns.len() >= self.max_samples {
+            if (started.elapsed() >= self.target && samples_ns.len() >= MIN_SAMPLES)
+                || samples_ns.len() >= self.max_samples
+            {
                 break;
             }
         }
-        self.record(name, bytes, samples_ns);
+        self.record(name, bytes, false, samples_ns);
         self.results.last().expect("just pushed")
     }
 
-    fn record(&mut self, name: &str, bytes: Option<u64>, mut samples_ns: Vec<u64>) {
+    fn record(&mut self, name: &str, bytes: Option<u64>, scale: bool, mut samples_ns: Vec<u64>) {
         samples_ns.sort_unstable();
         let stats = BenchStats {
             name: name.to_string(),
@@ -167,6 +233,7 @@ impl Harness {
             mean_ns: samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64,
             max_ns: *samples_ns.last().expect("non-empty"),
             bytes,
+            scale,
         };
         let throughput = stats
             .mib_per_sec()
@@ -202,11 +269,34 @@ mod tests {
             count += 1;
             (0..1000u64).sum::<u64>()
         });
-        assert!(stats.samples >= 1);
+        assert!(stats.samples >= MIN_SAMPLES, "{}", stats.samples);
+        assert!(!stats.scale);
         assert!(stats.min_ns <= stats.p50_ns);
         assert!(stats.p50_ns <= stats.max_ns);
         assert!(count as usize >= stats.samples);
         assert_eq!(h.results().len(), 1);
+        let one_shot = h.bench_scale("one-shot", || (0..1000u64).sum::<u64>());
+        assert_eq!(one_shot.samples, 1);
+        assert!(one_shot.scale);
+        assert_eq!(h.results().len(), 2);
+        std::env::remove_var("MIRAGE_BENCH_MS");
+    }
+
+    #[test]
+    fn paired_ns_records_reported_regions() {
+        std::env::set_var("MIRAGE_BENCH_MS", "1");
+        let mut h = Harness::new("paired-ns-suite");
+        h.bench_paired_ns("a", "b", || 100, || 200);
+        let a = &h.results()[0];
+        let b = &h.results()[1];
+        assert_eq!(a.name, "a");
+        assert!(a.samples >= MIN_SAMPLES);
+        assert_eq!(a.samples, b.samples, "interleaved pairs sample in lockstep");
+        // The recorded statistics are exactly the reported regions, not
+        // closure wall time.
+        assert_eq!((a.min_ns, a.max_ns), (100, 100));
+        assert_eq!((b.min_ns, b.max_ns), (200, 200));
+        assert!(!a.scale && !b.scale);
         std::env::remove_var("MIRAGE_BENCH_MS");
     }
 
@@ -220,6 +310,7 @@ mod tests {
             mean_ns: 1_000_000.0,
             max_ns: 1_000_000,
             bytes: Some(1 << 20), // 1 MiB in 1 ms = 1000 MiB/s
+            scale: false,
         };
         let t = stats.mib_per_sec().unwrap();
         assert!((t - 1000.0).abs() < 1e-6, "{t}");

@@ -188,6 +188,69 @@ impl Protocol for NoStaging {
         self.completion()
     }
 
+    fn absorb_passes(&mut self, reports: &[(MachineId, Release)]) -> usize {
+        let total = self.machines.len();
+        let mut absorbed = 0;
+        for &(m, r) in reports {
+            let idx = m.index();
+            if r.0 < self.notified_release[idx] || self.status[idx] == MachineStatus::Passed {
+                // Stale or duplicated delivery: `on_report` is a strict
+                // no-op, so absorbing it is free.
+                absorbed += 1;
+                continue;
+            }
+            // Applying this pass must not flip `done()` — the Complete
+            // command has to come out of the full `on_report` path.
+            let waived_here = usize::from(self.waived.contains(m));
+            if !self.completed && self.passed + 1 + self.waived.len() - waived_here >= total {
+                break;
+            }
+            self.waived.remove(m);
+            self.status[idx] = MachineStatus::Passed;
+            self.passed += 1;
+            absorbed += 1;
+        }
+        absorbed
+    }
+
+    /// Order-free all-or-nothing batch absorption (see
+    /// [`Protocol::absorb_pass_batch`]). A batch is safe exactly when no
+    /// applicable report un-waives a machine and the final pass count
+    /// stays short of completion: pass counting is monotone, so if the
+    /// final count is below the bound every intermediate ordering is
+    /// too. Duplicated machines in the batch are double-counted by the
+    /// check, which can only tighten the rejection.
+    fn absorb_pass_batch(&mut self, reports: &[(MachineId, Release)]) -> bool {
+        let total = self.machines.len();
+        let mut applicable = 0usize;
+        for &(m, r) in reports {
+            let idx = m.index();
+            if r.0 < self.notified_release[idx] || self.status[idx] == MachineStatus::Passed {
+                // Stale or duplicated delivery: a strict no-op in any order.
+                continue;
+            }
+            if self.waived.contains(m) {
+                // Un-waiving backs out completion arithmetic — slow path.
+                return false;
+            }
+            applicable += 1;
+        }
+        if !self.completed && self.passed + applicable + self.waived.len() >= total {
+            // Some ordering would flip `done()` mid-batch; the Complete
+            // command has to come out of the full `on_report` path.
+            return false;
+        }
+        for &(m, r) in reports {
+            let idx = m.index();
+            if r.0 < self.notified_release[idx] || self.status[idx] == MachineStatus::Passed {
+                continue;
+            }
+            self.status[idx] = MachineStatus::Passed;
+            self.passed += 1;
+        }
+        true
+    }
+
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.release = release;
         let failed: Vec<MachineId> = self
@@ -583,6 +646,200 @@ impl StagedEngine {
         out
     }
 
+    /// Batch pass-absorption (see [`Protocol::absorb_passes`]): applies
+    /// the longest prefix of pass reports whose individual `on_report`
+    /// calls would all have been silent — no waiver back-out, no wave
+    /// advance, no completion — and stops at the first report that
+    /// needs the full path.
+    fn absorb_passes(&mut self, reports: &[(MachineId, Release)]) -> usize {
+        let mut absorbed = 0;
+        for &(m, r) in reports {
+            let idx = m.index();
+            if r.0 < self.notified_release[idx] || self.status[idx] == MachineStatus::Passed {
+                // Stale or duplicated delivery: a strict no-op.
+                absorbed += 1;
+                continue;
+            }
+            if self.waived.contains(m) {
+                // Un-waiving backs out wave arithmetic — slow path.
+                break;
+            }
+            let cid = self.cluster_of[idx];
+            let is_rep = cid != NO_CLUSTER && self.counted_rep.contains(m);
+            // `step()` ran to quiescence after the previous mutation, so
+            // the only transition this pass could trigger is the one its
+            // own counter bump feeds. Stop one short of that bound.
+            match self.phase {
+                Phase::GlobalReps => {
+                    if is_rep && self.reps_passed + 1 + self.waived_reps == self.total_reps {
+                        break;
+                    }
+                }
+                Phase::Cluster(i) => {
+                    let Some(&active) = self.order.get(i) else {
+                        break;
+                    };
+                    match self.stage {
+                        ClusterStage::Reps => {
+                            if self.plan.clusters[active].reps.contains(&m) {
+                                // Could be the last rep the stage waits
+                                // for (the stage checks the literal reps
+                                // list, not `counted_rep`); let
+                                // `on_report` decide.
+                                break;
+                            }
+                        }
+                        ClusterStage::NonReps => {
+                            if cid == active as u32 {
+                                let needed = ceil_threshold(
+                                    self.plan.clusters[active].members.len(),
+                                    self.threshold,
+                                );
+                                if self.cluster_passed[active] + 1 + self.cluster_waived[active]
+                                    >= needed
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Phase::Draining => {}
+            }
+            if !self.completed && self.total_passed + 1 + self.waived.len() == self.machines.len() {
+                break;
+            }
+            // Mirror of `on_report`'s pass path, transitions excluded.
+            self.status[idx] = MachineStatus::Passed;
+            self.total_passed += 1;
+            if cid != NO_CLUSTER {
+                self.cluster_passed[cid as usize] += 1;
+                if is_rep {
+                    self.reps_passed += 1;
+                }
+            }
+            absorbed += 1;
+        }
+        absorbed
+    }
+
+    /// Order-free all-or-nothing batch absorption (see
+    /// [`Protocol::absorb_pass_batch`]). Acceptance requires that no
+    /// ordering of the batch could advance a wave: the engine is
+    /// quiescent on entry (`step()` ran after the previous mutation),
+    /// every transition guard is a monotone count reaching a fixed
+    /// bound, and the batch only increments counts — so checking the
+    /// *final* counts against every bound covers all orderings. The
+    /// order-sensitive cases (un-waiving, a literal rep of the active
+    /// cluster whose stage checks the reps list directly) are rejected
+    /// outright. Duplicated machines are double-counted by the check,
+    /// which can only tighten the rejection.
+    fn absorb_pass_batch(&mut self, reports: &[(MachineId, Release)]) -> bool {
+        // The phase/stage cannot move during the check (no mutation), so
+        // resolve the active cluster once.
+        let active = match self.phase {
+            Phase::Cluster(i) => match self.order.get(i) {
+                Some(&cid) => Some(cid),
+                // Inconsistent phase (step() should have drained) — be
+                // conservative rather than reason about it.
+                None => return false,
+            },
+            _ => None,
+        };
+        let mut applicable = 0usize;
+        let mut applicable_reps = 0usize;
+        let mut active_cluster_new = 0usize;
+        for &(m, r) in reports {
+            let idx = m.index();
+            if r.0 < self.notified_release[idx] || self.status[idx] == MachineStatus::Passed {
+                // Stale or duplicated delivery: a strict no-op in any order.
+                continue;
+            }
+            if self.waived.contains(m) {
+                // Un-waiving backs out wave arithmetic — slow path.
+                return false;
+            }
+            let cid = self.cluster_of[idx];
+            match self.phase {
+                Phase::GlobalReps => {
+                    if cid != NO_CLUSTER && self.counted_rep.contains(m) {
+                        applicable_reps += 1;
+                    }
+                }
+                Phase::Cluster(_) => {
+                    let active = active.expect("resolved above");
+                    match self.stage {
+                        ClusterStage::Reps => {
+                            if self.plan.clusters[active].reps.contains(&m) {
+                                // The stage waits on the literal reps
+                                // list; this pass could be the one it
+                                // waits for. Slow path.
+                                return false;
+                            }
+                        }
+                        ClusterStage::NonReps => {
+                            if cid == active as u32 {
+                                active_cluster_new += 1;
+                            }
+                        }
+                    }
+                }
+                Phase::Draining => {}
+            }
+            applicable += 1;
+        }
+        // Transition bounds against the final counts. Counts are
+        // monotone and move by 1 per applied report, so staying short of
+        // a bound at the end means every prefix in every order did too.
+        match self.phase {
+            Phase::GlobalReps => {
+                if applicable_reps > 0
+                    && self.reps_passed + applicable_reps + self.waived_reps >= self.total_reps
+                {
+                    return false;
+                }
+            }
+            Phase::Cluster(_) => {
+                if active_cluster_new > 0 {
+                    let active = active.expect("resolved above");
+                    let needed =
+                        ceil_threshold(self.plan.clusters[active].members.len(), self.threshold);
+                    if self.cluster_passed[active]
+                        + active_cluster_new
+                        + self.cluster_waived[active]
+                        >= needed
+                    {
+                        return false;
+                    }
+                }
+            }
+            Phase::Draining => {}
+        }
+        if !self.completed
+            && self.total_passed + applicable + self.waived.len() >= self.machines.len()
+        {
+            return false;
+        }
+        // Apply: the mirror of `on_report`'s pass path, transitions
+        // statically excluded above.
+        for &(m, r) in reports {
+            let idx = m.index();
+            if r.0 < self.notified_release[idx] || self.status[idx] == MachineStatus::Passed {
+                continue;
+            }
+            self.status[idx] = MachineStatus::Passed;
+            self.total_passed += 1;
+            let cid = self.cluster_of[idx];
+            if cid != NO_CLUSTER {
+                self.cluster_passed[cid as usize] += 1;
+                if self.counted_rep.contains(m) {
+                    self.reps_passed += 1;
+                }
+            }
+        }
+        true
+    }
+
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.release = release;
         let failed: Vec<MachineId> = self
@@ -723,6 +980,12 @@ impl Protocol for Balanced {
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
         self.engine.on_report(report)
     }
+    fn absorb_passes(&mut self, reports: &[(MachineId, Release)]) -> usize {
+        self.engine.absorb_passes(reports)
+    }
+    fn absorb_pass_batch(&mut self, reports: &[(MachineId, Release)]) -> bool {
+        self.engine.absorb_pass_batch(reports)
+    }
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.engine.on_release(release, fixed)
     }
@@ -790,6 +1053,12 @@ impl Protocol for FrontLoading {
     }
     fn on_report(&mut self, report: &TestReport) -> Vec<Command> {
         self.engine.on_report(report)
+    }
+    fn absorb_passes(&mut self, reports: &[(MachineId, Release)]) -> usize {
+        self.engine.absorb_passes(reports)
+    }
+    fn absorb_pass_batch(&mut self, reports: &[(MachineId, Release)]) -> bool {
+        self.engine.absorb_pass_batch(reports)
     }
     fn on_release(&mut self, release: Release, fixed: &ProblemSet) -> Vec<Command> {
         self.engine.on_release(release, fixed)
@@ -1149,6 +1418,226 @@ mod tests {
             let after = registry.snapshot().counters["deploy.machines_notified"];
             assert_eq!(before, after, "{name}: replay changed machines_notified");
         }
+    }
+
+    /// The batch fast path must be observationally identical to the
+    /// per-report path: drive the same pass storm through `on_report`
+    /// alone and through `absorb_passes` + `on_report` fallback, and
+    /// compare every emitted command stream.
+    #[test]
+    fn absorb_passes_matches_on_report() {
+        use crate::dispatch::ProtocolChoice;
+
+        let pl = plan(&[
+            (&["a0", "a1", "a2", "a3"], 1, 1.0),
+            (&["b0", "b1", "b2", "b3"], 2, 2.0),
+        ]);
+        for choice in [
+            ProtocolChoice::NoStaging,
+            ProtocolChoice::Balanced,
+            ProtocolChoice::FrontLoading,
+            ProtocolChoice::RandomStaging { seed: 5 },
+        ] {
+            for threshold in [1.0, 0.75, 0.5] {
+                let mut slow = choice.build(pl.clone(), threshold);
+                let mut fast = choice.build(pl.clone(), threshold);
+                let mut slow_cmds = slow.start();
+                assert_eq!(slow_cmds, fast.start());
+                // Keep delivering passes for whatever was notified until
+                // both complete, replaying each report once (duplicate).
+                for round in 0..8 {
+                    let notified: Vec<(MachineId, Release)> = slow_cmds
+                        .iter()
+                        .flat_map(|c| match c {
+                            Command::Notify { machines, release } => {
+                                machines.iter().map(|&m| (m, *release)).collect()
+                            }
+                            Command::Complete => Vec::new(),
+                        })
+                        .collect();
+                    if notified.is_empty() {
+                        break;
+                    }
+                    // Duplicate every other report to exercise the
+                    // stale/duplicate absorption arm.
+                    let mut reports = Vec::new();
+                    for (i, &r) in notified.iter().enumerate() {
+                        reports.push(r);
+                        if i % 2 == 1 {
+                            reports.push(r);
+                        }
+                    }
+                    slow_cmds = Vec::new();
+                    for &(m, release) in &reports {
+                        slow_cmds.extend(slow.on_report(&TestReport {
+                            machine: m,
+                            release,
+                            outcome: TestOutcome::Pass,
+                        }));
+                    }
+                    let mut fast_cmds = Vec::new();
+                    let mut rest: &[(MachineId, Release)] = &reports;
+                    while !rest.is_empty() {
+                        let k = fast.absorb_passes(rest);
+                        rest = &rest[k..];
+                        if let Some(&(m, release)) = rest.first() {
+                            fast_cmds.extend(fast.on_report(&TestReport {
+                                machine: m,
+                                release,
+                                outcome: TestOutcome::Pass,
+                            }));
+                            rest = &rest[1..];
+                        }
+                    }
+                    assert_eq!(
+                        slow_cmds,
+                        fast_cmds,
+                        "{} t={threshold} round {round}",
+                        choice.name()
+                    );
+                }
+                assert_eq!(slow.done(), fast.done(), "{}", choice.name());
+                assert!(slow.done(), "{} never completed", choice.name());
+            }
+        }
+    }
+
+    /// Drives every protocol to completion twice — once report-by-report,
+    /// once absorbing the first half of each wave through
+    /// `absorb_pass_batch` in *reversed* order (exercising the order-free
+    /// contract) — and checks the command streams stay identical whether
+    /// the batch was accepted or rejected.
+    #[test]
+    fn absorb_pass_batch_matches_on_report() {
+        use crate::dispatch::ProtocolChoice;
+
+        let pl = plan(&[
+            (&["a0", "a1", "a2", "a3"], 1, 1.0),
+            (&["b0", "b1", "b2", "b3"], 2, 2.0),
+        ]);
+        let mut accepted_batches = 0usize;
+        for choice in [
+            ProtocolChoice::NoStaging,
+            ProtocolChoice::Balanced,
+            ProtocolChoice::FrontLoading,
+            ProtocolChoice::RandomStaging { seed: 5 },
+        ] {
+            for threshold in [1.0, 0.75, 0.5] {
+                let mut slow = choice.build(pl.clone(), threshold);
+                let mut fast = choice.build(pl.clone(), threshold);
+                let mut slow_cmds = slow.start();
+                assert_eq!(slow_cmds, fast.start());
+                for round in 0..8 {
+                    let notified: Vec<(MachineId, Release)> = slow_cmds
+                        .iter()
+                        .flat_map(|c| match c {
+                            Command::Notify { machines, release } => {
+                                machines.iter().map(|&m| (m, *release)).collect()
+                            }
+                            Command::Complete => Vec::new(),
+                        })
+                        .collect();
+                    if notified.is_empty() {
+                        break;
+                    }
+                    // Duplicate every other report to exercise the
+                    // stale/duplicate skip arm of the batch check.
+                    let mut reports = Vec::new();
+                    for (i, &r) in notified.iter().enumerate() {
+                        reports.push(r);
+                        if i % 2 == 1 {
+                            reports.push(r);
+                        }
+                    }
+                    slow_cmds = Vec::new();
+                    for &(m, release) in &reports {
+                        slow_cmds.extend(slow.on_report(&TestReport {
+                            machine: m,
+                            release,
+                            outcome: TestOutcome::Pass,
+                        }));
+                    }
+                    let split = reports.len() / 2;
+                    let mut head: Vec<(MachineId, Release)> = reports[..split].to_vec();
+                    head.reverse();
+                    let accepted = fast.absorb_pass_batch(&head);
+                    if accepted {
+                        accepted_batches += 1;
+                    }
+                    let mut fast_cmds = Vec::new();
+                    let start = if accepted { split } else { 0 };
+                    for &(m, release) in &reports[start..] {
+                        fast_cmds.extend(fast.on_report(&TestReport {
+                            machine: m,
+                            release,
+                            outcome: TestOutcome::Pass,
+                        }));
+                    }
+                    // An accepted batch was, by contract, silent under the
+                    // slow path too, so the streams match either way.
+                    assert_eq!(
+                        slow_cmds,
+                        fast_cmds,
+                        "{} t={threshold} round {round}",
+                        choice.name()
+                    );
+                }
+                assert_eq!(slow.done(), fast.done(), "{}", choice.name());
+                assert!(slow.done(), "{} never completed", choice.name());
+            }
+        }
+        assert!(
+            accepted_batches > 0,
+            "the batch fast path never fired across the whole matrix"
+        );
+    }
+
+    /// The all-or-nothing arm: batches that would complete the
+    /// deployment, touch an active-stage representative, or un-waive a
+    /// machine are refused with no state change.
+    #[test]
+    fn absorb_pass_batch_rejects_transitions_atomically() {
+        // A batch completing NoStaging is refused; a partial batch lands
+        // and the closing report still emits Complete via on_report.
+        let pl = plan(&[(&["a", "b", "c"], 1, 1.0)]);
+        let id = |name: &str| pl.machine_id(name).expect("machine in plan");
+        let mut p = NoStaging::new(pl.clone());
+        p.start();
+        let all = [
+            (id("a"), Release(0)),
+            (id("b"), Release(0)),
+            (id("c"), Release(0)),
+        ];
+        assert!(
+            !p.absorb_pass_batch(&all),
+            "completing batch must be refused"
+        );
+        assert!(p.absorb_pass_batch(&all[..2]));
+        assert_eq!(p.on_report(&pass(&pl, "c", 0)), vec![Command::Complete]);
+
+        // A batch touching the active cluster's representative is
+        // refused while the stage waits on the literal reps list; a
+        // non-rep pass in the same state is absorbed.
+        let pl = plan(&[(&["r", "n1", "n2", "n3"], 1, 1.0), (&["x"], 1, 2.0)]);
+        let id = |name: &str| pl.machine_id(name).expect("machine in plan");
+        let mut p = Balanced::new(pl.clone(), 1.0);
+        p.start();
+        assert!(!p.absorb_pass_batch(&[(id("r"), Release(0))]));
+        assert!(p.absorb_pass_batch(&[(id("n1"), Release(0))]));
+
+        // A batch containing a waived machine is refused outright.
+        let pl = plan(&[(&["r", "n1", "n2", "n3"], 1, 1.0), (&["x"], 1, 2.0)]);
+        let id = |name: &str| pl.machine_id(name).expect("machine in plan");
+        let mut p = Balanced::new(pl.clone(), 1.0).with_rep_timeout(10);
+        p.start();
+        p.on_tick(5);
+        let cmds = p.on_tick(50);
+        assert!(
+            !cmds.is_empty(),
+            "stalled rep should be waived past the timeout"
+        );
+        assert!(!p.absorb_pass_batch(&[(id("r"), Release(0))]));
+        assert!(p.absorb_pass_batch(&[(id("n1"), Release(0))]));
     }
 
     #[test]

@@ -74,13 +74,22 @@ pub enum Event {
 
 /// One wheel slot: events at a single timestamp, drained via `head`
 /// so same-time pops are O(1) without shifting the vector.
-#[derive(Debug, Default, Clone)]
-struct Bucket {
-    events: Vec<Event>,
+#[derive(Debug, Clone)]
+struct Bucket<T> {
+    events: Vec<T>,
     head: usize,
 }
 
-impl Bucket {
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            events: Vec::new(),
+            head: 0,
+        }
+    }
+}
+
+impl<T> Bucket<T> {
     fn pending(&self) -> usize {
         self.events.len() - self.head
     }
@@ -102,22 +111,22 @@ impl Bucket {
 ///   could acquire same-time events (a same-time wheel insert while the
 ///   overflow entry exists is redirected to the overflow entry).
 #[derive(Debug)]
-pub struct EventQueue {
-    buckets: Vec<Bucket>,
+pub struct EventQueue<T: Copy = Event> {
+    buckets: Vec<Bucket<T>>,
     /// Next timestamp to drain; only advances.
     cursor: SimTime,
     /// Events currently in the wheel.
     wheel_len: usize,
     /// Far-future events: time → FIFO batch.
-    overflow: BTreeMap<SimTime, Vec<Event>>,
+    overflow: BTreeMap<SimTime, Vec<T>>,
     /// Total pending events (wheel + overflow).
     len: usize,
 }
 
-impl Default for EventQueue {
+impl<T: Copy> Default for EventQueue<T> {
     fn default() -> Self {
         EventQueue {
-            buckets: vec![Bucket::default(); WHEEL],
+            buckets: (0..WHEEL).map(|_| Bucket::default()).collect(),
             cursor: 0,
             wheel_len: 0,
             overflow: BTreeMap::new(),
@@ -126,7 +135,7 @@ impl Default for EventQueue {
     }
 }
 
-impl EventQueue {
+impl<T: Copy> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
@@ -137,7 +146,7 @@ impl EventQueue {
     /// Times earlier than the queue's current position are clamped to
     /// "now" (the simulation never schedules into the past; the clamp
     /// makes the queue total rather than panicking in release builds).
-    pub fn schedule(&mut self, time: SimTime, event: Event) {
+    pub fn schedule(&mut self, time: SimTime, event: T) {
         debug_assert!(time >= self.cursor, "scheduling into the past");
         let time = time.max(self.cursor);
         self.len += 1;
@@ -184,7 +193,7 @@ impl EventQueue {
     }
 
     /// Pops the earliest event, returning `(time, event)`.
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
         if self.len == 0 {
             return None;
         }
@@ -218,6 +227,66 @@ impl EventQueue {
                 self.migrate();
             }
         }
+    }
+
+    /// Positions the cursor on the earliest pending timestamp and
+    /// returns it without popping (`None` when the queue is empty).
+    /// Amortised O(1): any cursor advancement done here is work the
+    /// next `pop`/`pop_bucket` would have done anyway.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        self.migrate();
+        loop {
+            if self.wheel_len == 0 {
+                let (&t, _) = self
+                    .overflow
+                    .first_key_value()
+                    .expect("len > 0 but both queues empty");
+                self.cursor = t;
+                self.migrate();
+                continue;
+            }
+            if self.buckets[(self.cursor % WHEEL as SimTime) as usize].pending() > 0 {
+                return Some(self.cursor);
+            }
+            self.cursor += 1;
+            if !self.overflow.is_empty() {
+                self.migrate();
+            }
+        }
+    }
+
+    /// Drains every event at the earliest pending timestamp into `out`
+    /// (appended in FIFO order) and returns that timestamp. The
+    /// calendar invariant — each wheel bucket holds events of exactly
+    /// one timestamp — makes this one bucket copy instead of per-event
+    /// pops.
+    pub fn pop_bucket(&mut self, out: &mut Vec<T>) -> Option<SimTime> {
+        let t = self.next_time()?;
+        let bucket = &mut self.buckets[(t % WHEEL as SimTime) as usize];
+        let n = bucket.pending();
+        out.extend_from_slice(&bucket.events[bucket.head..]);
+        bucket.events.clear();
+        bucket.head = 0;
+        self.wheel_len -= n;
+        self.len -= n;
+        Some(t)
+    }
+
+    /// Empties the queue for reuse, keeping every bucket's allocation
+    /// (the arena-run fast path: a reused queue schedules into warmed
+    /// buckets).
+    pub fn reset(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.events.clear();
+            bucket.head = 0;
+        }
+        self.cursor = 0;
+        self.wheel_len = 0;
+        self.overflow.clear();
+        self.len = 0;
     }
 
     /// Number of pending events.
@@ -348,6 +417,63 @@ mod tests {
         q.schedule(4, test_done(2));
         assert_eq!(machine_of(q.pop().unwrap().1), 1);
         assert_eq!(machine_of(q.pop().unwrap().1), 2);
+    }
+
+    #[test]
+    fn next_time_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(9, test_done(0));
+        q.schedule(5_000, test_done(1)); // overflow at cursor 0
+        assert_eq!(q.next_time(), Some(9));
+        assert_eq!(q.len(), 2, "peek pops nothing");
+        assert_eq!(q.pop().unwrap().0, 9);
+        assert_eq!(q.next_time(), Some(5_000), "cursor jumps through overflow");
+        assert_eq!(q.pop().unwrap().0, 5_000);
+        assert_eq!(q.next_time(), None);
+    }
+
+    #[test]
+    fn pop_bucket_drains_one_timestamp_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(7, test_done(0));
+        q.schedule(7, test_done(1));
+        q.schedule(8, test_done(2));
+        let mut out = Vec::new();
+        assert_eq!(q.pop_bucket(&mut out), Some(7));
+        assert_eq!(
+            out.iter().map(|&e| machine_of(e)).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        assert_eq!(q.len(), 1, "later timestamps stay queued");
+        // Same-time events scheduled after a drain form the next batch.
+        q.schedule(8, test_done(3));
+        out.clear();
+        assert_eq!(q.pop_bucket(&mut out), Some(8));
+        assert_eq!(
+            out.iter().map(|&e| machine_of(e)).collect::<Vec<_>>(),
+            [2, 3]
+        );
+        assert_eq!(q.pop_bucket(&mut out), None);
+    }
+
+    #[test]
+    fn generic_payloads_and_reset_reuse() {
+        // The queue is generic over any `Copy` payload — the parallel
+        // driver stores `(seq, event)` pairs and per-shard records.
+        let mut q: EventQueue<(u64, u32)> = EventQueue::new();
+        q.schedule(3, (10, 1));
+        q.schedule(3, (11, 2));
+        q.schedule(2_500, (12, 3));
+        let mut out = Vec::new();
+        assert_eq!(q.pop_bucket(&mut out), Some(3));
+        assert_eq!(out, vec![(10, 1), (11, 2)]);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        // A reset queue starts over at time 0.
+        q.schedule(1, (0, 9));
+        assert_eq!(q.pop(), Some((1, (0, 9))));
     }
 
     /// Randomised model check: the calendar queue must agree with a

@@ -321,6 +321,19 @@ impl FaultRng {
         FaultRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
     }
 
+    /// Forks an independent per-`lane` stream off a base `seed`.
+    ///
+    /// The fork depends only on `(seed, lane)` — never on how many
+    /// draws other lanes have made — so a simulation that assigns one
+    /// lane per machine produces the same per-machine fault schedule
+    /// regardless of event interleaving or (in the parallel driver)
+    /// worker count.
+    pub fn fork(seed: u64, lane: u64) -> Self {
+        // A second odd multiplier decorrelates lanes from each other
+        // and from the base stream before the `new` scramble.
+        FaultRng::new(seed ^ lane.wrapping_add(1).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
+
     /// Next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
@@ -346,6 +359,63 @@ impl FaultRng {
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
         p > 0.0 && self.next_f64() < p
+    }
+}
+
+/// A table of lazily-seeded [`FaultRng::fork`] lanes over one base
+/// seed: lane `i` always yields the stream `fork(seed, i*stride +
+/// offset)`, no matter which other lanes were touched first.
+///
+/// The sequential driver uses one lane per machine (`stride == 1`) for
+/// machine→vendor draws; the parallel driver's shards use strided
+/// tables (`stride == workers`, `offset == shard`) so each shard stores
+/// only its own machines yet draws from the *same* per-machine streams.
+/// Unseeded lanes are marked by state 0, which a seeded xorshift64*
+/// stream can never reach (`new` forces the low bit), so a fresh table
+/// is one cheap zeroed allocation.
+#[derive(Debug, Clone)]
+pub struct RngLanes {
+    seed: u64,
+    stride: u64,
+    offset: u64,
+    lanes: Vec<FaultRng>,
+}
+
+impl RngLanes {
+    /// One lane per index in `0..len`, lane id == index.
+    pub fn new(seed: u64, len: usize) -> Self {
+        RngLanes::strided(seed, len, 1, 0)
+    }
+
+    /// A strided table: local index `i` maps to lane id
+    /// `i*stride + offset`.
+    pub fn strided(seed: u64, len: usize, stride: u64, offset: u64) -> Self {
+        RngLanes {
+            seed,
+            stride,
+            offset,
+            lanes: vec![FaultRng(0); len],
+        }
+    }
+
+    /// The lane stream at local index `i`, seeded on first use.
+    #[inline]
+    pub fn lane(&mut self, i: usize) -> &mut FaultRng {
+        let slot = &mut self.lanes[i];
+        if slot.0 == 0 {
+            *slot = FaultRng::fork(self.seed, (i as u64) * self.stride + self.offset);
+        }
+        slot
+    }
+
+    /// Re-keys the table for reuse (arena runs): every lane returns to
+    /// the unseeded state, keeping the allocation.
+    pub fn reset(&mut self, seed: u64, len: usize, stride: u64, offset: u64) {
+        self.seed = seed;
+        self.stride = stride;
+        self.offset = offset;
+        self.lanes.clear();
+        self.lanes.resize(len, FaultRng(0));
     }
 }
 
@@ -451,5 +521,57 @@ mod tests {
         for _ in 0..50 {
             assert!(FaultRng::new(9).below_inclusive(4) <= 4);
         }
+    }
+
+    #[test]
+    fn forked_lanes_are_deterministic_and_distinct() {
+        let mut a = FaultRng::fork(0xFA17, 3);
+        let mut b = FaultRng::fork(0xFA17, 3);
+        let mut c = FaultRng::fork(0xFA17, 4);
+        let mut base = FaultRng::new(0xFA17);
+        let (x, y, z, w) = (a.next_u64(), b.next_u64(), c.next_u64(), base.next_u64());
+        assert_eq!(x, y, "same (seed, lane) replays");
+        assert_ne!(x, z, "lanes diverge");
+        assert_ne!(x, w, "lanes diverge from the base stream");
+    }
+
+    #[test]
+    fn lanes_are_order_independent() {
+        // Drawing lanes in different orders must not change any lane's
+        // stream — the property the parallel driver relies on.
+        let mut fwd = RngLanes::new(42, 8);
+        let mut rev = RngLanes::new(42, 8);
+        let a: Vec<u64> = (0..8).map(|i| fwd.lane(i).next_u64()).collect();
+        let b: Vec<u64> = (0..8).rev().map(|i| rev.lane(i).next_u64()).collect();
+        for i in 0..8 {
+            assert_eq!(a[i], b[7 - i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn strided_lanes_match_global_lane_ids() {
+        // A 3-shard split: shard s stores machines {s, s+3, s+6, ...}
+        // at local index m/3 and must draw machine m's global stream.
+        let n = 12usize;
+        let mut global = RngLanes::new(7, n);
+        let mut shards: Vec<RngLanes> = (0..3)
+            .map(|s| RngLanes::strided(7, n.div_ceil(3), 3, s as u64))
+            .collect();
+        for m in 0..n {
+            let expect = global.lane(m).next_u64();
+            let got = shards[m % 3].lane(m / 3).next_u64();
+            assert_eq!(expect, got, "machine {m}");
+        }
+    }
+
+    #[test]
+    fn lane_reset_rekeys_and_replays() {
+        let mut lanes = RngLanes::new(1, 4);
+        let first = lanes.lane(2).next_u64();
+        let _ = lanes.lane(2).next_u64(); // advance past the first draw
+        lanes.reset(1, 4, 1, 0);
+        assert_eq!(lanes.lane(2).next_u64(), first, "reset replays the stream");
+        lanes.reset(2, 4, 1, 0);
+        assert_ne!(lanes.lane(2).next_u64(), first, "new seed, new stream");
     }
 }

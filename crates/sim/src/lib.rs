@@ -34,13 +34,18 @@
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod parallel;
 pub mod runner;
 pub mod scenario;
 pub mod urr_sink;
 
 pub use engine::{Event, EventQueue, SimTime};
-pub use faults::{FaultPlan, FaultRng, FaultSpec};
+pub use faults::{FaultPlan, FaultRng, FaultSpec, RngLanes};
 pub use metrics::{latency_cdf, ClusterLatency, SimMetrics};
+pub use parallel::{
+    resolve_workers, run_parallel, run_parallel_auto, run_parallel_in, run_parallel_with_telemetry,
+    SimArena, MAX_WORKERS,
+};
 pub use runner::{run, run_with_telemetry, Simulation};
 pub use scenario::{Scenario, ScenarioBuilder, Timings};
 pub use urr_sink::UrrSink;

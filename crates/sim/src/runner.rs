@@ -19,7 +19,7 @@ use mirage_telemetry::{FlightEvent, Telemetry};
 use std::sync::Arc;
 
 use crate::engine::{Event, EventQueue, SimTime};
-use crate::faults::FaultRng;
+use crate::faults::{FaultRng, RngLanes};
 use crate::metrics::SimMetrics;
 use crate::scenario::Scenario;
 use crate::urr_sink::UrrSink;
@@ -28,12 +28,12 @@ use crate::urr_sink::UrrSink;
 /// after this many re-notification attempts the vendor gives up on a
 /// machine even when [`crate::FaultPlan::max_retries`] is unset. At any
 /// realistic loss rate the chance of hitting this cap is negligible.
-const RETRY_SAFETY_CAP: u32 = 10_000;
+pub(crate) const RETRY_SAFETY_CAP: u32 = 10_000;
 
 /// Journal emissions buffered in the driver before one batched flush.
 /// Bounds the buffer at ~128 KiB while amortising the recorder's lock
 /// to a few dozen acquisitions per run.
-const JOURNAL_FLUSH_LEN: usize = 4_096;
+pub(crate) const JOURNAL_FLUSH_LEN: usize = 4_096;
 
 /// A running simulation binding a scenario to a protocol.
 #[derive(Debug)]
@@ -66,8 +66,16 @@ pub struct Simulation<'a> {
     /// driver takes the original synchronous-delivery code paths —
     /// bit-identical to the pre-fault simulator.
     faults_active: bool,
-    /// Seeded fault RNG (only consulted when `faults_active`).
-    rng: FaultRng,
+    /// Seeded fault RNG for vendor→machine transmissions (one global
+    /// stream — the vendor is a single sequential actor). Only
+    /// consulted when `faults_active`.
+    rng_down: FaultRng,
+    /// Per-machine fault RNG lanes for machine→vendor transmissions,
+    /// forked per machine off the plan seed so each machine's report
+    /// fault schedule depends only on its own event order — the
+    /// property that lets the parallel driver draw them shard-side and
+    /// stay bit-identical. Empty unless `faults_active`.
+    rng_up: RngLanes,
     /// Per-machine outstanding notification: `(release, attempt)` the
     /// vendor is awaiting a report for. Drives timed re-notification.
     /// Empty unless `faults_active`.
@@ -114,7 +122,8 @@ impl<'a> Simulation<'a> {
             journaling: false,
             journal_buf: Vec::new(),
             faults_active,
-            rng: FaultRng::new(scenario.faults.seed),
+            rng_down: FaultRng::new(scenario.faults.seed),
+            rng_up: RngLanes::new(scenario.faults.seed, if faults_active { n } else { 0 }),
             awaiting,
             churn,
             ticks_issued: 0,
@@ -279,7 +288,7 @@ impl<'a> Simulation<'a> {
         let dup = self.scenario.faults.duplication;
         let max_delay = self.scenario.faults.max_delay;
         let mut deliveries = 0u32;
-        if self.rng.chance(loss) {
+        if self.rng_down.chance(loss) {
             self.metrics.msgs_dropped += 1;
             self.telemetry.counter("sim.msgs_dropped", 1);
             self.jot(JournalEvent::Fault {
@@ -288,7 +297,7 @@ impl<'a> Simulation<'a> {
             });
         } else {
             deliveries += 1;
-            if self.rng.chance(dup) {
+            if self.rng_down.chance(dup) {
                 self.metrics.msgs_duplicated += 1;
                 self.telemetry.counter("sim.msgs_duplicated", 1);
                 self.jot(JournalEvent::Fault {
@@ -299,7 +308,7 @@ impl<'a> Simulation<'a> {
             }
         }
         for _ in 0..deliveries {
-            let delay = self.rng.below_inclusive(max_delay);
+            let delay = self.rng_down.below_inclusive(max_delay);
             // A delivery into a crash window is gone for good; churn is
             // not channel loss, so it is not counted as dropped.
             if let Some(start) = self.available_from(machine, self.now + delay) {
@@ -318,28 +327,41 @@ impl<'a> Simulation<'a> {
         let loss = self.scenario.faults.loss;
         let dup = self.scenario.faults.duplication;
         let max_delay = self.scenario.faults.max_delay;
-        let mut deliveries = 0u32;
-        if self.rng.chance(loss) {
+        // All draws come from the machine's own up-link lane, in a fixed
+        // per-report order (loss, duplication, then one delay per
+        // delivery) — the schedule depends only on this machine's report
+        // history, never on interleaving with other machines.
+        let lane = self.rng_up.lane(machine.index());
+        let lost = lane.chance(loss);
+        let mut deliveries = 0usize;
+        let mut duplicated = false;
+        let mut delays = [0u64; 2];
+        if !lost {
+            deliveries = 1;
+            if lane.chance(dup) {
+                duplicated = true;
+                deliveries = 2;
+            }
+            for slot in delays.iter_mut().take(deliveries) {
+                *slot = lane.below_inclusive(max_delay);
+            }
+        }
+        if lost {
             self.metrics.msgs_dropped += 1;
             self.telemetry.counter("sim.msgs_dropped", 1);
             self.jot(JournalEvent::Fault {
                 fault: FaultKind::Loss,
                 machine: machine.index() as u32,
             });
-        } else {
-            deliveries += 1;
-            if self.rng.chance(dup) {
-                self.metrics.msgs_duplicated += 1;
-                self.telemetry.counter("sim.msgs_duplicated", 1);
-                self.jot(JournalEvent::Fault {
-                    fault: FaultKind::Duplication,
-                    machine: machine.index() as u32,
-                });
-                deliveries += 1;
-            }
+        } else if duplicated {
+            self.metrics.msgs_duplicated += 1;
+            self.telemetry.counter("sim.msgs_duplicated", 1);
+            self.jot(JournalEvent::Fault {
+                fault: FaultKind::Duplication,
+                machine: machine.index() as u32,
+            });
         }
-        for _ in 0..deliveries {
-            let delay = self.rng.below_inclusive(max_delay);
+        for &delay in delays.iter().take(deliveries) {
             self.queue.schedule(
                 self.now + delay,
                 Event::ReportDelivery {

@@ -82,6 +82,13 @@ pub struct Scenario {
     /// is also deposited as a structured report. `None` (the default)
     /// keeps the simulator bit-identical to the unwired driver.
     pub urr: Option<Arc<Urr>>,
+    /// Preferred worker (shard) count for the parallel driver, set via
+    /// [`ScenarioBuilder::with_workers`]. `None` defers to the
+    /// `MIRAGE_SIM_THREADS` environment variable and then the host's
+    /// available parallelism (see [`crate::parallel::resolve_workers`]).
+    /// Purely a scheduling hint: results are bit-identical at every
+    /// worker count.
+    pub workers: Option<usize>,
 }
 
 impl Scenario {
@@ -99,6 +106,7 @@ impl Scenario {
             missed_detection: MachineSet::new(),
             faults: FaultPlan::none(),
             urr: None,
+            workers: None,
         }
     }
 
@@ -257,6 +265,7 @@ pub struct ScenarioBuilder {
     urr: Option<Arc<Urr>>,
     timings: Timings,
     threshold: f64,
+    workers: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -278,6 +287,7 @@ impl ScenarioBuilder {
             urr: None,
             timings: Timings::paper_default(),
             threshold: 1.0,
+            workers: None,
         }
     }
 
@@ -384,6 +394,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Pins the parallel driver's worker (shard) count for this
+    /// scenario, overriding `MIRAGE_SIM_THREADS` and the host's
+    /// available parallelism. Purely a scheduling hint — the simulation
+    /// is bit-identical at every worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Builds the scenario.
     ///
     /// # Panics
@@ -407,6 +426,7 @@ impl ScenarioBuilder {
         let mut scenario = Scenario::from_plan(plan);
         scenario.timings = self.timings;
         scenario.threshold = self.threshold;
+        scenario.workers = self.workers;
 
         for (problem, cluster_ids) in &self.problems {
             let p = scenario.problems.intern(problem);

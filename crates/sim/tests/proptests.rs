@@ -12,7 +12,10 @@ use std::sync::Arc;
 use mirage_deploy::reference::{AnyNamedProtocol, NamedProtocol};
 use mirage_deploy::{AnyProtocol, Balanced, NoStaging, Protocol, ProtocolChoice};
 use mirage_sim::runner::reference::{run_reference, NamedScenario};
-use mirage_sim::{run, run_with_telemetry, FaultSpec, Scenario, ScenarioBuilder};
+use mirage_sim::{
+    run, run_parallel, run_parallel_with_telemetry, run_with_telemetry, FaultSpec, Scenario,
+    ScenarioBuilder,
+};
 use mirage_telemetry::{Journal, Registry, Telemetry};
 
 /// Deterministic xorshift64 generator for scenario specs.
@@ -390,6 +393,111 @@ fn journaled_run_is_bit_identical() {
                 0,
                 "case {case}: {name} spill journal dropped events ({spec:?})"
             );
+        }
+    }
+}
+
+/// Builds the parallel-equivalence scenario for `case`: extension
+/// knobs from [`random_scenario_ext`], heavy faults (loss, dup, delay,
+/// retries, rep timeouts) on odd cases so both the reliable and the
+/// faulted replay paths face the full 48-case gauntlet.
+fn parallel_case(rng: &mut Rng, case: u64) -> (RandomScenario, Scenario) {
+    let spec = random_scenario_ext(rng);
+    let mut builder = ScenarioBuilder::new()
+        .clusters(spec.clusters, spec.size, 1)
+        .threshold(spec.threshold);
+    if !spec.problem_clusters.is_empty() {
+        builder = builder.problem_in_clusters("p-main", &spec.problem_clusters);
+    }
+    if let Some((cluster, count, until)) = spec.offline {
+        builder = builder.offline_machines(cluster, count, until);
+    }
+    if let Some((cluster, count)) = spec.missed {
+        builder = builder.missed_detections(cluster, count);
+    }
+    if case % 2 == 1 {
+        builder = builder.faults(
+            FaultSpec::new(0x0B5E ^ case)
+                .loss(0.30)
+                .duplication(0.15)
+                .delay(6)
+                .retry(20, 4)
+                .rep_timeout(600),
+        );
+    }
+    (spec, builder.build())
+}
+
+/// **Parallel equivalence** (tentpole acceptance): the sharded
+/// time-bucket driver produces *bit-identical* [`mirage_sim::SimMetrics`]
+/// to the sequential oracle at 1, 2, 4, and 8 workers, across 48 random
+/// scenarios (extension knobs included, heavy faults on odd cases) and
+/// all four protocols — the fault schedule, retry cascade, and waiver
+/// timing must reproduce exactly at every shard count.
+#[test]
+fn parallel_driver_matches_sequential_oracle() {
+    let mut rng = Rng::new(0x5EB);
+    for case in 0..48u64 {
+        let (spec, scenario) = parallel_case(&mut rng, case);
+        for choice in choices(case) {
+            let name = choice.name();
+            let mut oracle = choice.build(scenario.plan.clone(), scenario.threshold);
+            let expect = run(&scenario, &mut oracle);
+            for workers in [1usize, 2, 4, 8] {
+                let mut protocol = choice.build(scenario.plan.clone(), scenario.threshold);
+                let got = run_parallel(&scenario, &mut protocol, workers);
+                assert_eq!(
+                    expect, got,
+                    "case {case}: {name} diverged at {workers} workers ({spec:?})"
+                );
+                assert!(
+                    protocol.done(),
+                    "case {case}: {name} not done at {workers} workers ({spec:?})"
+                );
+            }
+        }
+    }
+}
+
+/// **Journaled parallel equivalence**: with a journal-enabled registry
+/// attached to driver *and* protocol, the parallel driver's journal
+/// stream — entry for entry, `(time, seq, payload)` — and metrics match
+/// the sequential oracle's at 1, 2, 4, and 8 workers across the same
+/// 48-case gauntlet. The merge rule replays cross-shard events in
+/// exactly the sequential order, so even the raw (unsorted) stream is
+/// identical.
+#[test]
+fn journaled_parallel_run_matches_sequential() {
+    let mut rng = Rng::new(0x0B7);
+    for case in 0..48u64 {
+        let (spec, scenario) = parallel_case(&mut rng, case);
+        for choice in choices(case) {
+            let name = choice.name();
+            let seq_reg = Arc::new(Registry::with_journal(4096, Journal::with_spill(4096)));
+            let seq_tel = Telemetry::from_registry(Arc::clone(&seq_reg));
+            let mut seq_p = choice
+                .build(scenario.plan.clone(), scenario.threshold)
+                .with_telemetry(seq_tel.clone());
+            let seq_m = run_with_telemetry(&scenario, &mut seq_p, seq_tel);
+            let seq_entries = seq_reg.journal().entries();
+            assert!(!seq_entries.is_empty(), "case {case}: {name} journal empty");
+            for workers in [1usize, 2, 4, 8] {
+                let par_reg = Arc::new(Registry::with_journal(4096, Journal::with_spill(4096)));
+                let par_tel = Telemetry::from_registry(Arc::clone(&par_reg));
+                let mut par_p = choice
+                    .build(scenario.plan.clone(), scenario.threshold)
+                    .with_telemetry(par_tel.clone());
+                let par_m = run_parallel_with_telemetry(&scenario, &mut par_p, par_tel, workers);
+                assert_eq!(
+                    seq_m, par_m,
+                    "case {case}: {name} journaled metrics diverged at {workers} workers ({spec:?})"
+                );
+                assert_eq!(
+                    seq_entries,
+                    par_reg.journal().entries(),
+                    "case {case}: {name} journal stream diverged at {workers} workers ({spec:?})"
+                );
+            }
         }
     }
 }
