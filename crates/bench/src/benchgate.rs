@@ -27,7 +27,13 @@
 //!   under the 15% acceptance budget on the full (non-smoke) fleet,
 //!   nothing dropped from the journal, and the embedded Chrome
 //!   `trace_event` sample schema-valid (string `name`, known `ph`
-//!   phase, numeric `pid`/`tid`).
+//!   phase, numeric `pid`/`tid`);
+//! * `BENCH_drift.json` — harness rows well-formed and non-smoke, the
+//!   100k batch-engine/reference-loop pair present with the batch
+//!   engine at least 5x faster, re-cluster-after-drift p50 ≤ p99,
+//!   positive sustained moves/s, the 1M scale row present, and the
+//!   engine's drift counters verified equal to the reference plane's
+//!   during the run (`drift_counters_match`).
 //!
 //! Harness rows must carry at least [`MIN_SAMPLES`] samples unless
 //! they are explicitly marked `"scale": true` — a single-observation
@@ -58,17 +64,20 @@ pub enum BenchKind {
     Urr,
     /// `BENCH_trace.json` (suite `trace-overhead`).
     Trace,
+    /// `BENCH_drift.json` (suite `drift-perf`).
+    Drift,
 }
 
 impl BenchKind {
     /// Every kind with its committed file name.
-    pub const ALL: [(BenchKind, &'static str); 6] = [
+    pub const ALL: [(BenchKind, &'static str); 7] = [
         (BenchKind::Clustering, "BENCH_clustering.json"),
         (BenchKind::Sim, "BENCH_sim.json"),
         (BenchKind::Faults, "BENCH_faults.json"),
         (BenchKind::Sweep, "BENCH_sweep.json"),
         (BenchKind::Urr, "BENCH_urr.json"),
         (BenchKind::Trace, "BENCH_trace.json"),
+        (BenchKind::Drift, "BENCH_drift.json"),
     ];
 
     /// The `suite` value the document must carry.
@@ -80,6 +89,7 @@ impl BenchKind {
             BenchKind::Sweep => "sim-sweep",
             BenchKind::Urr => "urr-perf",
             BenchKind::Trace => "trace-overhead",
+            BenchKind::Drift => "drift-perf",
         }
     }
 }
@@ -395,6 +405,62 @@ pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
                 sample.len()
             ));
         }
+        BenchKind::Drift => {
+            let rows = results(&doc)?;
+            for row in rows {
+                check_harness_row(row)?;
+            }
+            for required in [
+                "drift/100k/batch-engine",
+                "drift/100k/reference-loop",
+                "drift/1m/batch-engine",
+            ] {
+                if !rows
+                    .iter()
+                    .any(|r| r.get("name").and_then(Value::as_str) == Some(required))
+                {
+                    return Err(fail(format!("missing harness row '{required}'")));
+                }
+            }
+            notes.push(format!("{} harness rows well-formed", rows.len()));
+            // The committed document must come from a full run: smoke
+            // fleets are far too small for the speedup claim to mean
+            // anything.
+            if boolean(&doc, "smoke")? {
+                return Err(fail(
+                    "committed drift document is a --smoke run; commit a full run",
+                ));
+            }
+            let speedup = num(&doc, "speedup_100k_vs_reference")?;
+            if speedup < 5.0 {
+                return Err(fail(format!(
+                    "100k batch-engine speedup vs reference loop below the 5x floor ({speedup})"
+                )));
+            }
+            notes.push(format!("100k batch vs reference speedup: {speedup:.2}x"));
+            let p50 = num(&doc, "recluster_p50_ns")?;
+            let p99 = num(&doc, "recluster_p99_ns")?;
+            if p50 > p99 {
+                return Err(fail("re-cluster-after-drift latency: p50 > p99"));
+            }
+            notes.push(format!(
+                "re-cluster-after-drift p50/p99 present and ordered ({p50:.0}/{p99:.0} ns)"
+            ));
+            let moves = num(&doc, "moves_per_sec")?;
+            if moves <= 0.0 {
+                return Err(fail("sustained moves/s is not positive"));
+            }
+            notes.push(format!("sustained {moves:.0} moves/s"));
+            // The run cross-checks the engine's published drift
+            // counters against the reference plane's; a mismatch means
+            // the measured workloads were not equivalent.
+            if !boolean(&doc, "drift_counters_match")? {
+                return Err(fail(
+                    "drift_counters_match is false: measured planes diverged",
+                ));
+            }
+            notes.push("drift counters verified equal across planes".to_string());
+        }
     }
     Ok(notes)
 }
@@ -645,14 +711,74 @@ mod tests {
         assert!(err.to_string().contains("trace/journaled-run"), "{err}");
     }
 
+    fn drift_doc(speedup: f64, smoke: bool, p50: u64, p99: u64, counters_match: bool) -> String {
+        format!(
+            "{{\"suite\": \"drift-perf\", \"smoke\": {smoke}, \"machines\": 100000,\n\
+             \"results\": [{}, {}, {}],\n\
+             \"speedup_100k_vs_reference\": {speedup},\n\
+             \"recluster_p50_ns\": {p50}, \"recluster_p99_ns\": {p99},\n\
+             \"moves_per_sec\": 51234.0, \"drift_counters_match\": {counters_match}}}",
+            harness_row("drift/100k/batch-engine"),
+            harness_row("drift/100k/reference-loop"),
+            scale_row("drift/1m/batch-engine"),
+        )
+    }
+
+    #[test]
+    fn valid_drift_document_passes() {
+        let notes = check(BenchKind::Drift, &drift_doc(8.4, false, 900, 4200, true)).unwrap();
+        assert!(notes.iter().any(|n| n.contains("speedup")), "{notes:?}");
+        assert!(notes.iter().any(|n| n.contains("moves/s")), "{notes:?}");
+    }
+
+    #[test]
+    fn drift_invariant_breaches_fail() {
+        // Speedup below the 5x acceptance floor.
+        let err = check(BenchKind::Drift, &drift_doc(3.2, false, 900, 4200, true)).unwrap_err();
+        assert!(err.to_string().contains("5x floor"), "{err}");
+
+        // A committed smoke run is not an acceptable headline document.
+        let err = check(BenchKind::Drift, &drift_doc(8.4, true, 900, 4200, true)).unwrap_err();
+        assert!(err.to_string().contains("--smoke"), "{err}");
+
+        // Latency percentiles out of order.
+        let err = check(BenchKind::Drift, &drift_doc(8.4, false, 4200, 900, true)).unwrap_err();
+        assert!(err.to_string().contains("p50 > p99"), "{err}");
+
+        // The run's cross-plane counter check failed.
+        let err = check(BenchKind::Drift, &drift_doc(8.4, false, 900, 4200, false)).unwrap_err();
+        assert!(err.to_string().contains("drift_counters_match"), "{err}");
+
+        // The reference pair row is required for the speedup to mean
+        // anything.
+        let missing =
+            drift_doc(8.4, false, 900, 4200, true).replace("drift/100k/reference-loop", "other");
+        let err = check(BenchKind::Drift, &missing).unwrap_err();
+        assert!(err.to_string().contains("reference-loop"), "{err}");
+
+        // The 1M scale row is part of the committed surface.
+        let missing =
+            drift_doc(8.4, false, 900, 4200, true).replace("drift/1m/batch-engine", "other");
+        let err = check(BenchKind::Drift, &missing).unwrap_err();
+        assert!(err.to_string().contains("drift/1m"), "{err}");
+
+        // Zero moves/s means the workload measured nothing.
+        let zeroed = drift_doc(8.4, false, 900, 4200, true)
+            .replace("\"moves_per_sec\": 51234.0", "\"moves_per_sec\": 0");
+        let err = check(BenchKind::Drift, &zeroed).unwrap_err();
+        assert!(err.to_string().contains("moves/s"), "{err}");
+    }
+
     #[test]
     fn kind_metadata() {
-        assert_eq!(BenchKind::ALL.len(), 6);
+        assert_eq!(BenchKind::ALL.len(), 7);
         assert_eq!(BenchKind::Urr.suite(), "urr-perf");
         assert_eq!(BenchKind::Sweep.suite(), "sim-sweep");
         assert_eq!(BenchKind::Trace.suite(), "trace-overhead");
+        assert_eq!(BenchKind::Drift.suite(), "drift-perf");
         assert_eq!(BenchKind::ALL[0].1, "BENCH_clustering.json");
         assert_eq!(BenchKind::ALL[3].1, "BENCH_sweep.json");
         assert_eq!(BenchKind::ALL[5].1, "BENCH_trace.json");
+        assert_eq!(BenchKind::ALL[6].1, "BENCH_drift.json");
     }
 }

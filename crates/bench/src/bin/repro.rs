@@ -20,6 +20,8 @@
 //!                      (--smoke shrinks the fleet and grid for CI)
 //!   urr-perf           URR ingest/query benchmark → BENCH_urr.json
 //!                      (--smoke shrinks the report volume for CI)
+//!   drift-perf         batch drift engine vs reference re-clustering loop
+//!                      → BENCH_drift.json (--smoke shrinks the fleet for CI)
 //!   trace              journal overhead benchmark → BENCH_trace.json, plus a
 //!                      Perfetto-loadable Chrome trace → mirage-trace.json
 //!                      (--smoke shrinks the fleet for CI)
@@ -79,7 +81,7 @@ fn main() {
             "all".to_string()
         }
     });
-    const KNOWN: [&str; 21] = [
+    const KNOWN: [&str; 22] = [
         "all",
         "fig1",
         "fig2",
@@ -99,6 +101,7 @@ fn main() {
         "fault-sweep",
         "sweep",
         "urr-perf",
+        "drift-perf",
         "trace",
         "health",
     ];
@@ -164,6 +167,9 @@ fn main() {
     }
     if arg == "urr-perf" {
         urr_perf(csv_dir.as_deref(), smoke);
+    }
+    if arg == "drift-perf" {
+        drift_perf(csv_dir.as_deref(), smoke);
     }
     if arg == "trace" {
         trace(csv_dir.as_deref(), smoke);
@@ -581,6 +587,371 @@ fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
     assert!(
         speedup >= floor,
         "sharded ingest speedup {speedup:.2}x fell below the {floor}x regression floor; see {}",
+        path.display()
+    );
+}
+
+/// Benchmarks re-clustering after fleet drift — the batch drift engine
+/// on the dense interned plane vs the retained reference loop — and
+/// writes `BENCH_drift.json`, into the `--csv` directory when given,
+/// the working directory otherwise.
+///
+/// The fleet is synthetic but adversarially bucketed: `envs`
+/// environments (distinct parsed diffs), each split into 4 config
+/// variants of `per_cluster` machines, so every candidate scan must
+/// pick between 4 same-environment clusters. The drift batch is
+/// power-law: a cubed uniform sample concentrates churn on the low
+/// environments, like a hot config pushed rack by rack; each delta
+/// rewrites a machine's config variant (deltas that land on the
+/// machine's current variant are genuine no-ops and exercise the
+/// fast path).
+///
+/// Three measurements:
+/// * the paired batch comparison (`drift/100k/batch-engine` vs
+///   `drift/100k/reference-loop`, interleaved samples, engine rebuild
+///   and reference fleet-map clone untimed on their own sides);
+/// * per-delta re-cluster latency on a persistent engine
+///   (`drift/100k/per-delta`, one sample per delta; the document's
+///   `recluster_p50_ns`/`recluster_p99_ns`);
+/// * a single-shot 1M-machine batch (`drift/1m/batch-engine`, marked
+///   `scale`; full runs only).
+///
+/// Before timing anything, the run drives both planes over the same
+/// batch and cross-checks their `DriftStats` and output clusterings —
+/// the `drift_counters_match` flag the bench gate requires — so the
+/// speedup is provably a comparison of equivalent work.
+///
+/// `--smoke` shrinks the fleet (5k machines, 100 deltas, no 1M row) so
+/// CI can exercise the whole path in debug builds. The per-benchmark
+/// budget follows `MIRAGE_BENCH_MS` (default 150 ms).
+fn drift_perf(csv: Option<&std::path::Path>, smoke: bool) {
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    use mirage_bench::harness::{black_box, fmt_ns, BenchStats, MIN_SAMPLES};
+    use mirage_cluster::{
+        clustering_from_groups, drift_reference, Clustering, DriftEngine, DriftOp, MachineDelta,
+        MachineInfo,
+    };
+    use mirage_fingerprint::{DiffSet, Item};
+    use mirage_telemetry::Telemetry;
+
+    heading(if smoke {
+        "Drift performance (smoke fleet): batch engine vs reference loop"
+    } else {
+        "Drift performance: batch engine vs reference loop (100k machines)"
+    });
+
+    const VARIANTS: usize = 4;
+    let diameter = 1usize;
+    let (envs, per_cluster, delta_count) = if smoke {
+        (10, 125, 100)
+    } else {
+        (200, 125, 1000)
+    };
+    let n_main = envs * VARIANTS * per_cluster;
+    let label = |n: usize| {
+        if n >= 1_000_000 {
+            format!("{}m", n / 1_000_000)
+        } else {
+            format!("{}k", n / 1_000)
+        }
+    };
+
+    /// `envs` environments x 4 config variants x `per` machines, grouped
+    /// into derived-consistent clusters.
+    fn fleet(envs: usize, per: usize) -> (Clustering, Vec<MachineInfo>) {
+        let mut groups = Vec::with_capacity(envs * VARIANTS);
+        for e in 0..envs {
+            for v in 0..VARIANTS {
+                groups.push(
+                    (0..per)
+                        .map(|m| {
+                            let mut diff = DiffSet::empty(format!("m-{e:04}-{v}-{m:04}"));
+                            diff.parsed.insert(Item::new([format!("env{e}")]));
+                            diff.content.insert(Item::new([format!("cfg{v}")]));
+                            MachineInfo::new(diff)
+                        })
+                        .collect(),
+                );
+            }
+        }
+        clustering_from_groups(&groups)
+    }
+
+    /// Power-law drift batch: each delta forces its machine onto a
+    /// random config variant (removing every variant first, so a delta
+    /// onto the current variant is a no-op).
+    fn drift_batch(seed: &mut u64, fleet: &[MachineInfo], count: usize) -> Vec<MachineDelta> {
+        let mut rng = move || {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed
+        };
+        let all_cfgs: Vec<Item> = (0..VARIANTS)
+            .map(|v| Item::new([format!("cfg{v}")]))
+            .collect();
+        let total = fleet.len();
+        (0..count)
+            .map(|_| {
+                let r = (rng() % total as u64) as f64 / total as f64;
+                let idx = ((r * r * r) * total as f64) as usize;
+                let to = (rng() % VARIANTS as u64) as usize;
+                MachineDelta {
+                    machine: fleet[idx.min(total - 1)].id().to_string(),
+                    op: DriftOp::ConfigEdit {
+                        add: vec![all_cfgs[to].clone()],
+                        remove: all_cfgs.clone(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Sorts `samples_ns`, prints one harness-style row, and records the
+    /// statistics (plus p99) into `rows`.
+    fn record(rows: &mut Vec<(BenchStats, u64)>, name: &str, scale: bool, mut samples: Vec<u64>) {
+        samples.sort_unstable();
+        let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: samples.len(),
+            min_ns: samples[0],
+            p50_ns: samples[samples.len() / 2],
+            mean_ns: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+            max_ns: *samples.last().expect("non-empty"),
+            bytes: None,
+            scale,
+        };
+        println!(
+            "{:<44} {:>8} {:>12} {:>12} {:>12}",
+            stats.name,
+            stats.samples,
+            fmt_ns(stats.min_ns as f64),
+            fmt_ns(stats.p50_ns as f64),
+            fmt_ns(stats.mean_ns),
+        );
+        rows.push((stats, p99));
+    }
+
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let (clustering, fleet_main) = fleet(envs, per_cluster);
+    let deltas = drift_batch(&mut seed, &fleet_main, delta_count);
+    assert_eq!(fleet_main.len(), n_main);
+
+    // --- Cross-plane verification (untimed): the batch the benchmark
+    // times must mean exactly the same thing to both planes.
+    let mut verify_engine = DriftEngine::new(&clustering, &fleet_main, diameter);
+    let engine_stats = verify_engine.recluster_batch(&deltas);
+    verify_engine.validate().expect("engine invariants");
+    let mut ref_map: BTreeMap<String, MachineInfo> = fleet_main
+        .iter()
+        .map(|m| (m.id().to_string(), m.clone()))
+        .collect();
+    let (ref_clustering, ref_stats) = drift_reference(
+        &clustering,
+        &mut ref_map,
+        &deltas,
+        diameter,
+        &Telemetry::noop(),
+    );
+    let counters_match = engine_stats == ref_stats && verify_engine.clustering() == ref_clustering;
+    println!(
+        "=> verification: {} applied ({} moves, {} adoptions, {} singletons, {} no-ops), \
+         {} distance evals; planes {}",
+        engine_stats.applied,
+        engine_stats.moves,
+        engine_stats.adoptions,
+        engine_stats.singletons,
+        engine_stats.noops,
+        engine_stats.dist_evals,
+        if counters_match { "agree" } else { "DIVERGED" }
+    );
+    drop(verify_engine);
+    drop(ref_clustering);
+
+    let budget = Duration::from_millis(
+        std::env::var("MIRAGE_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(150),
+    );
+    let mut rows: Vec<(BenchStats, u64)> = Vec::new();
+
+    // --- Paired batch comparison, interleaved so both planes sample the
+    // same machine conditions. Setup stays untimed on both sides: the
+    // engine rebuild (pool lowering, bucket construction) for the batch
+    // plane, the fleet-map clone for the reference plane.
+    let engine_pass = || -> u64 {
+        let mut engine = DriftEngine::new(&clustering, &fleet_main, diameter);
+        let t0 = Instant::now();
+        black_box(engine.recluster_batch(&deltas));
+        t0.elapsed().as_nanos() as u64
+    };
+    let reference_pass = || -> u64 {
+        let mut map = ref_map.clone();
+        let t0 = Instant::now();
+        black_box(drift_reference(
+            &clustering,
+            &mut map,
+            &deltas,
+            diameter,
+            &Telemetry::noop(),
+        ));
+        t0.elapsed().as_nanos() as u64
+    };
+    black_box(engine_pass());
+    black_box(reference_pass());
+    let started = Instant::now();
+    let mut engine_ns: Vec<u64> = Vec::new();
+    let mut reference_ns: Vec<u64> = Vec::new();
+    loop {
+        engine_ns.push(engine_pass());
+        reference_ns.push(reference_pass());
+        if (started.elapsed() >= budget * 2 && engine_ns.len() >= MIN_SAMPLES)
+            || engine_ns.len() >= 100
+        {
+            break;
+        }
+    }
+    let engine_row = format!("drift/{}/batch-engine", label(n_main));
+    let reference_row = format!("drift/{}/reference-loop", label(n_main));
+    record(&mut rows, &engine_row, false, engine_ns);
+    record(&mut rows, &reference_row, false, reference_ns);
+    drop(ref_map);
+
+    // --- Per-delta re-cluster latency on a persistent engine: the
+    // "machine drifted, how stale is the clustering" number.
+    let mut latency_engine = DriftEngine::new(&clustering, &fleet_main, diameter);
+    let mut per_delta: Vec<u64> = Vec::with_capacity(deltas.len());
+    for delta in &deltas {
+        let t0 = Instant::now();
+        black_box(latency_engine.recluster_batch(std::slice::from_ref(delta)));
+        per_delta.push(t0.elapsed().as_nanos() as u64);
+    }
+    let per_delta_row = format!("drift/{}/per-delta", label(n_main));
+    record(&mut rows, &per_delta_row, false, per_delta);
+    drop(latency_engine);
+
+    // --- 1M-machine scale batch (full runs only): one honest sample.
+    let mut scale_line = String::new();
+    if !smoke {
+        let (clustering_big, fleet_big) = fleet(500, 500);
+        let deltas_big = drift_batch(&mut seed, &fleet_big, 1000);
+        let mut engine_big = DriftEngine::new(&clustering_big, &fleet_big, diameter);
+        let t0 = Instant::now();
+        let stats_big = black_box(engine_big.recluster_batch(&deltas_big));
+        let ns = t0.elapsed().as_nanos() as u64;
+        record(&mut rows, "drift/1m/batch-engine", true, vec![ns]);
+        println!(
+            "=> 1M-machine batch: {} deltas ({} moves) in {}",
+            stats_big.applied + stats_big.noops,
+            stats_big.moves,
+            fmt_ns(ns as f64)
+        );
+        scale_line = format!(
+            "  \"scale_1m_seconds\": {:.3},\n  \"scale_1m_moves\": {},\n",
+            ns as f64 / 1e9,
+            stats_big.moves
+        );
+    }
+
+    let find = |name: &str| {
+        rows.iter()
+            .find(|(r, _)| r.name == name)
+            .expect("benchmark ran")
+    };
+    let (fast, _) = find(&engine_row);
+    let (slow, _) = find(&reference_row);
+    let speedup = slow.min_ns as f64 / fast.min_ns.max(1) as f64;
+    let (lat, lat_p99) = {
+        let (lat, p99) = find(&per_delta_row);
+        (lat, *p99)
+    };
+    let moves_per_sec = engine_stats.moves as f64 / (fast.min_ns.max(1) as f64 / 1e9);
+    println!(
+        "=> batch engine is {speedup:.2}x the reference loop at {} machines / {} deltas \
+         (min-over-min); sustained {moves_per_sec:.0} moves/s",
+        label(n_main),
+        deltas.len()
+    );
+    println!(
+        "=> re-cluster-after-drift latency: p50 {}, p99 {}",
+        fmt_ns(lat.p50_ns as f64),
+        fmt_ns(lat_p99 as f64)
+    );
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"drift-perf\",\n");
+    json.push_str(&format!(
+        "  \"note\": \"{envs} environments x {VARIANTS} config variants x {per_cluster} \
+         machines; {} power-law config-variant deltas per batch; batch engine = persistent \
+         interned plane (engine rebuild untimed per sample), reference = recluster_one loop \
+         over the retained plane (fleet-map clone untimed per sample); per-delta row times \
+         single-delta batches on one persistent engine; both planes verified to produce \
+         identical clusterings and drift counters on the measured batch before timing\",\n",
+        deltas.len()
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"machines\": {n_main},\n"));
+    json.push_str(&format!("  \"deltas\": {},\n", deltas.len()));
+    json.push_str("  \"results\": [\n");
+    for (i, (r, _)) in rows.iter().enumerate() {
+        let scale = if r.scale { ", \"scale\": true" } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p50_ns\": {}, \
+             \"mean_ns\": {:.0}, \"max_ns\": {}{scale}}}{}\n",
+            r.name,
+            r.samples,
+            r.min_ns,
+            r.p50_ns,
+            r.mean_ns,
+            r.max_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_100k_vs_reference\": {speedup:.2},\n"));
+    json.push_str(&format!(
+        "  \"recluster_p50_ns\": {}, \"recluster_p99_ns\": {lat_p99},\n",
+        lat.p50_ns
+    ));
+    json.push_str(&format!("  \"moves_per_sec\": {moves_per_sec:.0},\n"));
+    json.push_str(&format!(
+        "  \"batch\": {{\"applied\": {}, \"noops\": {}, \"moves\": {}, \"adoptions\": {}, \
+         \"singletons\": {}, \"dist_evals\": {}}},\n",
+        engine_stats.applied,
+        engine_stats.noops,
+        engine_stats.moves,
+        engine_stats.adoptions,
+        engine_stats.singletons,
+        engine_stats.dist_evals
+    ));
+    json.push_str(&scale_line);
+    json.push_str(&format!(
+        "  \"drift_counters_match\": {counters_match}\n}}\n"
+    ));
+
+    let path = csv
+        .map(|d| d.join("BENCH_drift.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_drift.json"));
+    std::fs::write(&path, json).expect("write BENCH_drift.json");
+    println!("(wrote {})", path.display());
+
+    assert!(
+        counters_match,
+        "drift planes diverged on the measured batch; see {}",
+        path.display()
+    );
+    // In-binary regression floor: the acceptance threshold on full runs
+    // (the measured batch/reference gap is orders of magnitude wider, so
+    // runner noise cannot flake this), and a sanity >= 1x on smoke
+    // fleets where debug builds compress the gap.
+    let floor = if smoke { 1.0 } else { 5.0 };
+    assert!(
+        speedup >= floor,
+        "batch-engine speedup {speedup:.2}x fell below the {floor}x regression floor; see {}",
         path.display()
     );
 }

@@ -132,14 +132,7 @@ fn qt_cluster_indices_inner(
 fn distance_matrix(lowered: &[LoweredDiff], allow_parallel: bool) -> Vec<Vec<u32>> {
     let n = lowered.len();
     let mut rows: Vec<Vec<u32>> = (0..n).map(|_| vec![0u32; n]).collect();
-    let threads = if allow_parallel && n >= PARALLEL_THRESHOLD {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n)
-    } else {
-        1
-    };
+    let threads = crate::par::worker_count(n, PARALLEL_THRESHOLD, allow_parallel);
     let fill_row = |i: usize, row: &mut [u32]| {
         for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
             *slot = lowered[i].distance(&lowered[j]) as u32;
@@ -155,14 +148,8 @@ fn distance_matrix(lowered: &[LoweredDiff], allow_parallel: bool) -> Vec<Vec<u32
         for (i, row) in rows.iter_mut().enumerate() {
             buckets[i % threads].push((i, row));
         }
-        std::thread::scope(|scope| {
-            for bucket in buckets {
-                scope.spawn(move || {
-                    for (i, row) in bucket {
-                        fill_row(i, row);
-                    }
-                });
-            }
+        crate::par::fan_out(buckets, &|(i, row): (usize, &mut Vec<u32>)| {
+            fill_row(i, row)
         });
     }
     // Mirror the upper triangle; values are identical either way, so

@@ -1,0 +1,311 @@
+//! Randomised equivalence properties for the batch drift engine.
+//!
+//! The contract under test: [`DriftEngine::recluster_batch`] over the
+//! dense interned plane is **bit-identical** to the retained reference
+//! plane ([`drift_reference`] looping `recluster_one` over a fresh
+//! pool and full clones) — same membership, same cluster order, same
+//! ids, same labels, same derived fields, and the same published
+//! `cluster.drift_*` counters — across seeded multi-batch streams of
+//! install / uninstall / config-edit / app-set deltas.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mirage_cluster::{
+    clustering_from_groups, drift_reference, ClusterEngine, DriftEngine, DriftOp, DriftStats,
+    MachineDelta, MachineInfo,
+};
+use mirage_fingerprint::{DiffSet, Item};
+use mirage_telemetry::{Registry, Telemetry};
+
+/// Deterministic xorshift64 generator for test populations.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const PARSED_LETTERS: [&str; 4] = ["a", "b", "c", "d"];
+const CONTENT_LETTERS: [&str; 5] = ["v", "w", "x", "y", "z"];
+const APPS: [&str; 3] = ["php", "mysql", "rails"];
+
+fn random_machine(rng: &mut Rng, id: usize) -> MachineInfo {
+    let mut diff = DiffSet::empty(format!("m{id:03}"));
+    for _ in 0..rng.below(3) {
+        diff.parsed
+            .insert(Item::new([PARSED_LETTERS[rng.below(4)]]));
+    }
+    for _ in 0..rng.below(4) {
+        diff.content
+            .insert(Item::new([CONTENT_LETTERS[rng.below(5)]]));
+    }
+    let mut info = MachineInfo::new(diff);
+    if rng.below(2) == 0 {
+        info.overlapping_apps.insert(APPS[rng.below(2)].into());
+    }
+    info
+}
+
+/// A random drift op over the same small alphabets the populations use,
+/// so moves, adoptions, refounds, and genuine no-ops all occur.
+fn random_op(rng: &mut Rng) -> DriftOp {
+    let pick_items = |rng: &mut Rng, letters: &[&str], max: usize| -> Vec<Item> {
+        (0..rng.below(max + 1))
+            .map(|_| Item::new([letters[rng.below(letters.len())]]))
+            .collect()
+    };
+    match rng.below(4) {
+        0 => DriftOp::Install {
+            parsed: pick_items(rng, &PARSED_LETTERS, 2),
+            content: pick_items(rng, &CONTENT_LETTERS, 2),
+        },
+        1 => DriftOp::Uninstall {
+            parsed: pick_items(rng, &PARSED_LETTERS, 2),
+            content: pick_items(rng, &CONTENT_LETTERS, 2),
+        },
+        2 => DriftOp::ConfigEdit {
+            add: pick_items(rng, &CONTENT_LETTERS, 2),
+            remove: pick_items(rng, &CONTENT_LETTERS, 2),
+        },
+        _ => {
+            let pick_apps = |rng: &mut Rng, max: usize| -> Vec<String> {
+                (0..rng.below(max + 1))
+                    .map(|_| APPS[rng.below(APPS.len())].to_string())
+                    .collect()
+            };
+            DriftOp::Apps {
+                add: pick_apps(rng, 1),
+                remove: pick_apps(rng, 1),
+            }
+        }
+    }
+}
+
+fn random_batch(rng: &mut Rng, machines: &[MachineInfo], len: usize) -> Vec<MachineDelta> {
+    (0..len)
+        .map(|_| MachineDelta {
+            machine: machines[rng.below(machines.len())].id().to_string(),
+            op: random_op(rng),
+        })
+        .collect()
+}
+
+fn drift_counters(registry: &Registry) -> BTreeMap<String, u64> {
+    registry
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("cluster.drift_"))
+        .collect()
+}
+
+/// 24+ seeded multi-batch drift streams through both planes: after
+/// every batch the engine's clustering (with cohesion off *and* on)
+/// equals the reference's bit-for-bit, per-batch stats agree, internal
+/// invariants re-derive, and the telemetry registries publish identical
+/// `cluster.drift_*` counters.
+#[test]
+fn batch_engine_matches_reference_on_random_streams() {
+    let mut rng = Rng::new(0xd7);
+    for case in 0..24 {
+        let machines: Vec<MachineInfo> = (0..12 + rng.below(8))
+            .map(|i| random_machine(&mut rng, i))
+            .collect();
+        let diameter = rng.below(5);
+        let clustering = ClusterEngine::new(diameter).cluster(&machines);
+
+        let ref_registry = Arc::new(Registry::new(64));
+        let ref_telemetry = Telemetry::from_registry(Arc::clone(&ref_registry));
+        let mut ref_clustering = clustering.clone();
+        let mut ref_machines: BTreeMap<String, MachineInfo> = machines
+            .iter()
+            .map(|m| (m.id().to_string(), m.clone()))
+            .collect();
+
+        let eng_registry = Arc::new(Registry::new(64));
+        let mut engine = DriftEngine::new(&clustering, &machines, diameter)
+            .with_telemetry(Telemetry::from_registry(Arc::clone(&eng_registry)));
+        // The cohesion-maintaining engine must produce the same output:
+        // aggregates are observability, never placement inputs.
+        let mut cohesive = DriftEngine::new(&clustering, &machines, diameter).with_cohesion(true);
+
+        let batches = 2 + rng.below(3);
+        for batch_no in 0..batches {
+            let len = 4 + rng.below(9);
+            let batch = random_batch(&mut rng, &machines, len);
+            let (next, ref_stats) = drift_reference(
+                &ref_clustering,
+                &mut ref_machines,
+                &batch,
+                diameter,
+                &ref_telemetry,
+            );
+            ref_clustering = next;
+
+            let eng_stats = engine.recluster_batch(&batch);
+            let coh_stats = cohesive.recluster_batch(&batch);
+
+            assert_eq!(
+                engine.clustering(),
+                ref_clustering,
+                "case {case} batch {batch_no}: clustering diverged"
+            );
+            assert_eq!(
+                eng_stats, ref_stats,
+                "case {case} batch {batch_no}: stats diverged"
+            );
+            assert_eq!(
+                cohesive.clustering(),
+                ref_clustering,
+                "case {case} batch {batch_no}: cohesion changed placement"
+            );
+            // Cohesion maintenance adds aggregate evals but must not
+            // perturb any other counter.
+            let strip = |s: DriftStats| DriftStats {
+                aggregate_evals: 0,
+                ..s
+            };
+            assert_eq!(
+                strip(coh_stats),
+                strip(ref_stats),
+                "case {case} batch {batch_no}: cohesion perturbed counters"
+            );
+            engine.validate().unwrap_or_else(|e| {
+                panic!("case {case} batch {batch_no}: engine invariant broken: {e}")
+            });
+            cohesive.validate().unwrap_or_else(|e| {
+                panic!("case {case} batch {batch_no}: cohesive invariant broken: {e}")
+            });
+            ref_clustering
+                .validate_partition()
+                .unwrap_or_else(|e| panic!("case {case} batch {batch_no}: bad partition: {e}"));
+        }
+        assert_eq!(
+            drift_counters(&eng_registry),
+            drift_counters(&ref_registry),
+            "case {case}: published drift counters diverged"
+        );
+    }
+}
+
+/// The machine map the reference plane carries forward agrees with the
+/// engine's resident inputs after every stream (drift ops mean the same
+/// thing to both planes).
+#[test]
+fn resident_machine_inputs_track_reference() {
+    let mut rng = Rng::new(0xd8);
+    for case in 0..8 {
+        let machines: Vec<MachineInfo> = (0..10).map(|i| random_machine(&mut rng, i)).collect();
+        let diameter = rng.below(4);
+        let clustering = ClusterEngine::new(diameter).cluster(&machines);
+        let mut engine = DriftEngine::new(&clustering, &machines, diameter);
+        let mut ref_clustering = clustering.clone();
+        let mut ref_machines: BTreeMap<String, MachineInfo> = machines
+            .iter()
+            .map(|m| (m.id().to_string(), m.clone()))
+            .collect();
+        let batch = random_batch(&mut rng, &machines, 16);
+        let (next, _) = drift_reference(
+            &ref_clustering,
+            &mut ref_machines,
+            &batch,
+            diameter,
+            &Telemetry::noop(),
+        );
+        ref_clustering = next;
+        engine.recluster_batch(&batch);
+        assert_eq!(engine.clustering(), ref_clustering, "case {case}");
+        assert_eq!(engine.machine_count(), ref_machines.len());
+        for (id, want) in &ref_machines {
+            assert_eq!(
+                engine.machine_info(id),
+                Some(want),
+                "case {case}: machine {id} inputs diverged"
+            );
+        }
+    }
+}
+
+/// Million-machine drift: a power-law delta batch against a synthetic
+/// 1M fleet re-clusters in bounded time with the partition and every
+/// engine invariant intact. Run with `--ignored` (release scale job).
+#[test]
+#[ignore = "1M-machine scale run; release builds only"]
+fn million_machine_fleet_absorbs_drift_batch() {
+    // 500 environments x 4 content variants x 500 machines = 1M.
+    const ENVS: usize = 500;
+    const VARIANTS: usize = 4;
+    const PER_CLUSTER: usize = 500;
+
+    let mut groups: Vec<Vec<MachineInfo>> = Vec::with_capacity(ENVS * VARIANTS);
+    for e in 0..ENVS {
+        for v in 0..VARIANTS {
+            groups.push(
+                (0..PER_CLUSTER)
+                    .map(|m| {
+                        let mut diff = DiffSet::empty(format!("m-{e:03}-{v}-{m:03}"));
+                        diff.parsed.insert(Item::new([format!("env{e}")]));
+                        diff.content.insert(Item::new([format!("cfg{v}")]));
+                        MachineInfo::new(diff)
+                    })
+                    .collect(),
+            );
+        }
+    }
+    let (clustering, fleet) = clustering_from_groups(&groups);
+    assert_eq!(clustering.machine_count(), ENVS * VARIANTS * PER_CLUSTER);
+
+    let mut engine = DriftEngine::new(&clustering, &fleet, 0);
+
+    // Power-law drift: machine index ~ r^3 concentrates churn on the
+    // low environments, like a hot config pushed to a subset of racks.
+    let mut rng = Rng::new(0x1e6);
+    let total = fleet.len();
+    let deltas: Vec<MachineDelta> = (0..1000)
+        .map(|_| {
+            let r = rng.below(total);
+            let skew = ((r as f64 / total as f64).powi(3) * total as f64) as usize;
+            let machine = fleet[skew.min(total - 1)].id().to_string();
+            let from = rng.below(VARIANTS);
+            let to = (from + 1 + rng.below(VARIANTS - 1)) % VARIANTS;
+            MachineDelta {
+                machine,
+                op: DriftOp::ConfigEdit {
+                    add: vec![Item::new([format!("cfg{to}")])],
+                    remove: vec![Item::new([format!("cfg{from}")])],
+                },
+            }
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let stats = engine.recluster_batch(&deltas);
+    let elapsed = started.elapsed();
+
+    assert_eq!(stats.applied + stats.noops, 1000);
+    assert!(stats.moves > 0, "drift batch produced no moves");
+    // A batch over 1M machines must stay interactive: the whole point
+    // of the resident plane. Generous bound for shared CI hardware.
+    assert!(
+        elapsed.as_secs() < 60,
+        "1k deltas took {elapsed:?} against 1M machines"
+    );
+
+    engine.validate().expect("engine invariants after 1M drift");
+    let after = engine.clustering();
+    after.validate_partition().expect("partition after drift");
+    assert_eq!(after.machine_count(), total);
+}
