@@ -33,7 +33,15 @@
 //!   engine at least 5x faster, re-cluster-after-drift p50 ≤ p99,
 //!   positive sustained moves/s, the 1M scale row present, and the
 //!   engine's drift counters verified equal to the reference plane's
-//!   during the run (`drift_counters_match`).
+//!   during the run (`drift_counters_match`);
+//! * `BENCH_rollback.json` — strategy × loss × release rows
+//!   well-formed, every *good*-release row converged with no rollback
+//!   (the guard must not false-positive a healthy fleet), every
+//!   *bad*-release row contained — aborted with exposure inside the
+//!   first-cohort limit, or converged through the vendor-fix path
+//!   without one — every bad `canary` row specifically rolled back
+//!   (the headline containment claim), and `all_good_converged` /
+//!   `all_bad_contained` agreeing with the rows.
 //!
 //! Harness rows must carry at least [`MIN_SAMPLES`] samples unless
 //! they are explicitly marked `"scale": true` — a single-observation
@@ -66,11 +74,13 @@ pub enum BenchKind {
     Trace,
     /// `BENCH_drift.json` (suite `drift-perf`).
     Drift,
+    /// `BENCH_rollback.json` (suite `rollback-sweep`).
+    Rollback,
 }
 
 impl BenchKind {
     /// Every kind with its committed file name.
-    pub const ALL: [(BenchKind, &'static str); 7] = [
+    pub const ALL: [(BenchKind, &'static str); 8] = [
         (BenchKind::Clustering, "BENCH_clustering.json"),
         (BenchKind::Sim, "BENCH_sim.json"),
         (BenchKind::Faults, "BENCH_faults.json"),
@@ -78,6 +88,7 @@ impl BenchKind {
         (BenchKind::Urr, "BENCH_urr.json"),
         (BenchKind::Trace, "BENCH_trace.json"),
         (BenchKind::Drift, "BENCH_drift.json"),
+        (BenchKind::Rollback, "BENCH_rollback.json"),
     ];
 
     /// The `suite` value the document must carry.
@@ -90,6 +101,7 @@ impl BenchKind {
             BenchKind::Urr => "urr-perf",
             BenchKind::Trace => "trace-overhead",
             BenchKind::Drift => "drift-perf",
+            BenchKind::Rollback => "rollback-sweep",
         }
     }
 }
@@ -461,6 +473,77 @@ pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
             }
             notes.push("drift counters verified equal across planes".to_string());
         }
+        BenchKind::Rollback => {
+            let rows = results(&doc)?;
+            let mut bad_canary = 0usize;
+            for row in rows {
+                let strategy = string(row, "strategy")?;
+                let loss = num(row, "loss_pct")?;
+                let release = string(row, "release")?;
+                let label = format!("{strategy}/{release}@{loss}%");
+                if release != "good" && release != "bad" {
+                    return Err(fail(format!("{label}: unknown release kind '{release}'")));
+                }
+                let machines = num(row, "machines").map_err(|e| fail(format!("{label}: {e}")))?;
+                if machines < 1.0 {
+                    return Err(fail(format!("{label}: empty fleet")));
+                }
+                let exposed = num(row, "exposed").map_err(|e| fail(format!("{label}: {e}")))?;
+                let limit =
+                    num(row, "exposure_limit").map_err(|e| fail(format!("{label}: {e}")))?;
+                let converged =
+                    boolean(row, "converged").map_err(|e| fail(format!("{label}: {e}")))?;
+                let rolled_back =
+                    boolean(row, "rolled_back").map_err(|e| fail(format!("{label}: {e}")))?;
+                if release == "good" {
+                    if rolled_back {
+                        return Err(fail(format!(
+                            "{label}: the guard aborted a good release (false positive)"
+                        )));
+                    }
+                    if !converged {
+                        return Err(fail(format!("{label}: good release did not converge")));
+                    }
+                } else {
+                    if strategy == "canary" {
+                        bad_canary += 1;
+                        if !rolled_back {
+                            return Err(fail(format!(
+                                "{label}: a guarded canary must abort a bad release"
+                            )));
+                        }
+                    }
+                    if rolled_back {
+                        if exposed > limit {
+                            return Err(fail(format!(
+                                "{label}: rollback exposed {exposed} machines, over the \
+                                 {limit} first-cohort limit"
+                            )));
+                        }
+                    } else if !converged {
+                        return Err(fail(format!(
+                            "{label}: bad release neither rolled back nor converged"
+                        )));
+                    }
+                }
+            }
+            if bad_canary == 0 {
+                return Err(fail(
+                    "no bad-release canary rows: the headline containment claim is untested",
+                ));
+            }
+            notes.push(format!(
+                "{} sweep rows; {bad_canary} bad canary rows all aborted within the cohort limit",
+                rows.len()
+            ));
+            if !boolean(&doc, "all_good_converged")? {
+                return Err(fail("all_good_converged is false"));
+            }
+            if !boolean(&doc, "all_bad_contained")? {
+                return Err(fail("all_bad_contained is false"));
+            }
+            notes.push("all_good_converged / all_bad_contained agree with the rows".to_string());
+        }
     }
     Ok(notes)
 }
@@ -769,16 +852,89 @@ mod tests {
         assert!(err.to_string().contains("moves/s"), "{err}");
     }
 
+    fn rollback_doc(good_rolled_back: bool, exposed: u64, contained: bool) -> String {
+        format!(
+            "{{\"suite\": \"rollback-sweep\", \"smoke\": false, \"machines\": 100000,\n\
+             \"results\": [\
+             {{\"strategy\": \"canary\", \"loss_pct\": 0, \"release\": \"good\", \
+             \"machines\": 100000, \"converged\": true, \"rolled_back\": {good_rolled_back}, \
+             \"exposed\": 0, \"exposure_limit\": 1000, \"completion_time\": 61000}},\
+             {{\"strategy\": \"canary\", \"loss_pct\": 30, \"release\": \"bad\", \
+             \"machines\": 100000, \"converged\": false, \"rolled_back\": true, \
+             \"exposed\": {exposed}, \"exposure_limit\": 1000, \"completion_time\": null}},\
+             {{\"strategy\": \"staged\", \"loss_pct\": 0, \"release\": \"bad\", \
+             \"machines\": 100000, \"converged\": true, \"rolled_back\": false, \
+             \"exposed\": 0, \"exposure_limit\": 25000, \"completion_time\": 90000}}],\n\
+             \"all_good_converged\": true, \"all_bad_contained\": {contained}}}"
+        )
+    }
+
+    #[test]
+    fn valid_rollback_document_passes() {
+        let notes = check(BenchKind::Rollback, &rollback_doc(false, 620, true)).unwrap();
+        assert!(notes.iter().any(|n| n.contains("bad canary")), "{notes:?}");
+    }
+
+    #[test]
+    fn rollback_invariant_breaches_fail() {
+        // The guard aborted a good release: a false positive.
+        let err = check(BenchKind::Rollback, &rollback_doc(true, 620, true)).unwrap_err();
+        assert!(err.to_string().contains("false positive"), "{err}");
+
+        // Exposure over the first-cohort limit: the abort fired after
+        // the bad release had already widened.
+        let err = check(BenchKind::Rollback, &rollback_doc(false, 1400, true)).unwrap_err();
+        assert!(err.to_string().contains("first-cohort limit"), "{err}");
+
+        // Flag flipped while the rows still satisfy containment.
+        let err = check(BenchKind::Rollback, &rollback_doc(false, 620, false)).unwrap_err();
+        assert!(err.to_string().contains("all_bad_contained"), "{err}");
+
+        // A bad canary that never rolled back.
+        let no_abort = rollback_doc(false, 620, true).replace(
+            "\"converged\": false, \"rolled_back\": true",
+            "\"converged\": false, \"rolled_back\": false",
+        );
+        let err = check(BenchKind::Rollback, &no_abort).unwrap_err();
+        assert!(err.to_string().contains("must abort"), "{err}");
+
+        // A bad staged row that neither rolled back nor converged: the
+        // regression escaped and nothing stopped it.
+        let escaped = rollback_doc(false, 620, true).replace(
+            "\"converged\": true, \"rolled_back\": false, \
+             \"exposed\": 0, \"exposure_limit\": 25000",
+            "\"converged\": false, \"rolled_back\": false, \
+             \"exposed\": 0, \"exposure_limit\": 25000",
+        );
+        let err = check(BenchKind::Rollback, &escaped).unwrap_err();
+        assert!(err.to_string().contains("neither rolled back"), "{err}");
+
+        // Without a bad canary row the headline claim is untested.
+        let no_canary = rollback_doc(false, 620, true).replace(
+            "\"strategy\": \"canary\", \"loss_pct\": 30",
+            "\"strategy\": \"rolling\", \"loss_pct\": 30",
+        );
+        let err = check(BenchKind::Rollback, &no_canary).unwrap_err();
+        assert!(err.to_string().contains("no bad-release canary"), "{err}");
+
+        // Missing row field.
+        let no_exposed = rollback_doc(false, 620, true).replace("\"exposed\": 620, ", "");
+        let err = check(BenchKind::Rollback, &no_exposed).unwrap_err();
+        assert!(err.to_string().contains("'exposed'"), "{err}");
+    }
+
     #[test]
     fn kind_metadata() {
-        assert_eq!(BenchKind::ALL.len(), 7);
+        assert_eq!(BenchKind::ALL.len(), 8);
         assert_eq!(BenchKind::Urr.suite(), "urr-perf");
         assert_eq!(BenchKind::Sweep.suite(), "sim-sweep");
         assert_eq!(BenchKind::Trace.suite(), "trace-overhead");
         assert_eq!(BenchKind::Drift.suite(), "drift-perf");
+        assert_eq!(BenchKind::Rollback.suite(), "rollback-sweep");
         assert_eq!(BenchKind::ALL[0].1, "BENCH_clustering.json");
         assert_eq!(BenchKind::ALL[3].1, "BENCH_sweep.json");
         assert_eq!(BenchKind::ALL[5].1, "BENCH_trace.json");
         assert_eq!(BenchKind::ALL[6].1, "BENCH_drift.json");
+        assert_eq!(BenchKind::ALL[7].1, "BENCH_rollback.json");
     }
 }

@@ -27,10 +27,13 @@
 //!                      (--smoke shrinks the fleet for CI)
 //!   health             per-wave health rollup under 30% message loss →
 //!                      mirage-health.json (--smoke shrinks the fleet for CI)
+//!   rollback-sweep     guarded strategy × loss × release containment grid
+//!                      → BENCH_rollback.json (--smoke shrinks the fleet
+//!                      for CI)
 //!   bench-check        validate the committed BENCH_*.json documents
 //!                      (reads from --csv dir, default "."; exits 1 on failure)
 //!   all                everything (default; excludes *-perf, fault-sweep,
-//!                      sweep, trace, health, and bench-check)
+//!                      sweep, trace, health, rollback-sweep, and bench-check)
 //!
 //! With `--csv <dir>`, the CDF figures additionally write plot-ready
 //! CSV series (`fig10.csv`, `fig11.csv`: label,time,fraction rows) and
@@ -81,7 +84,7 @@ fn main() {
             "all".to_string()
         }
     });
-    const KNOWN: [&str; 22] = [
+    const KNOWN: [&str; 23] = [
         "all",
         "fig1",
         "fig2",
@@ -104,6 +107,7 @@ fn main() {
         "drift-perf",
         "trace",
         "health",
+        "rollback-sweep",
     ];
     if !KNOWN.contains(&arg.as_str()) && arg != "bench-check" {
         eprintln!("error: unknown experiment '{arg}'");
@@ -176,6 +180,9 @@ fn main() {
     }
     if arg == "health" {
         health(csv_dir.as_deref(), smoke);
+    }
+    if arg == "rollback-sweep" {
+        rollback_sweep(csv_dir.as_deref(), smoke);
     }
     if arg == "bench-check" {
         bench_check(csv_dir.as_deref());
@@ -1394,6 +1401,211 @@ fn fault_sweep(csv: Option<&std::path::Path>, smoke: bool) {
     );
 }
 
+/// Runs the guarded strategy × message-loss × release-quality rollback
+/// grid and writes `BENCH_rollback.json` — into the `--csv` directory
+/// when given, the working directory otherwise.
+///
+/// Every cell drives the rollout controller end-to-end with a URR
+/// guard wired in. A *good* release must converge under every strategy
+/// and loss rate without tripping the guard (no false positives); a
+/// *bad* release — the same regression seeded into every cluster —
+/// must be contained: aborted with exposure inside the first-cohort
+/// limit, or (classic staging) held at the representatives until the
+/// vendor fix lands. The committed document is the evidence behind the
+/// containment claim in EXPERIMENTS.md, so the run asserts the flags.
+fn rollback_sweep(csv: Option<&std::path::Path>, smoke: bool) {
+    use std::sync::Arc;
+
+    use mirage_core::{GuardSettings, ProtocolChoice, RolloutPlan, RolloutStrategy};
+    use mirage_report::Urr;
+    use mirage_sim::{run_rollout, FaultSpec, ScenarioBuilder};
+
+    heading(if smoke {
+        "Rollback sweep (smoke fleet): guarded strategies vs a fleet-wide regression"
+    } else {
+        "Rollback sweep: guarded strategies vs a fleet-wide regression (100k machines)"
+    });
+
+    let (clusters, size) = if smoke { (8, 125) } else { (20, 5_000) };
+    let machines = clusters * size;
+    let loss_pcts: &[u32] = &[0, 10, 20, 30];
+    let strategies = [
+        RolloutStrategy::Staged { waves: 4 },
+        RolloutStrategy::Canary {
+            percentage: 1.0,
+            bake_time: 100,
+        },
+        RolloutStrategy::Rolling {
+            batch_size: machines / 10,
+        },
+        RolloutStrategy::BlueGreen,
+    ];
+    // The population floor catches the wide-but-shallow shape: a
+    // fleet-wide signature failing one representative per cluster
+    // (blue/green's first cohort) never reaches `min_reports` in any
+    // single cluster, but its deduplicated population gives it away.
+    let guard = GuardSettings {
+        max_cluster_failure_rate: 0.3,
+        max_failure_population: (clusters / 2).max(2),
+        min_reports: 5,
+        unhealthy_ticks: 2,
+        healthy_ticks: 1,
+    };
+
+    struct Row {
+        strategy: &'static str,
+        loss_pct: u32,
+        release: &'static str,
+        converged: bool,
+        rolled_back: bool,
+        exposed: usize,
+        exposure_limit: usize,
+        completion: Option<u64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &loss_pct in loss_pcts {
+        let loss = loss_pct as f64 / 100.0;
+        for (si, &strategy) in strategies.iter().enumerate() {
+            for (bi, release) in ["good", "bad"].into_iter().enumerate() {
+                // Deterministic per-cell seed so the sweep replays
+                // exactly.
+                let seed = 0xB0BA_C000 + (loss_pct as u64) * 16 + (si as u64) * 2 + bi as u64;
+                let spec = FaultSpec::new(seed)
+                    .loss(loss)
+                    .duplication(loss / 2.0)
+                    .delay(10);
+                let urr = Arc::new(Urr::new());
+                let mut builder = ScenarioBuilder::new()
+                    .clusters(clusters, size, 1)
+                    .faults(spec)
+                    .with_urr(Arc::clone(&urr))
+                    .with_strategy(strategy)
+                    .with_guard(guard);
+                if release == "bad" {
+                    let everywhere: Vec<usize> = (0..clusters).collect();
+                    builder = builder.problem_in_clusters("fleet-regression", &everywhere);
+                }
+                let scenario = builder.build();
+                let exposure_limit =
+                    RolloutPlan::new(scenario.plan.clone(), strategy).exposure_limit();
+                let (m, outcome) = run_rollout(&scenario, ProtocolChoice::Balanced);
+                let converged = m.converged(machines);
+                let rolled_back = outcome.rollback.is_some();
+                let exposed = outcome.rollback.map_or(0, |info| info.exposed_machines);
+                println!(
+                    "  loss {loss_pct:>2}%  {:<10}  {release:<4}  {:<11}  \
+                     exposed {exposed:>6}/{exposure_limit:<6}  completion {:?}",
+                    strategy.name(),
+                    if rolled_back {
+                        "ROLLED BACK"
+                    } else if converged {
+                        "converged"
+                    } else {
+                        "STUCK"
+                    },
+                    m.completion_time,
+                );
+                rows.push(Row {
+                    strategy: strategy.name(),
+                    loss_pct,
+                    release,
+                    converged,
+                    rolled_back,
+                    exposed,
+                    exposure_limit,
+                    completion: m.completion_time,
+                });
+            }
+        }
+    }
+
+    let all_good_converged = rows
+        .iter()
+        .filter(|r| r.release == "good")
+        .all(|r| r.converged && !r.rolled_back);
+    let all_bad_contained = rows.iter().filter(|r| r.release == "bad").all(|r| {
+        if r.rolled_back {
+            r.exposed <= r.exposure_limit
+        } else {
+            r.converged
+        }
+    });
+    let bad_canary_aborts = rows
+        .iter()
+        .filter(|r| r.release == "bad" && r.strategy == "canary")
+        .all(|r| r.rolled_back);
+    println!(
+        "=> good releases: {}; bad releases: {}",
+        if all_good_converged {
+            "all converged, no false-positive aborts"
+        } else {
+            "CONVERGENCE FAILURES (see rows)"
+        },
+        if all_bad_contained && bad_canary_aborts {
+            "all contained (canary aborted every one)"
+        } else {
+            "CONTAINMENT FAILURES (see rows)"
+        }
+    );
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"rollback-sweep\",\n");
+    json.push_str(&format!(
+        "  \"note\": \"{machines} machines ({clusters}x{size}); bad = one regression seeded \
+         into every cluster; guard rate 0.3, population {}, min_reports 5, hysteresis 2/1; \
+         duplication = loss/2, delay uniform 0..=10, seeded per cell\",\n",
+        guard.max_failure_population
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"machines\": {machines},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"loss_pct\": {}, \"release\": \"{}\", \
+             \"machines\": {machines}, \"converged\": {}, \"rolled_back\": {}, \
+             \"exposed\": {}, \"exposure_limit\": {}, \"completion_time\": {}}}{}\n",
+            r.strategy,
+            r.loss_pct,
+            r.release,
+            r.converged,
+            r.rolled_back,
+            r.exposed,
+            r.exposure_limit,
+            r.completion.map_or("null".to_string(), |t| t.to_string()),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"all_good_converged\": {all_good_converged},\n"
+    ));
+    json.push_str(&format!(
+        "  \"all_bad_contained\": {all_bad_contained}\n}}\n"
+    ));
+
+    let path = csv
+        .map(|d| d.join("BENCH_rollback.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_rollback.json"));
+    std::fs::write(&path, json).expect("write BENCH_rollback.json");
+    println!("(wrote {})", path.display());
+    assert!(
+        all_good_converged,
+        "a good release failed to converge (or was aborted); see {}",
+        path.display()
+    );
+    assert!(
+        all_bad_contained,
+        "a bad release escaped containment; see {}",
+        path.display()
+    );
+    assert!(
+        bad_canary_aborts,
+        "a guarded canary failed to abort a bad release; see {}",
+        path.display()
+    );
+}
+
 /// Runs a protocol × threshold × message-loss grid through the sharded
 /// parallel driver, every cell reusing one [`mirage_sim::SimArena`],
 /// and writes `BENCH_sweep.json` — into the `--csv` directory when
@@ -1909,7 +2121,7 @@ fn clustering_perf(csv: Option<&std::path::Path>) {
 fn telemetry_dump(path: &std::path::Path) {
     use std::sync::Arc;
 
-    use mirage_core::{Campaign, ProtocolKind};
+    use mirage_core::{Campaign, ProtocolChoice, RolloutStrategy};
     use mirage_deploy::Balanced;
     use mirage_env::RunInput;
     use mirage_scenarios::apache::ApacheScenario;
@@ -1939,8 +2151,13 @@ fn telemetry_dump(path: &std::path::Path) {
         .vendor
         .classify_reference("apache", &[RunInput::new("a"), RunInput::new("b")]);
     let reference = campaign.vendor.reference_fingerprint(&classification);
-    let (_, plan) = campaign.plan("apache", &reference, 1);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let (_, plan) = campaign.rollout_plan(
+        "apache",
+        &reference,
+        1,
+        RolloutStrategy::Staged { waves: 1 },
+    );
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
     println!(
         "  campaign: converged {}, rounds {}, releases {}, failed validations {}",
         result.converged(8),

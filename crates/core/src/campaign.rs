@@ -1,21 +1,62 @@
 //! End-to-end deployment campaigns over a fleet.
+//!
+//! The campaign API splits the old monolithic deploy loop in two:
+//!
+//! * **Planning** ([`Campaign::rollout_plan`]) clusters the fleet and
+//!   shapes the resulting [`DeployPlan`] into a strategy-carrying
+//!   [`RolloutPlan`] — a pure value, no side effects.
+//! * **Driving** ([`Campaign::drive`]) pumps a
+//!   [`RolloutController`] over the live fleet through the generic
+//!   [`mirage_rollout::drive()`] loop. The fleet side (sandbox
+//!   validation, URR deposits, vendor diagnose-and-fix) lives in a
+//!   private [`WaveExecutor`]; the protocol conversation and rollback
+//!   authority live in the controller.
+//!
+//! A campaign with [guard settings](Campaign::with_guard) attached runs
+//! closed-loop: every decision tick the controller assesses the
+//! campaign's own Upgrade Report Repository and can abort the rollout,
+//! re-notifying every enrolled machine with
+//! [`PRIOR_RELEASE`] and recording a [`RollbackInfo`] on the
+//! [`CampaignResult`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use mirage_cluster::{Clustering, MachineInfo};
 use mirage_deploy::{
-    Command, DeployPlan, ProblemSet, ProblemTable, Protocol, ProtocolChoice, Release, TestOutcome,
-    TestReport,
+    DeployPlan, MachineId, ProblemSet, ProblemTable, ProtocolChoice, Release, TestOutcome,
+    TestReport, PRIOR_RELEASE,
 };
-use mirage_env::{ProblemId, Upgrade, UpgradeId};
+use mirage_env::{ProblemId, Upgrade, UpgradeId, Urgency};
 use mirage_fingerprint::MachineFingerprint;
 use mirage_report::{Report, Urr};
+use mirage_rollout::{
+    GuardSettings, RollbackInfo, RolloutController, RolloutPlan, RolloutStrategy, UrrGuard,
+    WaveExecutor, WaveOutcome,
+};
 use mirage_telemetry::{FlightEvent, Telemetry};
 
 use crate::agent::UserAgent;
 use crate::vendor::Vendor;
 
+/// The vendor's protocol choice for an upgrade's urgency (§3.2.2):
+/// urgent high-confidence upgrades bypass staging entirely; major
+/// releases go slowly with front-loaded debugging; everything else
+/// uses Balanced.
+pub fn choice_for_urgency(urgency: Urgency) -> ProtocolChoice {
+    match urgency {
+        Urgency::Urgent => ProtocolChoice::NoStaging,
+        Urgency::Major => ProtocolChoice::FrontLoading,
+        Urgency::Routine => ProtocolChoice::Balanced,
+    }
+}
+
 /// Which deployment protocol a campaign uses.
+#[deprecated(
+    since = "0.5.0",
+    note = "use mirage_deploy::ProtocolChoice (and choice_for_urgency) directly; \
+            this duplicate selector will be removed next release"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolKind {
     /// Everyone at once (urgent upgrades).
@@ -32,16 +73,16 @@ pub enum ProtocolKind {
     },
 }
 
+#[allow(deprecated)]
 impl ProtocolKind {
-    /// The vendor's protocol choice for an upgrade's urgency (§3.2.2):
-    /// urgent high-confidence upgrades bypass staging entirely; major
-    /// releases go slowly with front-loaded debugging; everything else
-    /// uses Balanced.
-    pub fn for_urgency(urgency: mirage_env::Urgency) -> Self {
-        match urgency {
-            mirage_env::Urgency::Urgent => ProtocolKind::NoStaging,
-            mirage_env::Urgency::Major => ProtocolKind::FrontLoading,
-            mirage_env::Urgency::Routine => ProtocolKind::Balanced,
+    /// The campaign-level kind for an upgrade's urgency. Deprecated
+    /// shim over [`choice_for_urgency`].
+    pub fn for_urgency(urgency: Urgency) -> Self {
+        match choice_for_urgency(urgency) {
+            ProtocolChoice::NoStaging => ProtocolKind::NoStaging,
+            ProtocolChoice::FrontLoading => ProtocolKind::FrontLoading,
+            ProtocolChoice::RandomStaging { seed } => ProtocolKind::RandomStaging { seed },
+            ProtocolChoice::Balanced => ProtocolKind::Balanced,
         }
     }
 
@@ -65,12 +106,15 @@ pub struct CampaignResult {
     /// Every release shipped (release 0 is the original upgrade).
     pub releases: Vec<UpgradeId>,
     /// Machines that integrated the upgrade, with the release they
-    /// integrated.
+    /// integrated. A rolled-back machine is *removed* again: after an
+    /// abort this holds only machines still on a forward release.
     pub integrated: BTreeMap<String, u32>,
     /// Number of failed validations (upgrade overhead).
     pub failed_validations: usize,
     /// Logical rounds executed.
     pub rounds: usize,
+    /// The rollback, if the campaign's guard aborted the rollout.
+    pub rollback: Option<RollbackInfo>,
 }
 
 impl CampaignResult {
@@ -86,10 +130,14 @@ pub struct Campaign {
     pub vendor: Vendor,
     /// The fleet.
     pub agents: Vec<UserAgent>,
-    /// The upgrade report repository.
-    pub urr: Urr,
+    /// The upgrade report repository. Shared (`Arc`) so a rollout
+    /// guard can assess it live while the campaign deposits into it.
+    pub urr: Arc<Urr>,
     /// Telemetry handle (no-op by default).
     pub telemetry: Telemetry,
+    /// URR guard thresholds armed on every drive (closed-loop
+    /// rollback). `None` runs open-loop.
+    pub guard: Option<GuardSettings>,
 }
 
 impl Campaign {
@@ -98,8 +146,9 @@ impl Campaign {
         Campaign {
             vendor,
             agents,
-            urr: Urr::new(),
+            urr: Arc::new(Urr::new()),
             telemetry: Telemetry::noop(),
+            guard: None,
         }
     }
 
@@ -109,6 +158,14 @@ impl Campaign {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.vendor.telemetry = telemetry.clone();
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Arms the URR guard: every subsequent [`Campaign::drive`] runs
+    /// closed-loop against the campaign's repository with these
+    /// thresholds and may roll the fleet back.
+    pub fn with_guard(mut self, settings: GuardSettings) -> Self {
+        self.guard = Some(settings);
         self
     }
 
@@ -135,27 +192,118 @@ impl Campaign {
         results.into_iter().map(|o| o.expect("filled")).collect()
     }
 
+    /// Clusters the fleet for `app` and shapes the deployment into a
+    /// strategy-carrying [`RolloutPlan`] — the pure planning half of a
+    /// campaign. Drive it with [`Campaign::drive`].
+    pub fn rollout_plan(
+        &self,
+        app: &str,
+        reference: &MachineFingerprint,
+        reps_per_cluster: usize,
+        strategy: RolloutStrategy,
+    ) -> (Clustering, RolloutPlan) {
+        let _span = self.telemetry.span("campaign.plan");
+        let inputs = self.fleet_inputs(app, reference);
+        let clustering = self.vendor.cluster(&inputs);
+        let deploy = DeployPlan::from_clustering(&clustering, reps_per_cluster);
+        (clustering, RolloutPlan::new(deploy, strategy))
+    }
+
     /// Clusters the fleet for `app` and builds the deployment plan.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Campaign::rollout_plan, which also shapes the strategy cohorts; \
+                this shim will be removed next release"
+    )]
     pub fn plan(
         &self,
         app: &str,
         reference: &MachineFingerprint,
         reps_per_cluster: usize,
     ) -> (Clustering, DeployPlan) {
-        let _span = self.telemetry.span("campaign.plan");
-        let inputs = self.fleet_inputs(app, reference);
-        let clustering = self.vendor.cluster(&inputs);
-        let plan = DeployPlan::from_clustering(&clustering, reps_per_cluster);
-        (clustering, plan)
+        let (clustering, plan) = self.rollout_plan(
+            app,
+            reference,
+            reps_per_cluster,
+            RolloutStrategy::Staged { waves: 1 },
+        );
+        (clustering, plan.deploy)
+    }
+
+    /// Runs a full strategy-driven deployment of `upgrade` in logical
+    /// time.
+    ///
+    /// A [`RolloutController`] over `plan` issues the notification
+    /// waves; each wave validates the current release on the notified
+    /// machines (real sandbox validation), deposits reports in the URR,
+    /// lets the vendor diagnose failures from the report images and
+    /// ship corrected releases, and continues until the controller
+    /// completes or stalls. `choice` selects the staging protocol a
+    /// `Staged` strategy delegates to; cohort strategies (`Canary` /
+    /// `Rolling` / `BlueGreen`) ignore it.
+    ///
+    /// With [guard settings](Campaign::with_guard) armed, the
+    /// controller assesses the campaign's URR on every decision tick
+    /// and aborts on sustained regression: every enrolled machine is
+    /// re-notified with [`PRIOR_RELEASE`] and the abort is recorded on
+    /// [`CampaignResult::rollback`].
+    pub fn drive(
+        &mut self,
+        upgrade: Upgrade,
+        plan: &RolloutPlan,
+        choice: ProtocolChoice,
+        threshold: f64,
+    ) -> CampaignResult {
+        let _deploy_span = self.telemetry.span("campaign.deploy");
+        let mut controller = RolloutController::new(plan.clone(), choice, threshold)
+            .with_telemetry(self.telemetry.clone());
+        if let Some(settings) = self.guard {
+            controller = controller.with_guard(UrrGuard::new(Arc::clone(&self.urr), settings));
+        }
+        let mut executor = FleetExecutor {
+            vendor: &self.vendor,
+            agents: &mut self.agents,
+            urr: &self.urr,
+            telemetry: self.telemetry.clone(),
+            plan: &plan.deploy,
+            releases: vec![upgrade],
+            integrated: BTreeMap::new(),
+            failed_validations: 0,
+            fixed: BTreeSet::new(),
+            signatures: ProblemTable::new(),
+        };
+        let rounds = mirage_rollout::drive(&mut controller, &mut executor, &self.telemetry);
+        self.telemetry.counter("campaign.rounds", rounds as u64);
+        CampaignResult {
+            plan: plan.deploy.clone(),
+            releases: executor.releases.iter().map(Upgrade::id).collect(),
+            integrated: executor.integrated,
+            failed_validations: executor.failed_validations,
+            rounds,
+            rollback: controller.rollback().copied(),
+        }
+    }
+
+    /// Drives with the protocol recommended for the upgrade's urgency
+    /// (§3.2.2): urgent → NoStaging, major → FrontLoading, routine →
+    /// Balanced.
+    pub fn drive_auto(
+        &mut self,
+        upgrade: Upgrade,
+        plan: &RolloutPlan,
+        threshold: f64,
+    ) -> CampaignResult {
+        let choice = choice_for_urgency(upgrade.urgency);
+        self.drive(upgrade, plan, choice, threshold)
     }
 
     /// Runs a full staged deployment of `upgrade` in logical time.
-    ///
-    /// Each notification round validates the current release on the
-    /// notified machines (real sandbox validation), deposits reports in
-    /// the URR, lets the vendor diagnose failures from the report images
-    /// and ship corrected releases, and continues until the protocol
-    /// completes or stalls.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Campaign::drive with a RolloutPlan and ProtocolChoice; \
+                this shim will be removed next release"
+    )]
+    #[allow(deprecated)]
     pub fn deploy(
         &mut self,
         upgrade: Upgrade,
@@ -163,169 +311,200 @@ impl Campaign {
         kind: ProtocolKind,
         threshold: f64,
     ) -> CampaignResult {
-        let _deploy_span = self.telemetry.span("campaign.deploy");
-        // One typed construction path for every protocol (selection,
-        // telemetry, RandomStaging order) instead of per-driver matches.
-        let mut protocol = kind
-            .choice()
-            .build(plan.clone(), threshold)
-            .with_telemetry(self.telemetry.clone());
-        let mut releases: Vec<Upgrade> = vec![upgrade];
-        let mut integrated: BTreeMap<String, u32> = BTreeMap::new();
-        let mut failed_validations = 0usize;
-        let mut fixed: BTreeSet<String> = BTreeSet::new();
-        // Failure *signatures* are the campaign's problem namespace for
-        // the protocol: intern them so the (id-keyed) protocol sees
-        // dense `ProblemId`s at the boundary.
-        let mut signatures = ProblemTable::new();
-        let mut pending: VecDeque<Command> = protocol.start().into();
-        let mut rounds = 0usize;
-
-        while let Some(cmd) = pending.pop_front() {
-            rounds += 1;
-            let _round_span = self.telemetry.span("round");
-            self.telemetry.counter("campaign.rounds", 1);
-            let Command::Notify { machines, release } = cmd else {
-                // Complete: drain (protocol may have queued it before
-                // trailing notifications; none follow by construction).
-                break;
-            };
-            let current = &releases[release.0 as usize];
-            let mut new_problems: Vec<ProblemId> = Vec::new();
-            let mut reports: Vec<TestReport> = Vec::new();
-            for machine in machines {
-                // Boundary: render the dense id back into the machine
-                // name that agents and reports are keyed by.
-                let machine_name = plan.machine_name(machine).to_string();
-                let Some(agent_idx) = self
-                    .agents
-                    .iter()
-                    .position(|a| a.machine.id == machine_name)
-                else {
-                    continue;
-                };
-                self.telemetry.event_with(|| FlightEvent::MachineNotified {
-                    machine: machine_name.clone(),
-                    release: release.0,
-                });
-                let cluster = plan.cluster_of(machine).map(|c| c.id).unwrap_or(0);
-                let validation = {
-                    let agent = &self.agents[agent_idx];
-                    agent.test_upgrade(&self.vendor.repo, current)
-                };
-                self.telemetry.counter("campaign.validations", 1);
-                if validation.passed() {
-                    self.telemetry.event_with(|| FlightEvent::TestPassed {
-                        machine: machine_name.clone(),
-                        release: release.0,
-                    });
-                    let agent = &mut self.agents[agent_idx];
-                    agent.integrate(&self.vendor.repo, current);
-                    integrated.insert(machine_name.clone(), release.0);
-                    self.urr.deposit(Report::success(
-                        &machine_name,
-                        cluster,
-                        &current.package.name,
-                        current.package.version.to_string(),
-                    ));
-                    reports.push(TestReport {
-                        machine,
-                        release,
-                        outcome: TestOutcome::Pass,
-                    });
-                } else {
-                    failed_validations += 1;
-                    self.telemetry.counter("campaign.failed_validations", 1);
-                    let agent = &self.agents[agent_idx];
-                    let (app, kind) = validation.first_failure().expect("failed validation");
-                    let signature = format!("{app}/{kind}");
-                    self.telemetry.event_with(|| FlightEvent::TestFailed {
-                        machine: machine_name.clone(),
-                        release: release.0,
-                        problem: signature.clone(),
-                    });
-                    let image = agent.report_image(&validation);
-                    self.urr.deposit(Report::failure(
-                        &machine_name,
-                        cluster,
-                        &current.package.name,
-                        current.package.version.to_string(),
-                        &signature,
-                        kind.to_string(),
-                        image,
-                    ));
-                    // Vendor reproduces the failure from the image and
-                    // identifies the underlying problems.
-                    for pid in self.vendor.diagnose(current, &agent.machine) {
-                        if !fixed.contains(&pid) && !new_problems.iter().any(|p| p.0 == pid) {
-                            self.telemetry.counter("campaign.problems_discovered", 1);
-                            self.telemetry
-                                .event_with(|| FlightEvent::ProblemDiscovered {
-                                    problem: pid.clone(),
-                                });
-                            new_problems.push(ProblemId(pid));
-                        }
-                    }
-                    reports.push(TestReport {
-                        machine,
-                        release,
-                        outcome: TestOutcome::Fail {
-                            problem: signatures.intern(&signature),
-                        },
-                    });
-                }
-            }
-            for report in &reports {
-                pending.extend(protocol.on_report(report));
-            }
-            if !new_problems.is_empty() {
-                // Ship one corrected release fixing everything known.
-                let latest = releases.last().expect("at least the original");
-                let next = latest.fix_all(new_problems.iter());
-                for p in &new_problems {
-                    fixed.insert(p.0.clone());
-                }
-                releases.push(next);
-                self.telemetry.counter("campaign.releases_shipped", 1);
-                self.telemetry.event_with(|| FlightEvent::ReleaseShipped {
-                    release: (releases.len() - 1) as u32,
-                });
-                // The protocol matches failure *signatures* (app/detail
-                // strings), while fixes are tracked by problem id. A
-                // corrected release here fixes every diagnosed problem,
-                // so every known failure signature is addressed:
-                // re-notify all failed machines.
-                let mut all_sigs = ProblemSet::new();
-                for g in self.urr.failure_groups() {
-                    all_sigs.insert(signatures.intern(&g.signature));
-                }
-                let release_no = Release((releases.len() - 1) as u32);
-                pending.extend(protocol.on_release(release_no, &all_sigs));
-            }
-        }
-
-        CampaignResult {
-            plan: plan.clone(),
-            releases: releases.iter().map(Upgrade::id).collect(),
-            integrated,
-            failed_validations,
-            rounds,
-        }
+        let rollout = RolloutPlan::new(plan.clone(), RolloutStrategy::Staged { waves: 1 });
+        self.drive(upgrade, &rollout, kind.choice(), threshold)
     }
-}
 
-impl Campaign {
-    /// Deploys with the protocol recommended for the upgrade's urgency
-    /// (§3.2.2): urgent → NoStaging, major → FrontLoading, routine →
-    /// Balanced.
+    /// Deploys with the protocol recommended for the upgrade's urgency.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Campaign::drive_auto with a RolloutPlan; \
+                this shim will be removed next release"
+    )]
+    #[allow(deprecated)]
     pub fn deploy_auto(
         &mut self,
         upgrade: Upgrade,
         plan: &DeployPlan,
         threshold: f64,
     ) -> CampaignResult {
-        let kind = ProtocolKind::for_urgency(upgrade.urgency);
-        self.deploy(upgrade, plan, kind, threshold)
+        let rollout = RolloutPlan::new(plan.clone(), RolloutStrategy::Staged { waves: 1 });
+        self.drive_auto(upgrade, &rollout, threshold)
+    }
+}
+
+/// The fleet-shaped half of a campaign: executes one notification wave
+/// against the live agents — sandbox validation, URR deposits, vendor
+/// diagnose-and-fix — and reports what came back. The protocol
+/// conversation lives entirely in [`mirage_rollout::drive()`].
+struct FleetExecutor<'a> {
+    vendor: &'a Vendor,
+    agents: &'a mut Vec<UserAgent>,
+    urr: &'a Urr,
+    telemetry: Telemetry,
+    plan: &'a DeployPlan,
+    /// Every release shipped so far; index = `Release.0`.
+    releases: Vec<Upgrade>,
+    integrated: BTreeMap<String, u32>,
+    failed_validations: usize,
+    fixed: BTreeSet<String>,
+    /// Failure *signatures* are the campaign's problem namespace for
+    /// the protocol: intern them so the (id-keyed) protocol sees dense
+    /// `ProblemId`s at the boundary.
+    signatures: ProblemTable,
+}
+
+impl FleetExecutor<'_> {
+    /// Executes a rollback wave: un-integrates each machine and
+    /// confirms the revert with a `Pass` at [`PRIOR_RELEASE`]. The
+    /// package-level downgrade is outside the campaign model (the
+    /// pre-upgrade image is not snapshotted); what rolls back is the
+    /// campaign's integration record, which is what
+    /// [`CampaignResult::converged`] measures.
+    fn revert(&mut self, machines: &[MachineId]) -> WaveOutcome {
+        let mut reports = Vec::with_capacity(machines.len());
+        for &machine in machines {
+            let machine_name = self.plan.machine_name(machine).to_string();
+            if !self.agents.iter().any(|a| a.machine.id == machine_name) {
+                continue;
+            }
+            self.telemetry.counter("campaign.reverts", 1);
+            self.telemetry.event_with(|| FlightEvent::MachineNotified {
+                machine: machine_name.clone(),
+                release: PRIOR_RELEASE.0,
+            });
+            self.integrated.remove(&machine_name);
+            reports.push(TestReport {
+                machine,
+                release: PRIOR_RELEASE,
+                outcome: TestOutcome::Pass,
+            });
+        }
+        WaveOutcome {
+            reports,
+            shipped: None,
+        }
+    }
+
+    /// Ships one corrected release fixing every newly diagnosed
+    /// problem, and gathers the cumulative fixed-signature set for the
+    /// protocol's re-notification decision.
+    fn ship_fix(&mut self, new_problems: Vec<ProblemId>) -> (Release, ProblemSet) {
+        let latest = self.releases.last().expect("at least the original");
+        let next = latest.fix_all(new_problems.iter());
+        for p in &new_problems {
+            self.fixed.insert(p.0.clone());
+        }
+        self.releases.push(next);
+        self.telemetry.counter("campaign.releases_shipped", 1);
+        self.telemetry.event_with(|| FlightEvent::ReleaseShipped {
+            release: (self.releases.len() - 1) as u32,
+        });
+        // The protocol matches failure *signatures* (app/detail
+        // strings), while fixes are tracked by problem id. A corrected
+        // release here fixes every diagnosed problem, so every known
+        // failure signature is addressed: re-notify all failed
+        // machines.
+        let mut all_sigs = ProblemSet::new();
+        for g in self.urr.failure_groups() {
+            all_sigs.insert(self.signatures.intern(&g.signature));
+        }
+        (Release((self.releases.len() - 1) as u32), all_sigs)
+    }
+}
+
+impl WaveExecutor for FleetExecutor<'_> {
+    fn notify(&mut self, machines: &[MachineId], release: Release) -> WaveOutcome {
+        if release == PRIOR_RELEASE {
+            return self.revert(machines);
+        }
+        let mut new_problems: Vec<ProblemId> = Vec::new();
+        let mut reports: Vec<TestReport> = Vec::new();
+        for &machine in machines {
+            // Boundary: render the dense id back into the machine name
+            // that agents and reports are keyed by.
+            let machine_name = self.plan.machine_name(machine).to_string();
+            let Some(agent_idx) = self
+                .agents
+                .iter()
+                .position(|a| a.machine.id == machine_name)
+            else {
+                continue;
+            };
+            self.telemetry.event_with(|| FlightEvent::MachineNotified {
+                machine: machine_name.clone(),
+                release: release.0,
+            });
+            let cluster = self.plan.cluster_of(machine).map(|c| c.id).unwrap_or(0);
+            let current = &self.releases[release.0 as usize];
+            let validation = self.agents[agent_idx].test_upgrade(&self.vendor.repo, current);
+            self.telemetry.counter("campaign.validations", 1);
+            if validation.passed() {
+                self.telemetry.event_with(|| FlightEvent::TestPassed {
+                    machine: machine_name.clone(),
+                    release: release.0,
+                });
+                self.agents[agent_idx].integrate(&self.vendor.repo, current);
+                self.integrated.insert(machine_name.clone(), release.0);
+                self.urr.deposit(Report::success(
+                    &machine_name,
+                    cluster,
+                    &current.package.name,
+                    current.package.version.to_string(),
+                ));
+                reports.push(TestReport {
+                    machine,
+                    release,
+                    outcome: TestOutcome::Pass,
+                });
+            } else {
+                self.failed_validations += 1;
+                self.telemetry.counter("campaign.failed_validations", 1);
+                let agent = &self.agents[agent_idx];
+                let (app, kind) = validation.first_failure().expect("failed validation");
+                let signature = format!("{app}/{kind}");
+                self.telemetry.event_with(|| FlightEvent::TestFailed {
+                    machine: machine_name.clone(),
+                    release: release.0,
+                    problem: signature.clone(),
+                });
+                let image = agent.report_image(&validation);
+                self.urr.deposit(Report::failure(
+                    &machine_name,
+                    cluster,
+                    &current.package.name,
+                    current.package.version.to_string(),
+                    &signature,
+                    kind.to_string(),
+                    image,
+                ));
+                // Vendor reproduces the failure from the image and
+                // identifies the underlying problems.
+                for pid in self.vendor.diagnose(current, &agent.machine) {
+                    if !self.fixed.contains(&pid) && !new_problems.iter().any(|p| p.0 == pid) {
+                        self.telemetry.counter("campaign.problems_discovered", 1);
+                        self.telemetry
+                            .event_with(|| FlightEvent::ProblemDiscovered {
+                                problem: pid.clone(),
+                            });
+                        new_problems.push(ProblemId(pid));
+                    }
+                }
+                reports.push(TestReport {
+                    machine,
+                    release,
+                    outcome: TestOutcome::Fail {
+                        problem: self.signatures.intern(&signature),
+                    },
+                });
+            }
+        }
+        let shipped = if new_problems.is_empty() {
+            None
+        } else {
+            Some(self.ship_fix(new_problems))
+        };
+        WaveOutcome { reports, shipped }
     }
 }
 
@@ -343,9 +522,13 @@ mod tests {
         Repository, RunInput, Version, VersionReq,
     };
 
+    fn staged() -> RolloutStrategy {
+        RolloutStrategy::Staged { waves: 1 }
+    }
+
     /// A little world: app v1 installed everywhere; two machines carry a
     /// legacy config that breaks the v2 upgrade.
-    fn build_campaign() -> (Campaign, Upgrade, MachineFingerprint) {
+    pub(crate) fn build_campaign() -> (Campaign, Upgrade, MachineFingerprint) {
         let mut repo = Repository::new();
         repo.publish(
             Package::new("app", Version::new(1, 0, 0)).with_file(File::executable(
@@ -402,20 +585,21 @@ mod tests {
     #[test]
     fn clustering_separates_legacy_machines() {
         let (campaign, _, ref_fp) = build_campaign();
-        let (clustering, plan) = campaign.plan("app", &ref_fp, 1);
+        let (clustering, plan) = campaign.rollout_plan("app", &ref_fp, 1, staged());
         assert_eq!(clustering.len(), 2);
         let legacy_cluster = clustering.cluster_of("u4").unwrap();
         assert!(legacy_cluster.contains("u5"));
         assert!(!legacy_cluster.contains("u0"));
-        assert_eq!(plan.clusters.len(), 2);
+        assert_eq!(plan.deploy.clusters.len(), 2);
     }
 
     #[test]
     fn balanced_campaign_converges_with_one_rep_failure() {
         let (mut campaign, upgrade, ref_fp) = build_campaign();
-        let (_, plan) = campaign.plan("app", &ref_fp, 1);
-        let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        let (_, plan) = campaign.rollout_plan("app", &ref_fp, 1, staged());
+        let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
         assert!(result.converged(6), "integrated: {:?}", result.integrated);
+        assert!(result.rollback.is_none());
         // Exactly one machine (the legacy cluster's representative)
         // tested the faulty release.
         assert_eq!(result.failed_validations, 1);
@@ -444,8 +628,8 @@ mod tests {
     #[test]
     fn nostaging_campaign_fails_everywhere_at_once() {
         let (mut campaign, upgrade, ref_fp) = build_campaign();
-        let (_, plan) = campaign.plan("app", &ref_fp, 1);
-        let result = campaign.deploy(upgrade, &plan, ProtocolKind::NoStaging, 1.0);
+        let (_, plan) = campaign.rollout_plan("app", &ref_fp, 1, staged());
+        let result = campaign.drive(upgrade, &plan, ProtocolChoice::NoStaging, 1.0);
         assert!(result.converged(6));
         // Both legacy machines tested the faulty release.
         assert_eq!(result.failed_validations, 2);
@@ -454,23 +638,21 @@ mod tests {
     #[test]
     fn frontloading_campaign_converges() {
         let (mut campaign, upgrade, ref_fp) = build_campaign();
-        let (_, plan) = campaign.plan("app", &ref_fp, 1);
-        let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
+        let (_, plan) = campaign.rollout_plan("app", &ref_fp, 1, staged());
+        let result = campaign.drive(upgrade, &plan, ProtocolChoice::FrontLoading, 1.0);
         assert!(result.converged(6));
         assert_eq!(result.failed_validations, 1);
     }
 
     #[test]
     fn telemetry_records_campaign_flight() {
-        use std::sync::Arc;
-
         use mirage_telemetry::{Registry, Telemetry};
 
         let (campaign, upgrade, ref_fp) = build_campaign();
         let registry = Arc::new(Registry::new(1024));
         let mut campaign = campaign.with_telemetry(Telemetry::from_registry(Arc::clone(&registry)));
-        let (_, plan) = campaign.plan("app", &ref_fp, 1);
-        let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        let (_, plan) = campaign.rollout_plan("app", &ref_fp, 1, staged());
+        let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
         assert!(result.converged(6));
 
         let snap = registry.snapshot();
@@ -527,12 +709,86 @@ mod tests {
             )),
             vec![],
         );
-        let (_, plan) = campaign.plan("app", &ref_fp, 1);
-        let result = campaign.deploy(clean, &plan, ProtocolKind::Balanced, 1.0);
+        let (_, plan) = campaign.rollout_plan("app", &ref_fp, 1, staged());
+        let result = campaign.drive(clean, &plan, ProtocolChoice::Balanced, 1.0);
         assert!(result.converged(6));
         assert_eq!(result.failed_validations, 0);
         assert_eq!(result.releases.len(), 1);
         assert_eq!(campaign.urr.stats().failures, 0);
+    }
+
+    /// A fleet-wide regression under a guarded rolling drive: the guard
+    /// trips on the campaign's own URR, exposure stays within the first
+    /// batch, and every reverted machine drops out of `integrated`.
+    #[test]
+    fn guarded_drive_aborts_and_contains_exposure() {
+        let (campaign, _, ref_fp) = build_campaign();
+        let mut campaign = campaign.with_guard(GuardSettings {
+            max_cluster_failure_rate: 0.3,
+            min_reports: 2,
+            unhealthy_ticks: 1,
+            healthy_ticks: 1,
+            ..GuardSettings::default()
+        });
+        let everywhere_bad = Upgrade::new(
+            Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                2,
+            )),
+            vec![ProblemSpec::new(
+                "global-regression",
+                "v2 crashes on every machine",
+                EnvPredicate::FileExists("/usr/bin/app".into()),
+                ProblemEffect::CrashOnStart { app: "app".into() },
+            )],
+        );
+        let (_, plan) = campaign.rollout_plan(
+            "app",
+            &ref_fp,
+            1,
+            RolloutStrategy::Rolling { batch_size: 2 },
+        );
+        assert_eq!(plan.cohorts.len(), 3);
+        let result = campaign.drive(everywhere_bad, &plan, ProtocolChoice::Balanced, 1.0);
+        let info = result.rollback.expect("guard aborts the regression");
+        assert_eq!(info.exposed_machines, 2, "contained to the first batch");
+        assert_eq!(info.at_cohort, 0);
+        assert_eq!(info.prior_release, PRIOR_RELEASE);
+        assert!(
+            result.integrated.is_empty(),
+            "reverted machines are un-integrated: {:?}",
+            result.integrated
+        );
+        assert!(!result.converged(6));
+    }
+
+    /// A guarded drive of a *clean* upgrade stays open: the guard holds
+    /// its fire and the fleet converges normally.
+    #[test]
+    fn guarded_drive_passes_a_clean_release() {
+        let (campaign, _, ref_fp) = build_campaign();
+        let mut campaign = campaign.with_guard(GuardSettings::default());
+        let clean = Upgrade::new(
+            Package::new("app", Version::new(2, 0, 0)).with_file(File::executable(
+                "/usr/bin/app",
+                "app",
+                2,
+            )),
+            vec![],
+        );
+        let (_, plan) = campaign.rollout_plan(
+            "app",
+            &ref_fp,
+            1,
+            RolloutStrategy::Canary {
+                percentage: 20.0,
+                bake_time: 0,
+            },
+        );
+        let result = campaign.drive(clean, &plan, ProtocolChoice::Balanced, 1.0);
+        assert!(result.rollback.is_none());
+        assert!(result.converged(6), "integrated: {:?}", result.integrated);
     }
 }
 
@@ -590,25 +846,26 @@ mod urgency_tests {
     #[test]
     fn urgency_selects_protocol() {
         assert_eq!(
-            ProtocolKind::for_urgency(Urgency::Urgent),
-            ProtocolKind::NoStaging
+            choice_for_urgency(Urgency::Urgent),
+            ProtocolChoice::NoStaging
         );
         assert_eq!(
-            ProtocolKind::for_urgency(Urgency::Major),
-            ProtocolKind::FrontLoading
+            choice_for_urgency(Urgency::Major),
+            ProtocolChoice::FrontLoading
         );
         assert_eq!(
-            ProtocolKind::for_urgency(Urgency::Routine),
-            ProtocolKind::Balanced
+            choice_for_urgency(Urgency::Routine),
+            ProtocolChoice::Balanced
         );
     }
 
     #[test]
-    fn deploy_auto_converges_for_each_urgency() {
+    fn drive_auto_converges_for_each_urgency() {
         for urgency in [Urgency::Routine, Urgency::Major, Urgency::Urgent] {
             let (mut campaign, fp) = tiny_campaign();
-            let (_, plan) = campaign.plan("app", &fp, 1);
-            let result = campaign.deploy_auto(clean_v2().with_urgency(urgency), &plan, 1.0);
+            let (_, plan) =
+                campaign.rollout_plan("app", &fp, 1, RolloutStrategy::Staged { waves: 1 });
+            let result = campaign.drive_auto(clean_v2().with_urgency(urgency), &plan, 1.0);
             assert!(result.converged(4), "urgency {urgency:?}");
         }
     }
@@ -616,11 +873,11 @@ mod urgency_tests {
     #[test]
     fn random_staging_is_deterministic_and_converges() {
         let (mut campaign, fp) = tiny_campaign();
-        let (_, plan) = campaign.plan("app", &fp, 1);
-        let result = campaign.deploy(
+        let (_, plan) = campaign.rollout_plan("app", &fp, 1, RolloutStrategy::Staged { waves: 1 });
+        let result = campaign.drive(
             clean_v2(),
             &plan,
-            ProtocolKind::RandomStaging { seed: 42 },
+            ProtocolChoice::RandomStaging { seed: 42 },
             1.0,
         );
         assert!(result.converged(4));
@@ -642,6 +899,83 @@ mod urgency_tests {
         let mut other: Vec<usize> = (0..10).collect();
         seeded_shuffle(&mut other, 8);
         assert_ne!(order, other);
+    }
+
+    /// Every cohort strategy converges the clean release end-to-end on
+    /// the live fleet, not just in the simulator.
+    #[test]
+    fn all_strategies_converge_live() {
+        for strategy in [
+            RolloutStrategy::Staged { waves: 2 },
+            RolloutStrategy::Canary {
+                percentage: 25.0,
+                bake_time: 0,
+            },
+            RolloutStrategy::Rolling { batch_size: 2 },
+            RolloutStrategy::BlueGreen,
+        ] {
+            let (mut campaign, fp) = tiny_campaign();
+            let (_, plan) = campaign.rollout_plan("app", &fp, 1, strategy);
+            let result = campaign.drive(clean_v2(), &plan, ProtocolChoice::Balanced, 1.0);
+            assert!(
+                result.converged(4),
+                "{}: integrated {:?}",
+                strategy.name(),
+                result.integrated
+            );
+            assert!(result.rollback.is_none(), "{}", strategy.name());
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod legacy_shim_tests {
+    use super::tests::build_campaign;
+    use super::*;
+    use mirage_env::Urgency;
+
+    #[test]
+    fn protocol_kind_still_maps_like_choice_for_urgency() {
+        for urgency in [Urgency::Urgent, Urgency::Major, Urgency::Routine] {
+            assert_eq!(
+                ProtocolKind::for_urgency(urgency).choice(),
+                choice_for_urgency(urgency)
+            );
+        }
+        assert_eq!(
+            ProtocolKind::RandomStaging { seed: 9 }.choice(),
+            ProtocolChoice::RandomStaging { seed: 9 }
+        );
+    }
+
+    #[test]
+    fn deploy_shim_matches_drive() {
+        let (mut legacy, upgrade, ref_fp) = build_campaign();
+        let (_, deploy_plan) = legacy.plan("app", &ref_fp, 1);
+        let legacy_result = legacy.deploy(upgrade, &deploy_plan, ProtocolKind::Balanced, 1.0);
+
+        let (mut modern, upgrade, ref_fp) = build_campaign();
+        let (_, rollout_plan) =
+            modern.rollout_plan("app", &ref_fp, 1, RolloutStrategy::Staged { waves: 1 });
+        let modern_result = modern.drive(upgrade, &rollout_plan, ProtocolChoice::Balanced, 1.0);
+
+        assert_eq!(legacy_result.integrated, modern_result.integrated);
+        assert_eq!(
+            legacy_result.failed_validations,
+            modern_result.failed_validations
+        );
+        assert_eq!(legacy_result.releases, modern_result.releases);
+        assert_eq!(legacy_result.rounds, modern_result.rounds);
+        assert!(legacy_result.rollback.is_none());
+    }
+
+    #[test]
+    fn deploy_auto_shim_converges() {
+        let (mut campaign, upgrade, ref_fp) = build_campaign();
+        let (_, plan) = campaign.plan("app", &ref_fp, 1);
+        let result = campaign.deploy_auto(upgrade, &plan, 1.0);
+        assert!(result.converged(6));
     }
 }
 
@@ -719,16 +1053,17 @@ mod frontloading_analytics_tests {
     /// the deployment reaches the distant cluster.
     #[test]
     fn frontloading_front_loads_discovery() {
+        let staged = RolloutStrategy::Staged { waves: 1 };
         let (mut fl_campaign, fp, upgrade) = campaign();
-        let (_, plan) = fl_campaign.plan("app", &fp, 1);
-        let result = fl_campaign.deploy(upgrade.clone(), &plan, ProtocolKind::FrontLoading, 1.0);
+        let (_, plan) = fl_campaign.rollout_plan("app", &fp, 1, staged);
+        let result = fl_campaign.drive(upgrade.clone(), &plan, ProtocolChoice::FrontLoading, 1.0);
         assert!(result.converged(12));
         let fl_profile = fl_campaign.urr.discovery_profile();
         assert_eq!(fl_profile.len(), 1);
 
         let (mut b_campaign, fp, upgrade) = campaign();
-        let (_, plan) = b_campaign.plan("app", &fp, 1);
-        let result = b_campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        let (_, plan) = b_campaign.rollout_plan("app", &fp, 1, staged);
+        let result = b_campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
         assert!(result.converged(12));
         let b_profile = b_campaign.urr.discovery_profile();
         assert_eq!(b_profile.len(), 1);

@@ -12,12 +12,18 @@
 //!   identifies environmental resources with the heuristic, fingerprints
 //!   them, computes the diff against the vendor's reference list, tests
 //!   upgrades in the sandbox, and reports outcomes.
-//! * A [`Campaign`] executes a full staged deployment over a fleet in
-//!   *logical* time, driving the same protocol state machines the
-//!   discrete-event simulator uses, with real validation and real reports
-//!   deposited in a real URR. The vendor side debugs failures using the
-//!   deduplicated failure groups and ships corrected releases until the
-//!   fleet converges.
+//! * A [`Campaign`] executes a full strategy-driven deployment over a
+//!   fleet in *logical* time, driving the same protocol state machines
+//!   the discrete-event simulator uses, with real validation and real
+//!   reports deposited in a real URR. Planning
+//!   ([`Campaign::rollout_plan`]) and driving ([`Campaign::drive`]) are
+//!   split: planning clusters the fleet into a strategy-shaped
+//!   [`RolloutPlan`]; driving pumps a `mirage-rollout` controller over
+//!   the live agents, so `Canary`/`Rolling`/`BlueGreen` rollouts — and,
+//!   with [`Campaign::with_guard`], URR-closed-loop automated rollback —
+//!   work on real fleets exactly as they do in simulation. The vendor
+//!   side debugs failures using the deduplicated failure groups and
+//!   ships corrected releases until the fleet converges.
 //!
 //! Fleet-wide fingerprinting fans out across OS threads with
 //! `std::thread::scope` — the user-side comparison work is "efficient and
@@ -28,7 +34,7 @@
 //! A complete campaign over a two-machine fleet:
 //!
 //! ```
-//! use mirage_core::{Campaign, ProtocolKind, UserAgent, Vendor};
+//! use mirage_core::{Campaign, ProtocolChoice, RolloutStrategy, UserAgent, Vendor};
 //! use mirage_env::{
 //!     ApplicationSpec, File, MachineBuilder, Package, Repository, RunInput,
 //!     Upgrade, Version, VersionReq,
@@ -63,15 +69,21 @@
 //!     .vendor
 //!     .classify_reference("app", &[RunInput::new("workload")]);
 //! let reference_fp = campaign.vendor.reference_fingerprint(&classification);
-//! let (_clustering, plan) = campaign.plan("app", &reference_fp, 1);
+//! let (_clustering, plan) = campaign.rollout_plan(
+//!     "app",
+//!     &reference_fp,
+//!     1,
+//!     RolloutStrategy::Staged { waves: 1 },
+//! );
 //!
 //! let upgrade = Upgrade::new(
 //!     Package::new("app", Version::new(2, 0, 0))
 //!         .with_file(File::executable("/usr/bin/app", "app", 2)),
 //!     vec![],
 //! );
-//! let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+//! let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
 //! assert!(result.converged(2));
+//! assert!(result.rollback.is_none());
 //! assert_eq!(campaign.urr.stats().failures, 0);
 //! ```
 
@@ -84,5 +96,11 @@ pub mod campaign;
 pub mod vendor;
 
 pub use agent::UserAgent;
-pub use campaign::{Campaign, CampaignResult, ProtocolKind};
+#[allow(deprecated)]
+pub use campaign::ProtocolKind;
+pub use campaign::{choice_for_urgency, Campaign, CampaignResult};
+pub use mirage_deploy::ProtocolChoice;
+pub use mirage_rollout::{
+    GuardSettings, RollbackInfo, RolloutPlan, RolloutStatus, RolloutStatusReason, RolloutStrategy,
+};
 pub use vendor::{classify_machine, fingerprint_machine, Vendor};

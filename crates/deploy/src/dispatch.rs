@@ -214,6 +214,14 @@ impl Protocol for AnyProtocol {
         }
     }
 
+    fn wants_ticks(&self) -> bool {
+        match self {
+            AnyProtocol::NoStaging(p) => p.wants_ticks(),
+            AnyProtocol::Balanced(p) => p.wants_ticks(),
+            AnyProtocol::FrontLoading(p) => p.wants_ticks(),
+        }
+    }
+
     fn done(&self) -> bool {
         match self {
             AnyProtocol::NoStaging(p) => p.done(),

@@ -53,5 +53,5 @@ pub mod reference;
 pub use dispatch::{seeded_shuffle, AnyProtocol, ProtocolChoice};
 pub use ids::{MachineId, MachineSet, MachineTable, ProblemId, ProblemSet, ProblemTable};
 pub use plan::{DeployCluster, DeployPlan};
-pub use protocol::{Command, Protocol, Release, SimTime, TestOutcome, TestReport};
+pub use protocol::{Command, Protocol, Release, SimTime, TestOutcome, TestReport, PRIOR_RELEASE};
 pub use protocols::{Balanced, FrontLoading, NoStaging};

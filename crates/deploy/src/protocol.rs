@@ -25,6 +25,16 @@ pub type SimTime = u64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Release(pub u32);
 
+/// Sentinel release meaning "re-install whatever was running before
+/// this campaign" — the rollback wire. A rollout controller that
+/// decides to abort emits an ordinary [`Command::Notify`] carrying this
+/// release, so reverts travel the same hardened notify/retry/backoff
+/// path as forward deployments. Drivers treat a test of
+/// `PRIOR_RELEASE` as always passing (the prior release was the
+/// known-good state) and record it as a revert rather than an
+/// integration.
+pub const PRIOR_RELEASE: Release = Release(u32::MAX);
+
 impl fmt::Display for Release {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "r{}", self.0)
@@ -171,6 +181,18 @@ pub trait Protocol {
     /// never tick.
     fn rep_timeouts(&self) -> u64 {
         0
+    }
+
+    /// Returns `true` when the protocol needs [`Protocol::on_tick`]
+    /// callbacks even on a reliable channel (no fault plan). Rollout
+    /// controllers use ticks as their decision clock — bake timers and
+    /// URR guard evaluation run on ticks — so drivers arm the periodic
+    /// timer whenever this returns `true`. The default is `false`,
+    /// which keeps the classic protocols clock-free and the driver's
+    /// reliable-channel fast path bit-identical to the pre-rollout
+    /// simulator.
+    fn wants_ticks(&self) -> bool {
+        false
     }
 
     /// Returns `true` once every machine has passed (or, under an

@@ -244,7 +244,7 @@ pub fn slimserver_scenario() -> (Repository, mirage_env::Machine, Upgrade, Upgra
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mirage_core::{Campaign, ProtocolKind};
+    use mirage_core::{Campaign, ProtocolChoice, RolloutPlan, RolloutStrategy};
     use mirage_deploy::DeployPlan;
     use mirage_testing::{FailureKind, Validator};
 
@@ -266,9 +266,12 @@ mod tests {
         let scenario = ApacheScenario::new();
         let upgrade = scenario.upgrade.clone();
         let (clustering, _) = scenario.cluster_and_score();
-        let plan = DeployPlan::from_clustering(&clustering, 1);
+        let plan = RolloutPlan::new(
+            DeployPlan::from_clustering(&clustering, 1),
+            RolloutStrategy::Staged { waves: 1 },
+        );
         let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-        let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+        let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
         assert!(result.converged(8));
         assert_eq!(result.failed_validations, 1, "one representative only");
         let groups = campaign.urr.failure_groups();

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod parallel;
+pub mod rollout;
 pub mod runner;
 pub mod scenario;
 pub mod urr_sink;
@@ -46,6 +47,7 @@ pub use parallel::{
     resolve_workers, run_parallel, run_parallel_auto, run_parallel_in, run_parallel_with_telemetry,
     SimArena, MAX_WORKERS,
 };
+pub use rollout::{run_rollout, run_rollout_with_telemetry};
 pub use runner::{run, run_with_telemetry, Simulation};
 pub use scenario::{Scenario, ScenarioBuilder, Timings};
 pub use urr_sink::UrrSink;

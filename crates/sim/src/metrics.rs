@@ -55,12 +55,26 @@ pub struct SimMetrics {
     pub retries_sent: u64,
     /// Machines the protocol waived after its rep-timeout expired.
     pub rep_timeouts: u64,
+    /// Revert-confirmation time per machine after a rollback, indexed
+    /// by [`MachineId`]. Empty unless a rollout controller rolled the
+    /// campaign back (so runs without rollback compare bit-identical
+    /// to pre-rollout metrics).
+    pub machine_revert_time: Vec<Option<SimTime>>,
 }
 
 impl SimMetrics {
     /// Number of machines that passed at least once.
     pub fn passed_count(&self) -> usize {
         self.machine_pass_time
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
+    }
+
+    /// Number of machines whose revert to the prior release was
+    /// confirmed after a rollback.
+    pub fn reverted_count(&self) -> usize {
+        self.machine_revert_time
             .iter()
             .filter(|t| t.is_some())
             .count()

@@ -1415,7 +1415,9 @@ pub fn run_parallel_in(
 ) -> SimMetrics {
     let workers = clamp_workers(workers, scenario.machine_count());
     telemetry.gauge("sim.workers", workers as i64);
-    if workers <= 1 {
+    // Tick-driven protocols (rollout controllers with a decision clock)
+    // run on the sequential driver, which owns the tick schedule.
+    if workers <= 1 || protocol.wants_ticks() {
         return Simulation::new(scenario)
             .with_telemetry(telemetry)
             .run(protocol);

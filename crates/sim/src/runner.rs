@@ -12,7 +12,9 @@ pub mod reference;
 use std::collections::VecDeque;
 
 use mirage_deploy::MachineId;
-use mirage_deploy::{Command, ProblemId, ProblemSet, Protocol, Release, TestOutcome, TestReport};
+use mirage_deploy::{
+    Command, ProblemId, ProblemSet, Protocol, Release, TestOutcome, TestReport, PRIOR_RELEASE,
+};
 use mirage_telemetry::journal::{FaultKind, JournalEvent, NO_PROBLEM};
 use mirage_telemetry::{FlightEvent, Telemetry};
 
@@ -181,8 +183,35 @@ impl<'a> Simulation<'a> {
         Release((self.fixed_by_release.len() - 1) as u32)
     }
 
+    /// Records a passing test: upgrade passes feed the pass-time CDF;
+    /// confirmations of the rollback sentinel land in the revert-time
+    /// vector instead (a reverted machine did not integrate the
+    /// upgrade, so it must not count as converged).
+    fn note_pass(&mut self, machine: MachineId, release: u32) {
+        if release == PRIOR_RELEASE.0 {
+            if self.metrics.machine_revert_time.is_empty() {
+                self.metrics.machine_revert_time = vec![None; self.metrics.machine_pass_time.len()];
+            }
+            if self.metrics.machine_revert_time[machine.index()].is_none() {
+                self.metrics.machine_revert_time[machine.index()] = Some(self.now);
+                self.telemetry.counter("sim.machines_reverted", 1);
+            }
+        } else {
+            if self.metrics.machine_pass_time[machine.index()].is_none() {
+                self.metrics.machine_pass_time[machine.index()] = Some(self.now);
+            }
+            self.telemetry.counter("sim.tests_passed", 1);
+        }
+    }
+
     #[inline]
     fn passes(&self, machine: MachineId, release: u32) -> bool {
+        // The rollback sentinel: reverting to the prior (pre-upgrade)
+        // release always succeeds — the fleet ran it before the
+        // campaign started.
+        if release == PRIOR_RELEASE.0 {
+            return true;
+        }
         match self.scenario.problem_of(machine) {
             None => true,
             Some(problem) => self.fixed_by_release[release as usize].contains(problem),
@@ -385,10 +414,7 @@ impl<'a> Simulation<'a> {
             self.telemetry.counter("sim.escaped_problems", 1);
         }
         let outcome = if passed {
-            if self.metrics.machine_pass_time[machine.index()].is_none() {
-                self.metrics.machine_pass_time[machine.index()] = Some(self.now);
-            }
-            self.telemetry.counter("sim.tests_passed", 1);
+            self.note_pass(machine, release);
             self.telemetry.event_with(|| FlightEvent::TestPassedId {
                 machine: machine.index() as u32,
                 release,
@@ -564,10 +590,7 @@ impl<'a> Simulation<'a> {
             self.telemetry.counter("sim.escaped_problems", 1);
         }
         let outcome = if passed {
-            if self.metrics.machine_pass_time[machine.index()].is_none() {
-                self.metrics.machine_pass_time[machine.index()] = Some(self.now);
-            }
-            self.telemetry.counter("sim.tests_passed", 1);
+            self.note_pass(machine, release);
             self.telemetry.event_with(|| FlightEvent::TestPassedId {
                 machine: machine.index() as u32,
                 release,
@@ -657,8 +680,13 @@ impl<'a> Simulation<'a> {
         self.journaling = self.telemetry.journals();
         let commands = protocol.start();
         self.exec(commands);
-        if self.faults_active && self.scenario.faults.rep_timeout.is_some() {
-            // Arm the protocol's stall-detection clock.
+        if (self.faults_active && self.scenario.faults.rep_timeout.is_some())
+            || protocol.wants_ticks()
+        {
+            // Arm the protocol's stall-detection / rollout decision
+            // clock. `FaultPlan::none()` still carries the default tick
+            // interval, so tick-driven rollout controllers get their
+            // clock even on the reliable channel.
             self.queue
                 .schedule(self.scenario.faults.tick_interval, Event::Tick);
             self.ticks_issued = 1;
@@ -692,6 +720,12 @@ impl<'a> Simulation<'a> {
                     attempt,
                 } => self.handle_retry_check(machine, release, attempt),
                 Event::Tick => {
+                    // Tick-driven controllers assess live repository
+                    // health: make every report received so far visible
+                    // before the decision.
+                    if let Some(sink) = &mut self.urr_sink {
+                        sink.flush();
+                    }
                     let commands = protocol.on_tick(self.now);
                     self.exec(commands);
                     if !protocol.done() && self.ticks_issued < self.scenario.faults.max_ticks {

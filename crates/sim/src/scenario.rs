@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use mirage_deploy::{DeployPlan, MachineId, MachineSet, ProblemId, ProblemTable};
 use mirage_report::Urr;
+use mirage_rollout::{GuardSettings, RolloutStrategy};
 
 use crate::engine::SimTime;
 use crate::faults::{FaultPlan, FaultSpec};
@@ -89,6 +90,17 @@ pub struct Scenario {
     /// Purely a scheduling hint: results are bit-identical at every
     /// worker count.
     pub workers: Option<usize>,
+    /// Optional rollout strategy (set via
+    /// [`ScenarioBuilder::with_strategy`]): when present,
+    /// [`crate::run_rollout`] drives the fleet through a
+    /// [`mirage_rollout::RolloutController`] instead of a bare staging
+    /// protocol.
+    pub strategy: Option<RolloutStrategy>,
+    /// Optional URR guard thresholds (set via
+    /// [`ScenarioBuilder::with_guard`]): requires [`Scenario::urr`];
+    /// the controller then evaluates live repository health each tick
+    /// and rolls back automatically when the guard trips.
+    pub guard: Option<GuardSettings>,
 }
 
 impl Scenario {
@@ -107,6 +119,8 @@ impl Scenario {
             faults: FaultPlan::none(),
             urr: None,
             workers: None,
+            strategy: None,
+            guard: None,
         }
     }
 
@@ -266,6 +280,8 @@ pub struct ScenarioBuilder {
     timings: Timings,
     threshold: f64,
     workers: Option<usize>,
+    strategy: Option<RolloutStrategy>,
+    guard: Option<GuardSettings>,
 }
 
 impl ScenarioBuilder {
@@ -288,6 +304,8 @@ impl ScenarioBuilder {
             timings: Timings::paper_default(),
             threshold: 1.0,
             workers: None,
+            strategy: None,
+            guard: None,
         }
     }
 
@@ -403,6 +421,24 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects a rollout strategy for this scenario: [`crate::run_rollout`]
+    /// then partitions the fleet into cohorts and drives it through a
+    /// [`mirage_rollout::RolloutController`]. Without this call the
+    /// scenario runs bare staging protocols as before.
+    pub fn with_strategy(mut self, strategy: RolloutStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Attaches URR guard thresholds: the rollout controller assesses
+    /// live repository health on each decision tick and rolls the
+    /// campaign back automatically when the guard trips. Requires
+    /// [`Self::with_urr`] to take effect.
+    pub fn with_guard(mut self, guard: GuardSettings) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
     /// Builds the scenario.
     ///
     /// # Panics
@@ -498,6 +534,8 @@ impl ScenarioBuilder {
             scenario.faults = spec.lower(&scenario.plan);
         }
         scenario.urr = self.urr;
+        scenario.strategy = self.strategy;
+        scenario.guard = self.guard;
         scenario
     }
 }

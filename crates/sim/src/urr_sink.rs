@@ -48,6 +48,10 @@ pub struct UrrSink {
     /// Repository release per simulated release number (grown lazily as
     /// fixes ship).
     release_ids: Vec<ReleaseId>,
+    /// Interned `("upgrade", "prior")` release for rollback
+    /// confirmations (the `PRIOR_RELEASE` sentinel), created on first
+    /// sight so rollback-free runs never intern it.
+    prior_release_id: Option<ReleaseId>,
     buf: Vec<InternedReport>,
 }
 
@@ -75,12 +79,21 @@ impl UrrSink {
             machine_cluster,
             sig_ids,
             release_ids,
+            prior_release_id: None,
             buf: Vec::with_capacity(BATCH),
         }
     }
 
     /// The repository release for simulated release number `release`.
+    /// The `PRIOR_RELEASE` rollback sentinel (`u32::MAX`) maps to a
+    /// dedicated `("upgrade", "prior")` release rather than growing the
+    /// dense table to it.
     fn release_id(&mut self, release: u32) -> ReleaseId {
+        if release == u32::MAX {
+            return *self
+                .prior_release_id
+                .get_or_insert_with(|| self.urr.intern_release("upgrade", "prior"));
+        }
         while self.release_ids.len() <= release as usize {
             let version = format!("r{}", self.release_ids.len());
             self.release_ids

@@ -339,6 +339,9 @@ pub fn rollup(
                 FaultKind::Duplication => frames[f].faults_duplicated += 1,
             },
             JournalEvent::UrrDeposit { .. } => frames[f].urr_deposits += 1,
+            // Rollout decisions are campaign-scoped, not wave-scoped;
+            // the rollup keys frames off WaveAdvance markers only.
+            JournalEvent::Rollout { .. } => {}
         }
     }
 

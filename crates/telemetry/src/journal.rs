@@ -62,11 +62,13 @@ pub enum JournalKind {
     /// A received report was deposited into the Upgrade Report
     /// Repository.
     UrrDeposit,
+    /// A rollout controller took a widen/hold/roll-back decision.
+    Rollout,
 }
 
 impl JournalKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [JournalKind; 8] = [
+    pub const ALL: [JournalKind; 9] = [
         JournalKind::Notify,
         JournalKind::Test,
         JournalKind::Report,
@@ -75,6 +77,7 @@ impl JournalKind {
         JournalKind::Waiver,
         JournalKind::Fault,
         JournalKind::UrrDeposit,
+        JournalKind::Rollout,
     ];
 
     /// The kind's stable snake_case name.
@@ -88,6 +91,7 @@ impl JournalKind {
             JournalKind::Waiver => "waiver",
             JournalKind::Fault => "fault",
             JournalKind::UrrDeposit => "urr_deposit",
+            JournalKind::Rollout => "rollout",
         }
     }
 }
@@ -107,6 +111,30 @@ impl FaultKind {
         match self {
             FaultKind::Loss => "loss",
             FaultKind::Duplication => "duplication",
+        }
+    }
+}
+
+/// Which way a rollout controller moved on one decision tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutStep {
+    /// The next cohort was notified.
+    Widen,
+    /// The controller waited (bake timer, threshold, or guard
+    /// hysteresis not yet satisfied).
+    Hold,
+    /// The campaign was aborted and every enrolled machine re-notified
+    /// with the prior release.
+    RollBack,
+}
+
+impl RolloutStep {
+    /// The step's stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RolloutStep::Widen => "widen",
+            RolloutStep::Hold => "hold",
+            RolloutStep::RollBack => "roll_back",
         }
     }
 }
@@ -181,6 +209,17 @@ pub enum JournalEvent {
         /// Dense problem index, or [`NO_PROBLEM`] on a pass.
         problem: u16,
     },
+    /// A rollout controller decided to widen, hold, or roll back.
+    Rollout {
+        /// Which way the controller moved.
+        step: RolloutStep,
+        /// Zero-based cohort the decision concerns (the cohort widened
+        /// to, held at, or rolled back from).
+        cohort: u32,
+        /// Machines enrolled (notified of the campaign release) when
+        /// the decision was taken — the exposure at that instant.
+        machines: u32,
+    },
 }
 
 impl JournalEvent {
@@ -195,6 +234,7 @@ impl JournalEvent {
             JournalEvent::Waiver { .. } => JournalKind::Waiver,
             JournalEvent::Fault { .. } => JournalKind::Fault,
             JournalEvent::UrrDeposit { .. } => JournalKind::UrrDeposit,
+            JournalEvent::Rollout { .. } => JournalKind::Rollout,
         }
     }
 
@@ -259,6 +299,15 @@ impl JournalEvent {
                 if problem != NO_PROBLEM {
                     pairs.push(("problem".into(), Value::from(u64::from(problem))));
                 }
+            }
+            JournalEvent::Rollout {
+                step,
+                cohort,
+                machines,
+            } => {
+                pairs.push(("step".into(), Value::str(step.name())));
+                pairs.push(("cohort".into(), Value::from(cohort)));
+                pairs.push(("machines".into(), Value::from(machines)));
             }
         }
         Value::Obj(pairs)

@@ -71,7 +71,9 @@ pub mod trace_export;
 
 pub use flight::{FlightEvent, FlightRecorder, TimedEvent};
 pub use health::{ClusterHealth, HealthStatus, WatchdogConfig, WaveHealth};
-pub use journal::{FaultKind, Journal, JournalEntry, JournalEvent, JournalKind, NO_PROBLEM};
+pub use journal::{
+    FaultKind, Journal, JournalEntry, JournalEvent, JournalKind, RolloutStep, NO_PROBLEM,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use recorder::{Capabilities, NoopRecorder, Recorder, Telemetry};
 pub use registry::{Registry, Snapshot};

@@ -12,7 +12,7 @@
 //! Run with: `cargo run --example firefox_staged`
 
 use mirage::cluster::ClusteringScore;
-use mirage::core::{Campaign, ProtocolKind};
+use mirage::core::{Campaign, ProtocolChoice, RolloutPlan, RolloutStrategy};
 use mirage::deploy::DeployPlan;
 use mirage::scenarios::firefox::FirefoxScenario;
 
@@ -57,9 +57,12 @@ fn main() {
     // Deploy Firefox 2.0 with FrontLoading: every representative tests
     // first, so the vendor learns about the legacy-prefs problem before
     // any non-representative is disturbed.
-    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let plan = RolloutPlan::new(
+        DeployPlan::from_clustering(&clustering, 1),
+        RolloutStrategy::Staged { waves: 1 },
+    );
     let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::FrontLoading, 1.0);
 
     println!("FrontLoading campaign:");
     println!(

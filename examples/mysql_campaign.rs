@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example mysql_campaign`
 
 use mirage::cluster::ClusteringScore;
-use mirage::core::{Campaign, ProtocolKind};
+use mirage::core::{Campaign, ProtocolChoice, RolloutPlan, RolloutStrategy};
 use mirage::scenarios::mysql::MySqlScenario;
 
 fn main() {
@@ -42,8 +42,11 @@ fn main() {
 
     // Deploy MySQL 5 with the Balanced protocol.
     let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-    let plan = mirage::deploy::DeployPlan::from_clustering(&clustering, 1);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let plan = RolloutPlan::new(
+        mirage::deploy::DeployPlan::from_clustering(&clustering, 1),
+        RolloutStrategy::Staged { waves: 1 },
+    );
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
 
     println!("\nDeployment:");
     println!(
@@ -61,7 +64,7 @@ fn main() {
     println!(
         "  converged: {} / {}",
         result.integrated.len(),
-        plan.machine_count()
+        plan.deploy.machine_count()
     );
 
     println!("\nVendor's deduplicated problem view:");

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use mirage::cluster::ClusteringScore;
-use mirage::core::{Campaign, ProtocolKind, UserAgent, Vendor};
+use mirage::core::{Campaign, ProtocolChoice, RolloutStrategy, UserAgent, Vendor};
 use mirage::env::{
     ApplicationSpec, EnvPredicate, File, IniDoc, MachineBuilder, Package, ProblemEffect,
     ProblemSpec, Repository, RunInput, Upgrade, Version, VersionReq,
@@ -86,7 +86,12 @@ fn main() {
         .vendor
         .classify_reference("editor", &[RunInput::new("a"), RunInput::new("b")]);
     let reference_fp = campaign.vendor.reference_fingerprint(&classification);
-    let (clustering, plan) = campaign.plan("editor", &reference_fp, 1);
+    let (clustering, plan) = campaign.rollout_plan(
+        "editor",
+        &reference_fp,
+        1,
+        RolloutStrategy::Staged { waves: 1 },
+    );
 
     println!("Clusters:");
     for cluster in &clustering.clusters {
@@ -112,7 +117,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. Staged deployment with the Balanced protocol.
     // ------------------------------------------------------------------
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
     println!("Releases shipped: {:?}", result.releases);
     println!(
         "Machines that tested a faulty upgrade (overhead): {}",

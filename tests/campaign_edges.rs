@@ -1,6 +1,6 @@
 //! Edge-case behaviour of live campaigns.
 
-use mirage::core::{Campaign, ProtocolKind, UserAgent, Vendor};
+use mirage::core::{Campaign, ProtocolChoice, RolloutPlan, RolloutStrategy, UserAgent, Vendor};
 use mirage::env::{
     AppLogic, ApplicationSpec, File, MachineBuilder, Package, Repository, RunInput, Upgrade,
     Version, VersionReq,
@@ -61,8 +61,8 @@ fn version_sensitive_world() -> (Campaign, mirage::fingerprint::MachineFingerpri
 #[test]
 fn io_changing_upgrade_stalls_without_refresh() {
     let (mut campaign, fp, upgrade) = version_sensitive_world();
-    let (_, plan) = campaign.plan("app", &fp, 1);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let (_, plan) = campaign.rollout_plan("app", &fp, 1, RolloutStrategy::Staged { waves: 1 });
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
     assert!(!result.converged(3), "strict comparison must block it");
     assert_eq!(result.releases.len(), 1, "nothing to fix, nothing shipped");
     assert!(campaign.urr.stats().failures >= 1);
@@ -99,8 +99,8 @@ fn refresh_flow_unblocks_io_changing_upgrade() {
             })
             .collect();
     }
-    let (_, plan) = campaign.plan("app", &fp, 1);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let (_, plan) = campaign.rollout_plan("app", &fp, 1, RolloutStrategy::Staged { waves: 1 });
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
     assert!(result.converged(3));
     assert_eq!(result.failed_validations, 0);
 }
@@ -146,12 +146,15 @@ fn missing_machines_are_tolerated_with_threshold() {
         )),
         vec![],
     );
-    let (_, mut plan) = campaign.plan("app", &fp, 1);
+    let (_, plan) = campaign.rollout_plan("app", &fp, 1, RolloutStrategy::Staged { waves: 1 });
     // A ghost machine appears in the plan's only cluster (it is not a
-    // representative).
-    let ghost = plan.machines.intern("ghost");
-    plan.clusters[0].members.push(ghost);
-    let result = campaign.deploy(clean, &plan, ProtocolKind::Balanced, 0.75);
+    // representative). Mutate the deploy plan, then re-shape the
+    // cohorts so the rollout plan sees the ghost too.
+    let mut deploy = plan.deploy;
+    let ghost = deploy.machines.intern("ghost");
+    deploy.clusters[0].members.push(ghost);
+    let plan = RolloutPlan::new(deploy, RolloutStrategy::Staged { waves: 1 });
+    let result = campaign.drive(clean, &plan, ProtocolChoice::Balanced, 0.75);
     // The three real machines all converge; the ghost never reports.
     assert_eq!(result.integrated.len(), 3);
 }

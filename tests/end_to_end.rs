@@ -2,7 +2,7 @@
 //! evaluation fleets.
 
 use mirage::cluster::ClusteringScore;
-use mirage::core::{Campaign, ProtocolKind};
+use mirage::core::{Campaign, ProtocolChoice, RolloutPlan, RolloutStrategy};
 use mirage::deploy::DeployPlan;
 use mirage::scenarios::{firefox, mysql};
 
@@ -19,9 +19,12 @@ fn mysql_campaign_with_balanced_protocol() {
     assert_eq!(score.clusters, 15);
     assert_eq!(score.misplaced, 0);
 
-    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let plan = RolloutPlan::new(
+        DeployPlan::from_clustering(&clustering, 1),
+        RolloutStrategy::Staged { waves: 1 },
+    );
     let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
 
     assert!(result.converged(21), "all 21 machines converge");
     // One representative per problem is inconvenienced; the PHP problem
@@ -52,9 +55,12 @@ fn mysql_nostaging_pays_full_overhead() {
     let upgrade = scenario.upgrade.clone();
     let inputs = scenario.fleet_inputs();
     let clustering = scenario.vendor.cluster(&inputs);
-    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let plan = RolloutPlan::new(
+        DeployPlan::from_clustering(&clustering, 1),
+        RolloutStrategy::Staged { waves: 1 },
+    );
     let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::NoStaging, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::NoStaging, 1.0);
     assert!(result.converged(21));
     // All 5 PHP machines + 2 userconfig machines fail.
     assert_eq!(result.failed_validations, 7, "m = 7 problem machines");
@@ -69,9 +75,12 @@ fn firefox_frontloading_campaign() {
     let inputs = scenario.fleet_inputs();
     let clustering = scenario.vendor.cluster(&inputs);
     assert_eq!(clustering.len(), 4);
-    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let plan = RolloutPlan::new(
+        DeployPlan::from_clustering(&clustering, 1),
+        RolloutStrategy::Staged { waves: 1 },
+    );
     let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::FrontLoading, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::FrontLoading, 1.0);
     assert!(result.converged(6));
     // Two clusters carry the problem → two representatives fail
     // (p + Cp = 1 + 1).
@@ -87,9 +96,12 @@ fn campaign_upgrades_live_machines() {
     let upgrade = scenario.upgrade.clone();
     let inputs = scenario.fleet_inputs();
     let clustering = scenario.vendor.cluster(&inputs);
-    let plan = DeployPlan::from_clustering(&clustering, 1);
+    let plan = RolloutPlan::new(
+        DeployPlan::from_clustering(&clustering, 1),
+        RolloutStrategy::Staged { waves: 1 },
+    );
     let mut campaign = Campaign::new(scenario.vendor, scenario.agents);
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
     assert!(result.converged(21));
     for agent in &campaign.agents {
         let v = agent

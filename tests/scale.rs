@@ -1,7 +1,7 @@
 //! Scale sanity: a moderately large fleet through the full live
 //! pipeline (parallel fingerprinting, clustering, staged deployment).
 
-use mirage::core::{Campaign, ProtocolKind, UserAgent, Vendor};
+use mirage::core::{Campaign, ProtocolChoice, RolloutStrategy, UserAgent, Vendor};
 use mirage::env::{
     ApplicationSpec, EnvPredicate, File, IniDoc, MachineBuilder, Package, ProblemEffect,
     ProblemSpec, Repository, RunInput, Upgrade, Version, VersionReq,
@@ -71,11 +71,12 @@ fn sixty_machine_campaign() {
         .vendor
         .classify_reference("svc", &[RunInput::new("w1"), RunInput::new("w2")]);
     let fp = campaign.vendor.reference_fingerprint(&classification);
-    let (clustering, plan) = campaign.plan("svc", &fp, 1);
+    let (clustering, plan) =
+        campaign.rollout_plan("svc", &fp, 1, RolloutStrategy::Staged { waves: 1 });
     assert_eq!(clustering.len(), 6, "six environment groups");
-    assert_eq!(plan.machine_count(), 60);
+    assert_eq!(plan.deploy.machine_count(), 60);
 
-    let result = campaign.deploy(upgrade, &plan, ProtocolKind::Balanced, 1.0);
+    let result = campaign.drive(upgrade, &plan, ProtocolChoice::Balanced, 1.0);
     assert!(result.converged(60));
     // The problem triggers on every machine with /etc/svc.conf (50
     // machines across 5 clusters), but staging stops at the first
