@@ -41,7 +41,13 @@
 //!   first-cohort limit, or converged through the vendor-fix path
 //!   without one — every bad `canary` row specifically rolled back
 //!   (the headline containment claim), and `all_good_converged` /
-//!   `all_bad_contained` agreeing with the rows.
+//!   `all_bad_contained` agreeing with the rows;
+//! * `BENCH_storage.json` — harness rows well-formed and non-smoke,
+//!   the 100k WAL-append (memory and fs), recovery (WAL-only and
+//!   snapshot+tail), and mixed read/write rows present plus the 1M
+//!   single-shot recovery `scale` row, positive append and mixed
+//!   read/write throughput, positive recovery times, and the run's
+//!   recovered-equals-live verification flag (`recovered_equal`) true.
 //!
 //! Harness rows must carry at least [`MIN_SAMPLES`] samples unless
 //! they are explicitly marked `"scale": true` — a single-observation
@@ -76,11 +82,13 @@ pub enum BenchKind {
     Drift,
     /// `BENCH_rollback.json` (suite `rollback-sweep`).
     Rollback,
+    /// `BENCH_storage.json` (suite `urr-store-perf`).
+    Storage,
 }
 
 impl BenchKind {
     /// Every kind with its committed file name.
-    pub const ALL: [(BenchKind, &'static str); 8] = [
+    pub const ALL: [(BenchKind, &'static str); 9] = [
         (BenchKind::Clustering, "BENCH_clustering.json"),
         (BenchKind::Sim, "BENCH_sim.json"),
         (BenchKind::Faults, "BENCH_faults.json"),
@@ -89,6 +97,7 @@ impl BenchKind {
         (BenchKind::Trace, "BENCH_trace.json"),
         (BenchKind::Drift, "BENCH_drift.json"),
         (BenchKind::Rollback, "BENCH_rollback.json"),
+        (BenchKind::Storage, "BENCH_storage.json"),
     ];
 
     /// The `suite` value the document must carry.
@@ -102,6 +111,7 @@ impl BenchKind {
             BenchKind::Trace => "trace-overhead",
             BenchKind::Drift => "drift-perf",
             BenchKind::Rollback => "rollback-sweep",
+            BenchKind::Storage => "urr-store-perf",
         }
     }
 }
@@ -544,6 +554,94 @@ pub fn check(kind: BenchKind, text: &str) -> Result<Vec<String>, GateError> {
             }
             notes.push("all_good_converged / all_bad_contained agree with the rows".to_string());
         }
+        BenchKind::Storage => {
+            let rows = results(&doc)?;
+            for row in rows {
+                check_harness_row(row)?;
+            }
+            for required in [
+                "storage/wal/append-memory-100k",
+                "storage/wal/append-fs-100k",
+                "storage/recover/wal-100k",
+                "storage/recover/snapshot-100k",
+                "storage/serve/mixed-read-write-100k",
+            ] {
+                if !rows
+                    .iter()
+                    .any(|r| r.get("name").and_then(Value::as_str) == Some(required))
+                {
+                    return Err(fail(format!("missing harness row '{required}'")));
+                }
+            }
+            // The 1M recovery measurement is a deliberate single-shot;
+            // it must both exist and carry the scale marker.
+            let scale_row = rows
+                .iter()
+                .find(|r| {
+                    r.get("name").and_then(Value::as_str) == Some("storage/recover/snapshot-1m")
+                })
+                .ok_or_else(|| fail("missing harness row 'storage/recover/snapshot-1m'"))?;
+            if !matches!(scale_row.get("scale"), Some(Value::Bool(true))) {
+                return Err(fail(
+                    "'storage/recover/snapshot-1m' is not marked \"scale\": true",
+                ));
+            }
+            notes.push(format!(
+                "{} harness rows well-formed incl. the 1M single-shot recovery row",
+                rows.len()
+            ));
+            // Smoke volumes are far too small for the pinned recovery
+            // and throughput numbers to mean anything.
+            if boolean(&doc, "smoke")? {
+                return Err(fail(
+                    "committed storage document is a --smoke run; commit a full run",
+                ));
+            }
+            // The run replays its own journal and compares every query
+            // surface of the recovered repository against the live one;
+            // a false flag means the WAL+snapshot path lost data.
+            if !boolean(&doc, "recovered_equal")? {
+                return Err(fail(
+                    "recovered_equal is false: recovery diverged from the live repository",
+                ));
+            }
+            notes
+                .push("recovered repository verified equal to live across all queries".to_string());
+            for key in [
+                "wal_append_memory_100k_reports_per_sec",
+                "wal_append_fs_100k_reports_per_sec",
+                "mixed_reads_per_sec",
+                "mixed_writes_per_sec",
+            ] {
+                let v = num(&doc, key)?;
+                if v <= 0.0 {
+                    return Err(fail(format!("'{key}' is not positive ({v})")));
+                }
+            }
+            notes.push(format!(
+                "append {:.0}/s mem, {:.0}/s fs; mixed {:.0} reads/s against {:.0} writes/s",
+                num(&doc, "wal_append_memory_100k_reports_per_sec")?,
+                num(&doc, "wal_append_fs_100k_reports_per_sec")?,
+                num(&doc, "mixed_reads_per_sec")?,
+                num(&doc, "mixed_writes_per_sec")?,
+            ));
+            for key in [
+                "recovery_wal_100k_ms",
+                "recovery_snapshot_100k_ms",
+                "recovery_snapshot_1m_ms",
+            ] {
+                let v = num(&doc, key)?;
+                if v <= 0.0 {
+                    return Err(fail(format!("'{key}' is not positive ({v})")));
+                }
+            }
+            notes.push(format!(
+                "recovery {:.1} ms (WAL 100k), {:.1} ms (snapshot 100k), {:.1} ms (snapshot 1M)",
+                num(&doc, "recovery_wal_100k_ms")?,
+                num(&doc, "recovery_snapshot_100k_ms")?,
+                num(&doc, "recovery_snapshot_1m_ms")?,
+            ));
+        }
     }
     Ok(notes)
 }
@@ -923,18 +1021,99 @@ mod tests {
         assert!(err.to_string().contains("'exposed'"), "{err}");
     }
 
+    fn storage_doc(smoke: bool, recovered_equal: bool, fs_rate: f64) -> String {
+        format!(
+            "{{\"suite\": \"urr-store-perf\", \"smoke\": {smoke}, \"reports\": 100000,\n\
+             \"results\": [{}, {}, {}, {}, {}, {}],\n\
+             \"wal_append_memory_100k_reports_per_sec\": 2500000.0,\n\
+             \"wal_append_fs_100k_reports_per_sec\": {fs_rate},\n\
+             \"mixed_reads_per_sec\": 800000.0, \"mixed_writes_per_sec\": 400000.0,\n\
+             \"recovery_wal_100k_ms\": 85.0, \"recovery_snapshot_100k_ms\": 12.0,\n\
+             \"recovery_snapshot_1m_ms\": 130.0,\n\
+             \"recovered_equal\": {recovered_equal}}}",
+            harness_row("storage/wal/append-memory-100k"),
+            harness_row("storage/wal/append-fs-100k"),
+            harness_row("storage/recover/wal-100k"),
+            harness_row("storage/recover/snapshot-100k"),
+            harness_row("storage/serve/mixed-read-write-100k"),
+            scale_row("storage/recover/snapshot-1m"),
+        )
+    }
+
+    #[test]
+    fn valid_storage_document_passes() {
+        let notes = check(BenchKind::Storage, &storage_doc(false, true, 600000.0)).unwrap();
+        assert!(notes.iter().any(|n| n.contains("recovered")), "{notes:?}");
+        assert!(notes.iter().any(|n| n.contains("reads/s")), "{notes:?}");
+        assert!(notes.iter().any(|n| n.contains("recovery")), "{notes:?}");
+    }
+
+    #[test]
+    fn storage_invariant_breaches_fail() {
+        // A committed smoke run pins nothing.
+        let err = check(BenchKind::Storage, &storage_doc(true, true, 600000.0)).unwrap_err();
+        assert!(err.to_string().contains("--smoke"), "{err}");
+
+        // The run's own recovery-equals-live verification failed.
+        let err = check(BenchKind::Storage, &storage_doc(false, false, 600000.0)).unwrap_err();
+        assert!(err.to_string().contains("recovered_equal"), "{err}");
+
+        // A zero throughput means the workload measured nothing.
+        let err = check(BenchKind::Storage, &storage_doc(false, true, 0.0)).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("wal_append_fs_100k_reports_per_sec"),
+            "{err}"
+        );
+
+        // Every 100k row is part of the committed surface.
+        let missing =
+            storage_doc(false, true, 600000.0).replace("storage/recover/snapshot-100k", "other");
+        let err = check(BenchKind::Storage, &missing).unwrap_err();
+        assert!(err.to_string().contains("snapshot-100k"), "{err}");
+
+        // ... as is the 1M single-shot recovery row.
+        let missing =
+            storage_doc(false, true, 600000.0).replace("storage/recover/snapshot-1m", "other");
+        let err = check(BenchKind::Storage, &missing).unwrap_err();
+        assert!(err.to_string().contains("snapshot-1m"), "{err}");
+
+        // The 1M row must carry the scale marker, not sneak a
+        // single-sample measurement past the harness floor.
+        let unmarked =
+            storage_doc(false, true, 600000.0).replace("\"scale\": true", "\"scale\": false");
+        let err = check(BenchKind::Storage, &unmarked).unwrap_err();
+        assert!(err.to_string().contains("sample"), "{err}");
+
+        // A non-positive recovery time is a clock error, not a result.
+        let zeroed = storage_doc(false, true, 600000.0).replace(
+            "\"recovery_wal_100k_ms\": 85.0",
+            "\"recovery_wal_100k_ms\": 0",
+        );
+        let err = check(BenchKind::Storage, &zeroed).unwrap_err();
+        assert!(err.to_string().contains("recovery_wal_100k_ms"), "{err}");
+
+        // Missing scalar field.
+        let gone =
+            storage_doc(false, true, 600000.0).replace("\"mixed_reads_per_sec\": 800000.0, ", "");
+        let err = check(BenchKind::Storage, &gone).unwrap_err();
+        assert!(err.to_string().contains("mixed_reads_per_sec"), "{err}");
+    }
+
     #[test]
     fn kind_metadata() {
-        assert_eq!(BenchKind::ALL.len(), 8);
+        assert_eq!(BenchKind::ALL.len(), 9);
         assert_eq!(BenchKind::Urr.suite(), "urr-perf");
         assert_eq!(BenchKind::Sweep.suite(), "sim-sweep");
         assert_eq!(BenchKind::Trace.suite(), "trace-overhead");
         assert_eq!(BenchKind::Drift.suite(), "drift-perf");
         assert_eq!(BenchKind::Rollback.suite(), "rollback-sweep");
+        assert_eq!(BenchKind::Storage.suite(), "urr-store-perf");
         assert_eq!(BenchKind::ALL[0].1, "BENCH_clustering.json");
         assert_eq!(BenchKind::ALL[3].1, "BENCH_sweep.json");
         assert_eq!(BenchKind::ALL[5].1, "BENCH_trace.json");
         assert_eq!(BenchKind::ALL[6].1, "BENCH_drift.json");
         assert_eq!(BenchKind::ALL[7].1, "BENCH_rollback.json");
+        assert_eq!(BenchKind::ALL[8].1, "BENCH_storage.json");
     }
 }

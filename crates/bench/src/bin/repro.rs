@@ -30,6 +30,9 @@
 //!   rollback-sweep     guarded strategy × loss × release containment grid
 //!                      → BENCH_rollback.json (--smoke shrinks the fleet
 //!                      for CI)
+//!   urr-store-perf     durable URR: WAL append throughput, crash-recovery
+//!                      time, and mixed read/write serving → BENCH_storage.json
+//!                      (--smoke shrinks the report volume for CI)
 //!   bench-check        validate the committed BENCH_*.json documents
 //!                      (reads from --csv dir, default "."; exits 1 on failure)
 //!   all                everything (default; excludes *-perf, fault-sweep,
@@ -84,7 +87,7 @@ fn main() {
             "all".to_string()
         }
     });
-    const KNOWN: [&str; 23] = [
+    const KNOWN: [&str; 24] = [
         "all",
         "fig1",
         "fig2",
@@ -108,6 +111,7 @@ fn main() {
         "trace",
         "health",
         "rollback-sweep",
+        "urr-store-perf",
     ];
     if !KNOWN.contains(&arg.as_str()) && arg != "bench-check" {
         eprintln!("error: unknown experiment '{arg}'");
@@ -183,6 +187,9 @@ fn main() {
     }
     if arg == "rollback-sweep" {
         rollback_sweep(csv_dir.as_deref(), smoke);
+    }
+    if arg == "urr-store-perf" {
+        urr_store_perf(csv_dir.as_deref(), smoke);
     }
     if arg == "bench-check" {
         bench_check(csv_dir.as_deref());
@@ -596,6 +603,433 @@ fn urr_perf(csv: Option<&std::path::Path>, smoke: bool) {
         "sharded ingest speedup {speedup:.2}x fell below the {floor}x regression floor; see {}",
         path.display()
     );
+}
+
+/// Benchmarks the durable URR storage backend — WAL append throughput,
+/// crash-recovery time, and mixed read/write serving — and writes
+/// `BENCH_storage.json`, into the `--csv` directory when given, the
+/// working directory otherwise.
+///
+/// The synthetic stream matches `urr-perf` (100 clusters, 10% failures
+/// over 20 signatures, release r0) so the journaled numbers here read
+/// directly against the unjournaled ingest numbers there. Five
+/// measurements plus one scale row:
+///
+/// * `storage/wal/append-memory-*` / `storage/wal/append-fs-*`: a fresh
+///   [`mirage_report::DurableUrr`] per sample (interning untimed)
+///   journaling interned 4096-record batches through a
+///   [`mirage_report::MemoryStore`] / [`mirage_report::FsStore`] (the
+///   fs sample gets its own scratch directory, removed untimed);
+/// * `storage/recover/wal-*`: recovery replaying the full WAL with no
+///   snapshot — each sample forks the live store into a crash image
+///   (untimed) and times [`mirage_report::DurableUrr::recover`];
+/// * `storage/recover/snapshot-*`: the same, from a compacted snapshot
+///   at 90% of the stream plus a WAL tail — the steady-state shape;
+/// * `storage/serve/mixed-read-write-*`: reader threads answering the
+///   serialized vendor protocol against a frozen
+///   [`mirage_report::UrrSnapshot`] while a writer journals fresh
+///   batches through the same `DurableUrr`;
+/// * `storage/recover/snapshot-1m`: a single-shot 1M-report recovery
+///   (marked `scale`; full runs only).
+///
+/// Before writing the document, the run recovers each journaled store
+/// once and compares every query surface of the recovered repository
+/// against the live one — the `recovered_equal` flag the bench gate
+/// requires.
+///
+/// `--smoke` shrinks the volume (5k reports, no 1M row) so CI can
+/// exercise the whole path in debug builds. The per-benchmark budget
+/// follows `MIRAGE_BENCH_MS` (default 150 ms).
+fn urr_store_perf(csv: Option<&std::path::Path>, smoke: bool) {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use mirage_bench::harness::{black_box, fmt_ns, BenchStats, MIN_SAMPLES};
+    use mirage_report::{
+        DurableConfig, DurableUrr, FsStore, InternedOutcome, InternedReport, MemoryStore, Urr,
+        UrrRequest,
+    };
+
+    heading(if smoke {
+        "Durable URR storage (smoke volume): WAL append, recovery, mixed serving"
+    } else {
+        "Durable URR storage: WAL append, recovery, mixed serving"
+    });
+
+    const SIGNATURES: usize = 20;
+    let (n_main, n_big) = if smoke {
+        (5_000, 20_000)
+    } else {
+        (100_000, 1_000_000)
+    };
+    let label = |n: usize| {
+        if n >= 1_000_000 {
+            format!("{}m", n / 1_000_000)
+        } else {
+            format!("{}k", n / 1_000)
+        }
+    };
+    let clusters = 100usize;
+    let is_failure = |i: usize| i % 10 == 3;
+    let sig_of = |i: usize| (i / 10) % SIGNATURES;
+    // Manual-snapshot config: the benches place snapshots themselves so
+    // each row measures exactly one journal shape.
+    let config = || DurableConfig {
+        snapshot_every_batches: 0,
+        ..DurableConfig::default()
+    };
+    let build_recs = |urr: &Urr, n: usize| -> Vec<InternedReport> {
+        let machines = urr.intern_machines(
+            (0..n)
+                .map(|i| format!("m{i:07}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        let sigs: Vec<_> = (0..SIGNATURES)
+            .map(|s| urr.intern_signature(&format!("sig-{s:02}")))
+            .collect();
+        let release = urr.intern_release("upgrade", "r0");
+        (0..n)
+            .map(|i| InternedReport {
+                machine: machines[i],
+                cluster: (i % clusters) as u32,
+                release,
+                outcome: if is_failure(i) {
+                    InternedOutcome::Failure(sigs[sig_of(i)])
+                } else {
+                    InternedOutcome::Success
+                },
+            })
+            .collect()
+    };
+    // Builds a journaled repository of `n` reports over a MemoryStore,
+    // optionally compacting into a snapshot once `snapshot_at` reports
+    // are in (the rest stays in the WAL tail). Returns the store handle
+    // (shared inner: `fork()` yields crash images) and the live layer.
+    let build_journal = |n: usize, snapshot_at: Option<usize>| -> (MemoryStore, DurableUrr) {
+        let store = MemoryStore::new();
+        let handle = store.clone();
+        let durable = DurableUrr::new(Box::new(store), config()).expect("memory store");
+        let recs = build_recs(durable.urr(), n);
+        let mut deposited = 0usize;
+        let mut snapped = false;
+        for chunk in recs.chunks(4096) {
+            durable
+                .deposit_interned_batch(chunk)
+                .expect("journal batch");
+            deposited += chunk.len();
+            if let Some(at) = snapshot_at {
+                if !snapped && deposited >= at {
+                    durable.snapshot_now().expect("write snapshot");
+                    snapped = true;
+                }
+            }
+        }
+        (handle, durable)
+    };
+    // Recovers a crash image and checks every query surface against the
+    // live repository; feeds the document's `recovered_equal` flag.
+    let recovers_equal = |handle: &MemoryStore, durable: &DurableUrr| -> bool {
+        let (back, report) =
+            DurableUrr::recover(Box::new(handle.fork()), config()).expect("recover");
+        let (live, back) = (durable.urr(), back.urr());
+        report.torn_tail.is_none()
+            && back.next_seq() == live.next_seq()
+            && back.stats() == live.stats()
+            && back.snapshot() == live.snapshot()
+            && back.to_json() == live.to_json()
+    };
+
+    let budget = Duration::from_millis(
+        std::env::var("MIRAGE_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(150),
+    );
+    let mut rows: Vec<BenchStats> = Vec::new();
+
+    /// Sorts `samples_ns`, prints one harness-style row, and records it.
+    fn record(rows: &mut Vec<BenchStats>, name: &str, mut samples: Vec<u64>, scale: bool) {
+        samples.sort_unstable();
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: samples.len(),
+            min_ns: samples[0],
+            p50_ns: samples[samples.len() / 2],
+            mean_ns: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+            max_ns: *samples.last().expect("non-empty"),
+            bytes: None,
+            scale,
+        };
+        println!(
+            "{:<44} {:>8} {:>12} {:>12} {:>12}",
+            stats.name,
+            stats.samples,
+            fmt_ns(stats.min_ns as f64),
+            fmt_ns(stats.p50_ns as f64),
+            fmt_ns(stats.mean_ns),
+        );
+        rows.push(stats);
+    }
+
+    /// Samples `run` (which returns the nanoseconds of its timed region)
+    /// until the budget or a sample cap is hit, then records the row.
+    fn sample(
+        rows: &mut Vec<BenchStats>,
+        budget: Duration,
+        name: &str,
+        run: &mut dyn FnMut() -> u64,
+    ) {
+        black_box(run()); // one untimed warmup, like the harness
+        let started = Instant::now();
+        let mut samples: Vec<u64> = Vec::new();
+        loop {
+            samples.push(run());
+            if (started.elapsed() >= budget && samples.len() >= MIN_SAMPLES)
+                || samples.len() >= 1_000
+            {
+                break;
+            }
+        }
+        record(rows, name, samples, false);
+    }
+
+    // --- WAL append throughput: a fresh journaled repository per
+    // sample, interning untimed, 4096-record frames (the UrrSink batch).
+    let append_mem = format!("storage/wal/append-memory-{}", label(n_main));
+    sample(&mut rows, budget, &append_mem, &mut || {
+        let durable = DurableUrr::new(Box::new(MemoryStore::new()), config()).expect("memory");
+        let recs = build_recs(durable.urr(), n_main);
+        let t0 = Instant::now();
+        for chunk in recs.chunks(4096) {
+            black_box(durable.deposit_interned_batch(chunk).expect("journal"));
+        }
+        t0.elapsed().as_nanos() as u64
+    });
+
+    let scratch_root =
+        std::env::temp_dir().join(format!("mirage-store-perf-{}", std::process::id()));
+    let mut scratch_n = 0usize;
+    let append_fs = format!("storage/wal/append-fs-{}", label(n_main));
+    sample(&mut rows, budget, &append_fs, &mut || {
+        scratch_n += 1;
+        let dir = scratch_root.join(format!("append-{scratch_n}"));
+        let store = FsStore::open(&dir).expect("open fs store");
+        let durable = DurableUrr::new(Box::new(store), config()).expect("fs store");
+        let recs = build_recs(durable.urr(), n_main);
+        let t0 = Instant::now();
+        for chunk in recs.chunks(4096) {
+            black_box(durable.deposit_interned_batch(chunk).expect("journal"));
+        }
+        let ns = t0.elapsed().as_nanos() as u64;
+        drop(durable);
+        std::fs::remove_dir_all(&dir).expect("remove scratch store");
+        ns
+    });
+
+    // --- Recovery: WAL-only replay, then the steady-state snapshot+tail
+    // shape. Each sample recovers a fresh fork of the same crash image.
+    let mut recovered_equal = true;
+    let (wal_handle, wal_durable) = build_journal(n_main, None);
+    recovered_equal &= recovers_equal(&wal_handle, &wal_durable);
+    let recover_wal = format!("storage/recover/wal-{}", label(n_main));
+    sample(&mut rows, budget, &recover_wal, &mut || {
+        let image = wal_handle.fork();
+        let t0 = Instant::now();
+        let (back, report) = DurableUrr::recover(Box::new(image), config()).expect("recover");
+        black_box((back.urr().next_seq(), report));
+        t0.elapsed().as_nanos() as u64
+    });
+
+    let (snap_handle, snap_durable) = build_journal(n_main, Some(n_main * 9 / 10));
+    recovered_equal &= recovers_equal(&snap_handle, &snap_durable);
+    let recover_snap = format!("storage/recover/snapshot-{}", label(n_main));
+    sample(&mut rows, budget, &recover_snap, &mut || {
+        let image = snap_handle.fork();
+        let t0 = Instant::now();
+        let (back, report) = DurableUrr::recover(Box::new(image), config()).expect("recover");
+        black_box((back.urr().next_seq(), report));
+        t0.elapsed().as_nanos() as u64
+    });
+
+    // --- Mixed read/write serving: reader threads answer the binary
+    // vendor protocol from a frozen snapshot view while a writer keeps
+    // journaling fresh batches into the same repository — the vendor's
+    // dashboard-during-campaign shape. Request frames are prepared
+    // untimed; each sample times the whole joined region.
+    let readers = 4usize;
+    let reads_per_thread = if smoke { 300 } else { 2_000 };
+    let writer_batches = if smoke { 4 } else { 16 };
+    let mixed_durable = Arc::new(snap_durable);
+    let frozen = Arc::new(mixed_durable.urr().snapshot());
+    let request_frames: Arc<Vec<Vec<u8>>> = Arc::new(
+        [
+            UrrRequest::TopK(5),
+            UrrRequest::Stats,
+            UrrRequest::ClusterRates,
+            UrrRequest::ReleaseSummaries,
+        ]
+        .iter()
+        .map(UrrRequest::to_frame)
+        .collect(),
+    );
+    let write_chunk: Arc<Vec<InternedReport>> = Arc::new(build_recs(mixed_durable.urr(), 4_096));
+    let mixed = format!("storage/serve/mixed-read-write-{}", label(n_main));
+    sample(&mut rows, budget, &mixed, &mut || {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..readers {
+                let frozen = Arc::clone(&frozen);
+                let frames = Arc::clone(&request_frames);
+                scope.spawn(move || {
+                    for i in 0..reads_per_thread {
+                        let frame = &frames[i % frames.len()];
+                        black_box(frozen.serve(frame).expect("serve"));
+                    }
+                });
+            }
+            let durable = Arc::clone(&mixed_durable);
+            let chunk = Arc::clone(&write_chunk);
+            scope.spawn(move || {
+                for _ in 0..writer_batches {
+                    black_box(durable.deposit_interned_batch(&chunk).expect("journal"));
+                }
+            });
+        });
+        t0.elapsed().as_nanos() as u64
+    });
+
+    // --- Recovery at scale: one deliberate single-shot (full runs only).
+    let recovery_1m_ms = if smoke {
+        None
+    } else {
+        let (big_handle, big_durable) = build_journal(n_big, Some(n_big * 9 / 10));
+        let image = big_handle.fork();
+        let t0 = Instant::now();
+        let (back, report) = DurableUrr::recover(Box::new(image), config()).expect("recover");
+        let ns = t0.elapsed().as_nanos() as u64;
+        assert!(report.snapshot_loaded, "1M image has a snapshot");
+        recovered_equal &= back.urr().next_seq() == big_durable.urr().next_seq()
+            && back.urr().stats() == big_durable.urr().stats();
+        record(
+            &mut rows,
+            &format!("storage/recover/snapshot-{}", label(n_big)),
+            vec![ns],
+            true,
+        );
+        Some(ns as f64 / 1e6)
+    };
+
+    let find = |rows: &[BenchStats], name: &str| -> u64 {
+        rows.iter()
+            .find(|r| r.name == name)
+            .expect("benchmark ran")
+            .min_ns
+            .max(1)
+    };
+    let per_sec = |ns: u64, n: usize| n as f64 / (ns as f64 / 1e9);
+    let append_mem_rate = per_sec(find(&rows, &append_mem), n_main);
+    let append_fs_rate = per_sec(find(&rows, &append_fs), n_main);
+    let mixed_ns = find(&rows, &mixed);
+    let mixed_reads = per_sec(mixed_ns, readers * reads_per_thread);
+    let mixed_writes = per_sec(mixed_ns, writer_batches * 4_096);
+    let recovery_wal_ms = find(&rows, &recover_wal) as f64 / 1e6;
+    let recovery_snap_ms = find(&rows, &recover_snap) as f64 / 1e6;
+    println!(
+        "=> journaled append: {append_mem_rate:.0}/s memory, {append_fs_rate:.0}/s fs; \
+         recovery at {}: {recovery_wal_ms:.1} ms WAL-only, {recovery_snap_ms:.1} ms snapshot+tail",
+        label(n_main)
+    );
+    println!(
+        "=> mixed serving: {mixed_reads:.0} reads/s across {readers} frozen readers \
+         against {mixed_writes:.0} journaled writes/s; recovered repository equal to live: \
+         {recovered_equal}"
+    );
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"suite\": \"urr-store-perf\",\n");
+    json.push_str(&format!(
+        "  \"note\": \"{n_main} reports over {clusters} clusters, 10% failures across \
+         {SIGNATURES} signatures, journaled as interned 4096-record WAL frames; append rows \
+         use a fresh repository per sample (interning untimed); recovery rows fork the live \
+         MemoryStore into a crash image (untimed) and time DurableUrr::recover; the mixed row \
+         runs {readers} protocol readers on a frozen snapshot against one journaling writer; \
+         recovered_equal compares every query surface of a recovered repository to the live \
+         one\",\n"
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p50_ns\": {}, \
+             \"mean_ns\": {:.0}, \"max_ns\": {}{}}}{}\n",
+            r.name,
+            r.samples,
+            r.min_ns,
+            r.p50_ns,
+            r.mean_ns,
+            r.max_ns,
+            if r.scale { ", \"scale\": true" } else { "" },
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"wal_append_memory_{}_reports_per_sec\": {append_mem_rate:.0},\n",
+        label(n_main)
+    ));
+    json.push_str(&format!(
+        "  \"wal_append_fs_{}_reports_per_sec\": {append_fs_rate:.0},\n",
+        label(n_main)
+    ));
+    json.push_str(&format!("  \"mixed_readers\": {readers},\n"));
+    json.push_str(&format!("  \"mixed_reads_per_sec\": {mixed_reads:.0},\n"));
+    json.push_str(&format!("  \"mixed_writes_per_sec\": {mixed_writes:.0},\n"));
+    json.push_str(&format!(
+        "  \"recovery_wal_{}_ms\": {recovery_wal_ms:.2},\n",
+        label(n_main)
+    ));
+    json.push_str(&format!(
+        "  \"recovery_snapshot_{}_ms\": {recovery_snap_ms:.2},\n",
+        label(n_main)
+    ));
+    if let Some(ms) = recovery_1m_ms {
+        json.push_str(&format!(
+            "  \"recovery_snapshot_{}_ms\": {ms:.2},\n",
+            label(n_big)
+        ));
+    }
+    json.push_str(&format!("  \"recovered_equal\": {recovered_equal}\n}}\n"));
+
+    let path = csv
+        .map(|d| d.join("BENCH_storage.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_storage.json"));
+    std::fs::write(&path, json).expect("write BENCH_storage.json");
+    println!("(wrote {})", path.display());
+    let _ = std::fs::remove_dir_all(&scratch_root);
+
+    // Hard invariant regardless of volume: a recovery that loses or
+    // invents reports is a broken journal, not a slow one.
+    assert!(
+        recovered_equal,
+        "recovered repository diverged from the live one; see {}",
+        path.display()
+    );
+    // In-binary regression floors, deliberately far below the committed
+    // headline so a noisy CI runner cannot flake the smoke while a real
+    // collapse of the journaled path still fails loudly.
+    if !smoke {
+        assert!(
+            append_mem_rate >= 50_000.0,
+            "journaled in-memory append fell below 50k reports/s ({append_mem_rate:.0}/s)"
+        );
+        assert!(
+            recovery_snap_ms <= 10_000.0,
+            "snapshot+tail recovery at {} took {recovery_snap_ms:.0} ms (> 10 s)",
+            label(n_main)
+        );
+    }
 }
 
 /// Benchmarks re-clustering after fleet drift — the batch drift engine

@@ -49,6 +49,22 @@
 //! The repository is thread-safe and serialisable via the workspace's
 //! dependency-free JSON module ([`mirage_telemetry::json`]) because in
 //! deployment it would be transferred or co-located with the vendor.
+//!
+//! # Durability and serving
+//!
+//! Two companion layers make the URR a deployable vendor service:
+//!
+//! * [`storage`] — a pluggable [`UrrStore`] backend ([`MemoryStore`],
+//!   [`FsStore`]) behind [`DurableUrr`]: every deposit batch is
+//!   journaled to a checksummed write-ahead log before it is applied,
+//!   compacted snapshots are written periodically, and
+//!   [`DurableUrr::recover`] rebuilds the exact live state after a
+//!   crash — tolerating truncated, torn, and corrupt WAL tails.
+//! * [`serve`] — [`Urr::snapshot`] freezes the query surfaces into an
+//!   immutable [`UrrSnapshot`] that any number of reader threads can
+//!   query lock-free while ingest continues, and
+//!   [`UrrRequest`]/[`UrrResponse`] give those queries a framed wire
+//!   protocol with hostile-input rejection ([`WireError`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,11 +74,18 @@ pub mod codec;
 pub mod image;
 pub mod reference;
 pub mod report;
+pub mod serve;
+pub mod storage;
 pub mod urr;
 
 pub use codec::JsonError;
 pub use image::ReportImage;
 pub use report::{Report, ReportOutcome};
+pub use serve::{UrrRequest, UrrResponse, UrrSnapshot};
+pub use storage::{
+    DurableConfig, DurableUrr, FsStore, MemoryStore, RecoveryReport, StoreError, UrrStore,
+    WireError,
+};
 pub use urr::{
     ClusterFailureRate, FailureGroup, InternedOutcome, InternedReport, MachineRef, ReleaseId,
     ReleaseSummary, SigId, Urr, UrrStats,

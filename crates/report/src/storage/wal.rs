@@ -1,0 +1,395 @@
+//! WAL record payloads: one frame per deposit batch.
+//!
+//! Every ingest batch — boundary [`crate::Report`]s or pre-interned
+//! records — is journaled as one [`WalFrame`] carrying:
+//!
+//! * `start_seq`: the first sequence number the batch claimed, used on
+//!   replay to skip duplicated tail frames and to detect gaps;
+//! * the **intern-table deltas**: every machine / signature / release
+//!   name interned since the previous frame was journaled. Replaying
+//!   deltas in frame order reproduces the exact dense-id assignment of
+//!   the live repository, so the id-based records that follow resolve
+//!   to the same names;
+//! * the records themselves as interned ids, with the optional
+//!   free-form payload (failure detail + reproduction image) inlined
+//!   for boundary reports.
+//!
+//! [`apply_recs`] is the **single apply path**: live ingest through
+//! [`crate::DurableUrr`] journals a frame and then applies it with the
+//! same function recovery uses to replay it, which is what makes the
+//! `recover(snapshot + WAL) == live` property hold by construction
+//! rather than by parallel-implementation luck.
+
+use crate::image::ReportImage;
+use crate::storage::wire::{
+    get_string_list, put_len, put_str, put_string_list, put_u32, put_u64, put_u8, Cursor, WireError,
+};
+use crate::urr::{mix_u32, Payload, Rec, Urr, NO_SIG};
+
+/// One journaled deposit batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WalFrame {
+    /// First sequence number claimed by the batch.
+    pub(crate) start_seq: u64,
+    /// Machine names interned since the previous frame (dense ids
+    /// continue from the previous table length).
+    pub(crate) machine_delta: Vec<String>,
+    /// Signature names interned since the previous frame.
+    pub(crate) sig_delta: Vec<String>,
+    /// `(package, version)` releases interned since the previous frame.
+    pub(crate) release_delta: Vec<(String, String)>,
+    /// The batch records, in sequence order (`seq = start_seq + index`).
+    pub(crate) recs: Vec<WalRec>,
+}
+
+/// One journaled record: interned ids plus the optional heap payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WalRec {
+    pub(crate) machine: u32,
+    pub(crate) cluster: u32,
+    pub(crate) release: u32,
+    /// [`NO_SIG`] for successes.
+    pub(crate) sig: u32,
+    pub(crate) payload: Option<Box<Payload>>,
+}
+
+/// Encodes an optional record payload (detail + reproduction image).
+/// Shared between WAL records and snapshot records.
+pub(crate) fn put_payload(buf: &mut Vec<u8>, payload: &Option<Box<Payload>>) {
+    match payload {
+        None => put_u8(buf, 0),
+        Some(p) => {
+            put_u8(buf, 1);
+            put_str(buf, &p.detail);
+            match &p.image {
+                None => put_u8(buf, 0),
+                Some(img) => {
+                    put_u8(buf, 1);
+                    put_str(buf, &img.sandbox_digest);
+                    put_string_list(buf, &img.env_context);
+                    put_string_list(buf, &img.replayed_inputs);
+                    put_string_list(buf, &img.observed_outputs);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes an optional record payload written by [`put_payload`].
+pub(crate) fn get_payload(cur: &mut Cursor<'_>) -> Result<Option<Box<Payload>>, WireError> {
+    match cur.u8("payload option tag")? {
+        0 => Ok(None),
+        1 => {
+            let detail = cur.str_("payload detail")?;
+            let image = match cur.u8("image option tag")? {
+                0 => None,
+                1 => Some(ReportImage {
+                    sandbox_digest: cur.str_("image digest")?,
+                    env_context: get_string_list(cur, "image context")?,
+                    replayed_inputs: get_string_list(cur, "image inputs")?,
+                    observed_outputs: get_string_list(cur, "image outputs")?,
+                }),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "image option",
+                        tag,
+                    })
+                }
+            };
+            Ok(Some(Box::new(Payload { detail, image })))
+        }
+        tag => Err(WireError::BadTag {
+            what: "payload option",
+            tag,
+        }),
+    }
+}
+
+impl WalFrame {
+    /// Serialises the frame payload (the caller wraps it in a
+    /// checksummed frame).
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.recs.len() * 17);
+        put_u64(&mut buf, self.start_seq);
+        put_string_list(&mut buf, &self.machine_delta);
+        put_string_list(&mut buf, &self.sig_delta);
+        put_len(&mut buf, self.release_delta.len());
+        for (package, version) in &self.release_delta {
+            put_str(&mut buf, package);
+            put_str(&mut buf, version);
+        }
+        put_len(&mut buf, self.recs.len());
+        for rec in &self.recs {
+            put_u32(&mut buf, rec.machine);
+            put_u32(&mut buf, rec.cluster);
+            put_u32(&mut buf, rec.release);
+            put_u32(&mut buf, rec.sig);
+            put_payload(&mut buf, &rec.payload);
+        }
+        buf
+    }
+
+    /// Decodes a frame payload, rejecting malformed input cleanly.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut cur = Cursor::new(bytes);
+        let start_seq = cur.u64("wal start_seq")?;
+        let machine_delta = get_string_list(&mut cur, "wal machine delta")?;
+        let sig_delta = get_string_list(&mut cur, "wal sig delta")?;
+        let n_rel = cur.list_len(8, "wal release delta")?;
+        let mut release_delta = Vec::with_capacity(n_rel);
+        for _ in 0..n_rel {
+            let package = cur.str_("wal release package")?;
+            let version = cur.str_("wal release version")?;
+            release_delta.push((package, version));
+        }
+        let n_recs = cur.list_len(17, "wal records")?;
+        let mut recs = Vec::with_capacity(n_recs);
+        for _ in 0..n_recs {
+            recs.push(WalRec {
+                machine: cur.u32("wal rec machine")?,
+                cluster: cur.u32("wal rec cluster")?,
+                release: cur.u32("wal rec release")?,
+                sig: cur.u32("wal rec sig")?,
+                payload: get_payload(&mut cur)?,
+            });
+        }
+        cur.finish("wal frame")?;
+        Ok(WalFrame {
+            start_seq,
+            machine_delta,
+            sig_delta,
+            release_delta,
+            recs,
+        })
+    }
+
+    /// Checks every interned id in `recs` against the repository's
+    /// table lengths — the structural-integrity gate replay runs before
+    /// applying a decoded frame.
+    pub(crate) fn validate_ids(&self, urr: &Urr) -> Result<(), WireError> {
+        let machines = urr.machines.read().expect("urr poisoned").names.len() as u64;
+        let sigs = urr.sigs.read().expect("urr poisoned").inner.names.len() as u64;
+        let releases = urr.releases.read().expect("urr poisoned").pairs.len() as u64;
+        for rec in &self.recs {
+            if u64::from(rec.machine) >= machines {
+                return Err(WireError::Corrupt {
+                    what: "wal rec machine id out of range",
+                });
+            }
+            if rec.sig != NO_SIG && u64::from(rec.sig) >= sigs {
+                return Err(WireError::Corrupt {
+                    what: "wal rec sig id out of range",
+                });
+            }
+            if u64::from(rec.release) >= releases {
+                return Err(WireError::Corrupt {
+                    what: "wal rec release id out of range",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-interns the frame's name deltas, reproducing the dense-id
+    /// assignment the live repository had when the frame was journaled.
+    /// Idempotent (interning an existing name is a lookup).
+    pub(crate) fn intern_deltas(&self, urr: &Urr) {
+        if !self.machine_delta.is_empty() {
+            let mut table = urr.machines.write().expect("urr poisoned");
+            for name in &self.machine_delta {
+                table.intern(name);
+            }
+        }
+        for name in &self.sig_delta {
+            urr.intern_signature(name);
+        }
+        for (package, version) in &self.release_delta {
+            urr.intern_release(package, version);
+        }
+    }
+}
+
+/// Applies a batch of journaled records to the repository, assigning
+/// sequence numbers `start + index` and routing each record to its
+/// shard exactly like the direct deposit paths (signature home shard
+/// for failures, machine-hash spread for successes). Shard locks are
+/// taken once per batch.
+pub(crate) fn apply_recs(urr: &Urr, recs: Vec<WalRec>, start: u64) {
+    if recs.is_empty() {
+        return;
+    }
+    let to_rec = |r: WalRec, seq: u64| -> Rec {
+        Rec {
+            machine: r.machine,
+            cluster: r.cluster,
+            release: r.release,
+            seq,
+            sig: r.sig,
+            payload: r.payload,
+        }
+    };
+    if urr.shards.len() == 1 {
+        let mut guard = urr.lock_shard(0);
+        guard.recs.reserve(recs.len());
+        for (i, r) in recs.into_iter().enumerate() {
+            guard.insert(to_rec(r, start + i as u64));
+        }
+        return;
+    }
+    let sigs = urr.sigs.read().expect("urr poisoned");
+    let cap = recs.len() / urr.shards.len() + 1;
+    let mut by_shard: Vec<Vec<Rec>> = (0..urr.shards.len())
+        .map(|_| Vec::with_capacity(cap))
+        .collect();
+    for (i, r) in recs.into_iter().enumerate() {
+        let shard = if r.sig == NO_SIG {
+            (mix_u32(r.machine) & urr.shard_mask) as usize
+        } else {
+            sigs.shards[r.sig as usize] as usize
+        };
+        by_shard[shard].push(to_rec(r, start + i as u64));
+    }
+    drop(sigs);
+    for (shard, items) in by_shard.into_iter().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        let mut guard = urr.lock_shard(shard);
+        guard.recs.reserve(items.len());
+        for rec in items {
+            guard.insert(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> WalFrame {
+        WalFrame {
+            start_seq: 17,
+            machine_delta: vec!["m\"quote".into(), "日本語".into(), String::new()],
+            sig_delta: vec!["php/crash\n".into()],
+            release_delta: vec![("mysql".into(), "5.0.27".into())],
+            recs: vec![
+                WalRec {
+                    machine: 0,
+                    cluster: 3,
+                    release: 0,
+                    sig: NO_SIG,
+                    payload: None,
+                },
+                WalRec {
+                    machine: 1,
+                    cluster: 0,
+                    release: 0,
+                    sig: 0,
+                    payload: Some(Box::new(Payload {
+                        detail: "tab\there".into(),
+                        image: Some(ReportImage::new(
+                            "digest",
+                            vec!["ctx".into()],
+                            vec![],
+                            vec!["out-🦀".into()],
+                        )),
+                    })),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_with_hostile_strings() {
+        let frame = sample_frame();
+        assert_eq!(WalFrame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let frame = WalFrame {
+            start_seq: 0,
+            machine_delta: vec![],
+            sig_delta: vec![],
+            release_delta: vec![],
+            recs: vec![],
+        };
+        assert_eq!(WalFrame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample_frame().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                WalFrame::decode(&bytes[..cut]).is_err(),
+                "truncation at byte {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_frame().encode();
+        bytes.push(0);
+        assert!(WalFrame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_option_tags_are_rejected() {
+        let frame = WalFrame {
+            start_seq: 0,
+            machine_delta: vec![],
+            sig_delta: vec![],
+            release_delta: vec![],
+            recs: vec![WalRec {
+                machine: 0,
+                cluster: 0,
+                release: 0,
+                sig: 0,
+                payload: None,
+            }],
+        };
+        let mut bytes = frame.encode();
+        // The final byte is the payload option tag; make it undefined.
+        *bytes.last_mut().unwrap() = 7;
+        assert!(matches!(
+            WalFrame::decode(&bytes),
+            Err(WireError::BadTag { tag: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_ids_rejects_out_of_range_records() {
+        let urr = Urr::with_shards(2);
+        urr.intern_machines(["m0"]);
+        urr.intern_release("p", "v");
+        let ok = WalFrame {
+            start_seq: 0,
+            machine_delta: vec![],
+            sig_delta: vec![],
+            release_delta: vec![],
+            recs: vec![WalRec {
+                machine: 0,
+                cluster: 0,
+                release: 0,
+                sig: NO_SIG,
+                payload: None,
+            }],
+        };
+        assert!(ok.validate_ids(&urr).is_ok());
+        for (machine, sig, release) in [(9, NO_SIG, 0), (0, 5, 0), (0, NO_SIG, 9)] {
+            let bad = WalFrame {
+                recs: vec![WalRec {
+                    machine,
+                    cluster: 0,
+                    release,
+                    sig,
+                    payload: None,
+                }],
+                ..ok.clone()
+            };
+            assert!(bad.validate_ids(&urr).is_err());
+        }
+    }
+}

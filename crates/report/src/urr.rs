@@ -62,9 +62,9 @@ use crate::image::ReportImage;
 use crate::report::{Report, ReportOutcome};
 
 /// Sentinel for "this record is a success" in the stored sig slot.
-const NO_SIG: u32 = u32::MAX;
+pub(crate) const NO_SIG: u32 = u32::MAX;
 /// Sentinel for "no report seen yet" in first-seen fields.
-const NEVER: u64 = u64::MAX;
+pub(crate) const NEVER: u64 = u64::MAX;
 
 // ---------------------------------------------------------------------
 // Public id types
@@ -236,32 +236,32 @@ pub struct InternedReport {
 /// Heap payload a record only carries when it has one: failure detail
 /// and/or a reproduction image.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Payload {
-    detail: String,
-    image: Option<ReportImage>,
+pub(crate) struct Payload {
+    pub(crate) detail: String,
+    pub(crate) image: Option<ReportImage>,
 }
 
 /// One stored report record: ids only, payload boxed out of line.
 #[derive(Debug, Clone)]
-struct Rec {
-    machine: u32,
-    cluster: u32,
-    release: u32,
-    seq: u64,
+pub(crate) struct Rec {
+    pub(crate) machine: u32,
+    pub(crate) cluster: u32,
+    pub(crate) release: u32,
+    pub(crate) seq: u64,
     /// [`NO_SIG`] for successes.
-    sig: u32,
-    payload: Option<Box<Payload>>,
+    pub(crate) sig: u32,
+    pub(crate) payload: Option<Box<Payload>>,
 }
 
 /// A word-packed bitset over dense `u32` ids.
 #[derive(Debug, Clone, Default)]
-struct PackedSet {
+pub(crate) struct PackedSet {
     words: Vec<u64>,
 }
 
 impl PackedSet {
     /// Inserts `bit`; returns `true` if newly added.
-    fn insert(&mut self, bit: u32) -> bool {
+    pub(crate) fn insert(&mut self, bit: u32) -> bool {
         let word = (bit / 64) as usize;
         if word >= self.words.len() {
             self.words.resize(word + 1, 0);
@@ -278,15 +278,15 @@ impl PackedSet {
 /// Incrementally maintained per-signature aggregate (the inverted
 /// index entry for one failure signature, owned by its home shard).
 #[derive(Debug, Clone)]
-struct GroupSlot {
-    count: usize,
-    first_seen: u64,
-    machines: PackedSet,
+pub(crate) struct GroupSlot {
+    pub(crate) count: usize,
+    pub(crate) first_seen: u64,
+    pub(crate) machines: PackedSet,
     /// `(seq of first report from the machine, machine)` in arrival
     /// order; sorted by seq at query time.
-    machine_order: Vec<(u64, u32)>,
-    clusters: PackedSet,
-    cluster_order: Vec<(u64, u32)>,
+    pub(crate) machine_order: Vec<(u64, u32)>,
+    pub(crate) clusters: PackedSet,
+    pub(crate) cluster_order: Vec<(u64, u32)>,
 }
 
 impl Default for GroupSlot {
@@ -304,10 +304,10 @@ impl Default for GroupSlot {
 
 /// Per-release incremental tallies.
 #[derive(Debug, Clone, Copy)]
-struct ReleaseSlot {
-    successes: usize,
-    failures: usize,
-    first_seen: u64,
+pub(crate) struct ReleaseSlot {
+    pub(crate) successes: usize,
+    pub(crate) failures: usize,
+    pub(crate) first_seen: u64,
 }
 
 impl Default for ReleaseSlot {
@@ -322,24 +322,24 @@ impl Default for ReleaseSlot {
 
 /// One lock stripe of the repository.
 #[derive(Debug, Default)]
-struct Shard {
-    recs: Vec<Rec>,
+pub(crate) struct Shard {
+    pub(crate) recs: Vec<Rec>,
     /// Inverted index, indexed by [`SigId`]; only signatures whose hash
     /// routes to this shard have live entries.
-    groups: Vec<GroupSlot>,
+    pub(crate) groups: Vec<GroupSlot>,
     /// Distinct signatures with at least one report in this shard.
-    distinct: usize,
+    pub(crate) distinct: usize,
     /// Per-cluster `(successes, failures)`, indexed by cluster id.
-    cluster_tallies: Vec<(usize, usize)>,
+    pub(crate) cluster_tallies: Vec<(usize, usize)>,
     /// Per-release tallies, indexed by [`ReleaseId`].
-    release_tallies: Vec<ReleaseSlot>,
-    successes: usize,
-    failures: usize,
-    image_bytes: usize,
+    pub(crate) release_tallies: Vec<ReleaseSlot>,
+    pub(crate) successes: usize,
+    pub(crate) failures: usize,
+    pub(crate) image_bytes: usize,
 }
 
 impl Shard {
-    fn insert(&mut self, rec: Rec) {
+    pub(crate) fn insert(&mut self, rec: Rec) {
         if let Some(p) = &rec.payload {
             if let Some(img) = &p.image {
                 self.image_bytes += img.byte_size();
@@ -465,13 +465,13 @@ impl Shard {
 
 /// A name ↔ dense-`u32` interner (read-mostly under `RwLock`).
 #[derive(Debug, Default)]
-struct Interner {
-    names: Vec<String>,
+pub(crate) struct Interner {
+    pub(crate) names: Vec<String>,
     index: HashMap<String, u32>,
 }
 
 impl Interner {
-    fn intern(&mut self, name: &str) -> u32 {
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
         if let Some(&i) = self.index.get(name) {
             return i;
         }
@@ -481,32 +481,32 @@ impl Interner {
         i
     }
 
-    fn get(&self, name: &str) -> Option<u32> {
+    pub(crate) fn get(&self, name: &str) -> Option<u32> {
         self.index.get(name).copied()
     }
 
-    fn name(&self, i: u32) -> &str {
+    pub(crate) fn name(&self, i: u32) -> &str {
         &self.names[i as usize]
     }
 }
 
 /// Signature interner plus each signature's home shard.
 #[derive(Debug, Default)]
-struct SigInterner {
-    inner: Interner,
+pub(crate) struct SigInterner {
+    pub(crate) inner: Interner,
     /// Home shard per signature (hash of the name, masked).
-    shards: Vec<u32>,
+    pub(crate) shards: Vec<u32>,
 }
 
 /// `(package, version)` interner.
 #[derive(Debug, Default)]
-struct ReleaseInterner {
-    pairs: Vec<(String, String)>,
+pub(crate) struct ReleaseInterner {
+    pub(crate) pairs: Vec<(String, String)>,
     index: HashMap<(String, String), u32>,
 }
 
 impl ReleaseInterner {
-    fn intern(&mut self, package: &str, version: &str) -> u32 {
+    pub(crate) fn intern(&mut self, package: &str, version: &str) -> u32 {
         // Lookups allocate the key pair; this is the string boundary
         // path — the interned ingest path resolves a ReleaseId once.
         let key = (package.to_string(), version.to_string());
@@ -519,20 +519,20 @@ impl ReleaseInterner {
         i
     }
 
-    fn get(&self, package: &str, version: &str) -> Option<u32> {
+    pub(crate) fn get(&self, package: &str, version: &str) -> Option<u32> {
         self.index
             .get(&(package.to_string(), version.to_string()))
             .copied()
     }
 
-    fn pair(&self, i: u32) -> (&str, &str) {
+    pub(crate) fn pair(&self, i: u32) -> (&str, &str) {
         let (p, v) = &self.pairs[i as usize];
         (p, v)
     }
 }
 
 /// FNV-1a over a signature name, for shard routing.
-fn hash_name(name: &str) -> u64 {
+pub(crate) fn hash_name(name: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in name.as_bytes() {
         h ^= u64::from(*b);
@@ -542,7 +542,7 @@ fn hash_name(name: &str) -> u64 {
 }
 
 /// SplitMix-style integer finaliser, for machine-id shard routing.
-fn mix_u32(x: u32) -> u64 {
+pub(crate) fn mix_u32(x: u32) -> u64 {
     let mut z = u64::from(x).wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -576,13 +576,13 @@ fn next_pow2(n: usize) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct Urr {
-    shards: Box<[Mutex<Shard>]>,
-    shard_mask: u64,
-    seq: AtomicU64,
-    machines: RwLock<Interner>,
-    sigs: RwLock<SigInterner>,
-    releases: RwLock<ReleaseInterner>,
-    telemetry: Telemetry,
+    pub(crate) shards: Box<[Mutex<Shard>]>,
+    pub(crate) shard_mask: u64,
+    pub(crate) seq: AtomicU64,
+    pub(crate) machines: RwLock<Interner>,
+    pub(crate) sigs: RwLock<SigInterner>,
+    pub(crate) releases: RwLock<ReleaseInterner>,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl Default for Urr {
@@ -627,6 +627,15 @@ impl Urr {
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The next sequence number that will be assigned — equivalently,
+    /// the number of sequence slots claimed so far. Serves as the
+    /// repository's logical clock: the storage layer stamps WAL frames
+    /// and snapshots with it, and [`crate::UrrSnapshot`] reports it as
+    /// the frozen view's `as_of` watermark.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
     }
 
     // -- interning ----------------------------------------------------
@@ -760,7 +769,7 @@ impl Urr {
 
     /// Locks one shard, counting contention (a failed `try_lock`) into
     /// `urr.shard_contention`.
-    fn lock_shard(&self, shard: usize) -> std::sync::MutexGuard<'_, Shard> {
+    pub(crate) fn lock_shard(&self, shard: usize) -> std::sync::MutexGuard<'_, Shard> {
         match self.shards[shard].try_lock() {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
@@ -771,7 +780,7 @@ impl Urr {
         }
     }
 
-    fn note_batch(&self, n: u64) {
+    pub(crate) fn note_batch(&self, n: u64) {
         self.telemetry.counter("urr.deposits", n);
         self.telemetry.counter("urr.deposit_batches", 1);
         self.telemetry.observe("urr.batch_size", n);

@@ -1,0 +1,498 @@
+//! Randomised crash-recovery tests of the storage layer.
+//!
+//! The central property (24 seeded cases, mirroring the repository's
+//! reference-equivalence convention): for a random mixed stream of
+//! boundary and pre-interned deposit batches with snapshots taken at
+//! random points, `recover(snapshot + WAL)` reproduces the live
+//! [`Urr`] **exactly**, across every query surface the repository
+//! exposes. A second suite feeds recovery a hostile-WAL corpus —
+//! truncated records, bit-flipped checksums, zero-length segments,
+//! duplicated tail frames, garbage appends — and requires a clean
+//! recovery or rejection, never a panic.
+
+use mirage_report::{
+    DurableConfig, DurableUrr, FsStore, InternedOutcome, InternedReport, MemoryStore, Report,
+    ReportImage, Urr, UrrStore,
+};
+
+/// Deterministic xorshift64 generator (same idiom as `proptests.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Hostile signature pool: quoting, escapes, unicode, empty strings,
+/// and control characters all travel through the WAL and snapshot
+/// codecs.
+const SIGNATURES: &[&str] = &[
+    "php/crash",
+    "mycnf/overwritten",
+    "firefox/prefs",
+    "ssh/\"quoted\"",
+    "esc\\backslash\nnewline\ttab",
+    "unicode/日本語-🦀",
+    "",
+    "control/\u{0001}\u{001f}",
+];
+
+const PACKAGES: &[(&str, &str)] = &[
+    ("mysql", "5.0.27"),
+    ("mysql", "5.0.28"),
+    ("firefox", "2.0.0"),
+    ("upgrade", "r1"),
+];
+
+fn random_report(rng: &mut Rng, machines: usize, clusters: usize) -> Report {
+    let machine = format!("m{}", rng.below(machines));
+    let cluster = rng.below(clusters);
+    let (package, version) = PACKAGES[rng.below(PACKAGES.len())];
+    if rng.chance(55) {
+        Report::success(machine, cluster, package, version)
+    } else {
+        let sig = SIGNATURES[rng.below(SIGNATURES.len())];
+        let image = if rng.chance(60) {
+            ReportImage::new(
+                format!("digest-{:x}", rng.next()),
+                vec![format!("ctx{}", rng.below(9))],
+                vec!["input \"x\"".into()],
+                vec!["out\\y".into()],
+            )
+        } else {
+            ReportImage::default()
+        };
+        Report::failure(
+            machine,
+            cluster,
+            package,
+            version,
+            sig,
+            "detail: \u{7}",
+            image,
+        )
+    }
+}
+
+fn random_interned_batch(
+    rng: &mut Rng,
+    urr: &Urr,
+    machines: usize,
+    clusters: usize,
+    len: usize,
+) -> Vec<InternedReport> {
+    (0..len)
+        .map(|_| {
+            let machine = urr.intern_machine(&format!("m{}", rng.below(machines)));
+            let (package, version) = PACKAGES[rng.below(PACKAGES.len())];
+            let release = urr.intern_release(package, version);
+            let outcome = if rng.chance(55) {
+                InternedOutcome::Success
+            } else {
+                InternedOutcome::Failure(
+                    urr.intern_signature(SIGNATURES[rng.below(SIGNATURES.len())]),
+                )
+            };
+            InternedReport {
+                machine,
+                cluster: rng.below(clusters) as u32,
+                release,
+                outcome,
+            }
+        })
+        .collect()
+}
+
+/// Asserts every query surface of `b` matches `a` exactly.
+fn assert_urr_identical(a: &Urr, b: &Urr, ctx: &str) {
+    assert_eq!(a.next_seq(), b.next_seq(), "{ctx}: next_seq");
+    assert_eq!(a.stats(), b.stats(), "{ctx}: stats");
+    assert_eq!(
+        a.failure_groups(),
+        b.failure_groups(),
+        "{ctx}: failure_groups"
+    );
+    for k in [0, 1, 3, usize::MAX] {
+        assert_eq!(
+            a.top_k_failure_groups(k),
+            b.top_k_failure_groups(k),
+            "{ctx}: top_k({k})"
+        );
+    }
+    assert_eq!(
+        a.cluster_failure_rates(),
+        b.cluster_failure_rates(),
+        "{ctx}: cluster_failure_rates"
+    );
+    for sig in SIGNATURES.iter().chain(["never/seen"].iter()) {
+        assert_eq!(
+            a.machines_for_signature(sig),
+            b.machines_for_signature(sig),
+            "{ctx}: machines_for_signature({sig:?})"
+        );
+        assert_eq!(
+            a.clusters_for_signature(sig),
+            b.clusters_for_signature(sig),
+            "{ctx}: clusters_for_signature({sig:?})"
+        );
+    }
+    let hi = a.next_seq();
+    for window in [0..hi, 0..hi / 2, hi / 3..hi, 5..6] {
+        assert_eq!(
+            a.first_seen_in(window.clone()),
+            b.first_seen_in(window.clone()),
+            "{ctx}: first_seen_in({window:?})"
+        );
+    }
+    assert_eq!(
+        a.release_summaries(),
+        b.release_summaries(),
+        "{ctx}: release_summaries"
+    );
+    assert_eq!(
+        a.discovery_profile(),
+        b.discovery_profile(),
+        "{ctx}: discovery_profile"
+    );
+    assert_eq!(a.all(), b.all(), "{ctx}: all");
+    for (package, version) in PACKAGES {
+        assert_eq!(
+            a.for_version(package, version),
+            b.for_version(package, version),
+            "{ctx}: for_version({package} {version})"
+        );
+    }
+    for cluster in 0..6 {
+        assert_eq!(
+            a.for_cluster(cluster),
+            b.for_cluster(cluster),
+            "{ctx}: for_cluster({cluster})"
+        );
+    }
+    assert_eq!(a.to_json(), b.to_json(), "{ctx}: to_json");
+    // The frozen serving view is built from the same surfaces.
+    assert_eq!(a.snapshot(), b.snapshot(), "{ctx}: serve snapshot");
+}
+
+/// Drives `durable` with a random mixed stream; returns nothing — state
+/// accumulates in the durable repository and its store.
+fn drive(rng: &mut Rng, durable: &DurableUrr, machines: usize, clusters: usize, batches: usize) {
+    for _ in 0..batches {
+        match rng.below(4) {
+            // Boundary single deposit.
+            0 => {
+                durable
+                    .deposit(random_report(rng, machines, clusters))
+                    .expect("deposit");
+            }
+            // Boundary batch (possibly empty).
+            1 | 2 => {
+                let len = rng.below(24);
+                let batch: Vec<Report> = (0..len)
+                    .map(|_| random_report(rng, machines, clusters))
+                    .collect();
+                durable.deposit_batch(batch).expect("deposit_batch");
+            }
+            // Pre-interned batch: interning happens up front on the live
+            // handle, so the WAL's intern-delta journaling is exercised
+            // with deltas that arrive *between* record batches.
+            _ => {
+                let len = rng.below(24);
+                let batch = random_interned_batch(rng, durable.urr(), machines, clusters, len);
+                durable
+                    .deposit_interned_batch(&batch)
+                    .expect("deposit_interned_batch");
+            }
+        }
+        if rng.chance(12) {
+            durable.snapshot_now().expect("snapshot_now");
+        }
+    }
+}
+
+/// The 24-case seeded recovery property:
+/// `recover(snapshot + WAL) == live Urr` across every query surface.
+#[test]
+fn urr_recovery_equivalence() {
+    let mut rng = Rng::new(0x5eed_0006);
+    for case in 0..24 {
+        let machines = 2 + rng.below(20);
+        let clusters = 1 + rng.below(6);
+        let batches = rng.below(40);
+        let config = DurableConfig {
+            shards: 1 << (case % 4), // 1, 2, 4, 8
+            // Mix manual-only, aggressive, and occasional auto-snapshots.
+            snapshot_every_batches: [0, 1, 7][case % 3],
+            ..DurableConfig::default()
+        };
+        let store = MemoryStore::with_segment_bytes(1 << (6 + case % 8));
+        let handle = store.clone();
+        let durable = DurableUrr::new(Box::new(store), config.clone()).expect("new");
+        drive(&mut rng, &durable, machines, clusters, batches);
+        // Crash: image the store at this instant and recover from it.
+        let crashed = handle.fork();
+        let (recovered, report) = DurableUrr::recover(Box::new(crashed), config).expect("recover");
+        assert_eq!(
+            report.torn_tail, None,
+            "case {case}: clean WAL has no torn tail"
+        );
+        assert_urr_identical(durable.urr(), recovered.urr(), &format!("case {case}"));
+    }
+}
+
+/// The recovery property holds through the filesystem backend too:
+/// drop the store (process death), reopen the directory, recover.
+#[test]
+fn urr_recovery_equivalence_fs() {
+    let root = std::env::temp_dir().join(format!("mirage-storeprop-{}", std::process::id()));
+    let mut rng = Rng::new(0x5eed_0007);
+    for case in 0..4 {
+        let root = root.join(format!("case{case}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = DurableConfig {
+            shards: 1 << (case % 4),
+            snapshot_every_batches: [0, 5][case % 2],
+            ..DurableConfig::default()
+        };
+        let store = FsStore::open_with_segment_bytes(&root, 512).expect("open");
+        let durable = DurableUrr::new(Box::new(store), config.clone()).expect("new");
+        drive(&mut rng, &durable, 8, 4, 20);
+        let reopened = FsStore::open_with_segment_bytes(&root, 512).expect("reopen");
+        let (recovered, report) = DurableUrr::recover(Box::new(reopened), config).expect("recover");
+        assert_eq!(report.torn_tail, None, "fs case {case}");
+        assert_urr_identical(durable.urr(), recovered.urr(), &format!("fs case {case}"));
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hostile-WAL corpus
+// ---------------------------------------------------------------------
+
+/// Builds a store with some journaled history: `full_batches` batches,
+/// an optional mid-stream snapshot. Returns the store handle and the
+/// live durable (kept alive so tests can compare prefixes).
+fn journaled_history(snapshot_mid: bool) -> (MemoryStore, DurableUrr) {
+    let mut rng = Rng::new(0xc0_ffee);
+    let store = MemoryStore::with_segment_bytes(256);
+    let handle = store.clone();
+    let config = DurableConfig {
+        shards: 4,
+        snapshot_every_batches: 0,
+        ..DurableConfig::default()
+    };
+    let durable = DurableUrr::new(Box::new(store), config).expect("new");
+    for i in 0..12 {
+        let batch: Vec<Report> = (0..1 + rng.below(6))
+            .map(|_| random_report(&mut rng, 10, 4))
+            .collect();
+        durable.deposit_batch(batch).expect("deposit");
+        if snapshot_mid && i == 5 {
+            durable.snapshot_now().expect("snapshot");
+        }
+    }
+    (handle, durable)
+}
+
+fn recover_must_not_panic(store: MemoryStore, live: &DurableUrr, ctx: &str) {
+    let config = DurableConfig {
+        shards: 4,
+        snapshot_every_batches: 0,
+        ..DurableConfig::default()
+    };
+    let (recovered, report) = DurableUrr::recover(Box::new(store), config)
+        .unwrap_or_else(|e| panic!("{ctx}: store error {e}"));
+    // Whatever survived must be a *prefix* of the live history: never
+    // more records than the live repository, and every answered query
+    // must come from a self-consistent repository.
+    let live_seq = live.urr().next_seq();
+    let got_seq = recovered.urr().next_seq();
+    assert!(
+        got_seq <= live_seq,
+        "{ctx}: recovered {got_seq} past live {live_seq} (report {report:?})"
+    );
+    let stats = recovered.urr().stats();
+    assert_eq!(
+        stats.successes + stats.failures,
+        stats.total,
+        "{ctx}: inconsistent stats"
+    );
+    // Exercise the full query surface over the damaged recovery.
+    let _ = recovered.urr().failure_groups();
+    let _ = recovered.urr().top_k_failure_groups(3);
+    let _ = recovered.urr().cluster_failure_rates();
+    let _ = recovered.urr().release_summaries();
+    let _ = recovered.urr().to_json();
+    let _ = recovered.urr().snapshot();
+}
+
+/// Crash-consistency gate (run by name in CI, release mode): every
+/// shape in the hostile-WAL corpus — truncated record, bit-flipped
+/// checksum, zero-length segment, duplicated tail frame, garbage
+/// appends, torn snapshot — recovers or rejects cleanly. Never panics.
+#[test]
+fn hostile_wal_corpus_never_panics() {
+    for snapshot_mid in [false, true] {
+        // Truncated trailing record: cut the last segment at every
+        // length (byte-granular for short tails, strided for long).
+        let (handle, live) = journaled_history(snapshot_mid);
+        let total = handle
+            .fork()
+            .wal_segments()
+            .expect("segments")
+            .last()
+            .map_or(0, Vec::len);
+        let mut cut = 0;
+        while cut <= total {
+            let crashed = handle.fork();
+            crashed.mutate(|segments, _| {
+                if let Some(last) = segments.last_mut() {
+                    let keep = last.len() - cut.min(last.len());
+                    last.truncate(keep);
+                }
+            });
+            recover_must_not_panic(
+                crashed,
+                &live,
+                &format!("truncate cut={cut} snap={snapshot_mid}"),
+            );
+            cut += 1 + cut / 7;
+        }
+
+        // Bit-flipped checksum/body: flip one bit at strided offsets in
+        // every segment.
+        let crashed = handle.fork();
+        let n_segments = crashed.wal_segments().expect("segments").len();
+        for seg in 0..n_segments {
+            for stride in 0..8 {
+                let crashed = handle.fork();
+                crashed.mutate(|segments, _| {
+                    let s = &mut segments[seg];
+                    if !s.is_empty() {
+                        let i = (s.len() / 8) * stride % s.len();
+                        s[i] ^= 1 << (stride % 8);
+                    }
+                });
+                recover_must_not_panic(
+                    crashed,
+                    &live,
+                    &format!("bitflip seg={seg} stride={stride} snap={snapshot_mid}"),
+                );
+            }
+        }
+
+        // Zero-length segment spliced into the chain.
+        for at in 0..=n_segments {
+            let crashed = handle.fork();
+            crashed.mutate(|segments, _| segments.insert(at, Vec::new()));
+            recover_must_not_panic(
+                crashed,
+                &live,
+                &format!("empty seg at={at} snap={snapshot_mid}"),
+            );
+        }
+
+        // Duplicated tail frame: re-append the last segment's bytes (the
+        // classic rewrite-after-partial-flush shape). Recovery must skip
+        // the duplicates, not double-count.
+        let crashed = handle.fork();
+        crashed.mutate(|segments, _| {
+            if let Some(last) = segments.last().cloned() {
+                segments.push(last);
+            }
+        });
+        let config = DurableConfig {
+            shards: 4,
+            snapshot_every_batches: 0,
+            ..DurableConfig::default()
+        };
+        let (recovered, report) =
+            DurableUrr::recover(Box::new(crashed), config).expect("recover dup tail");
+        assert!(report.frames_skipped > 0, "duplicate frames were skipped");
+        assert_urr_identical(
+            live.urr(),
+            recovered.urr(),
+            &format!("dup tail snap={snapshot_mid}"),
+        );
+
+        // Garbage appended after valid frames.
+        for garbage in [&[0xffu8; 3][..], &[0u8; 64][..], b"MRF1MRF1MRF1"] {
+            let crashed = handle.fork();
+            crashed.mutate(|segments, _| {
+                if let Some(last) = segments.last_mut() {
+                    last.extend_from_slice(garbage);
+                }
+            });
+            recover_must_not_panic(
+                crashed,
+                &live,
+                &format!("garbage {:02x?} snap={snapshot_mid}", &garbage[..2]),
+            );
+        }
+
+        // Torn / corrupt snapshots: recovery falls back to the previous
+        // generation or to WAL-only replay.
+        if snapshot_mid {
+            for shape in 0..3 {
+                let crashed = handle.fork();
+                crashed.mutate(|_, snapshots| match shape {
+                    0 => {
+                        for s in snapshots.iter_mut() {
+                            s.truncate(s.len() / 2);
+                        }
+                    }
+                    1 => {
+                        for s in snapshots.iter_mut() {
+                            if !s.is_empty() {
+                                let mid = s.len() / 2;
+                                s[mid] ^= 0x10;
+                            }
+                        }
+                    }
+                    _ => snapshots.push(b"not a snapshot".to_vec()),
+                });
+                recover_must_not_panic(crashed, &live, &format!("snapshot shape={shape}"));
+            }
+        }
+    }
+}
+
+/// An undamaged duplicate-free WAL with a *gap* (a dropped middle
+/// segment) must not silently stitch the halves together.
+#[test]
+fn wal_gap_stops_replay() {
+    let (handle, live) = journaled_history(false);
+    let crashed = handle.fork();
+    let n = crashed.wal_segments().expect("segments").len();
+    if n < 3 {
+        // Segment size guarantees several segments; guard anyway.
+        return;
+    }
+    crashed.mutate(|segments, _| {
+        segments.remove(1);
+    });
+    let config = DurableConfig {
+        shards: 4,
+        snapshot_every_batches: 0,
+        ..DurableConfig::default()
+    };
+    let (recovered, report) = DurableUrr::recover(Box::new(crashed), config).expect("recover");
+    assert!(report.torn_tail.is_some(), "gap must be reported");
+    assert!(recovered.urr().next_seq() < live.urr().next_seq());
+}

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mirage_deploy::{DeployPlan, MachineId, MachineSet, ProblemId, ProblemTable};
-use mirage_report::Urr;
+use mirage_report::{DurableUrr, Urr};
 use mirage_rollout::{GuardSettings, RolloutStrategy};
 
 use crate::engine::SimTime;
@@ -83,6 +83,13 @@ pub struct Scenario {
     /// is also deposited as a structured report. `None` (the default)
     /// keeps the simulator bit-identical to the unwired driver.
     pub urr: Option<Arc<Urr>>,
+    /// Optional durable wrapper around [`Scenario::urr`] (set via
+    /// [`ScenarioBuilder::with_durable_urr`]): when present, the
+    /// simulator's repository deposits are journaled through
+    /// [`mirage_report::DurableUrr`] — every flushed batch hits the
+    /// write-ahead log before it is applied, so a campaign's repository
+    /// survives a vendor crash and can be recovered and re-queried.
+    pub durable: Option<Arc<DurableUrr>>,
     /// Preferred worker (shard) count for the parallel driver, set via
     /// [`ScenarioBuilder::with_workers`]. `None` defers to the
     /// `MIRAGE_SIM_THREADS` environment variable and then the host's
@@ -118,6 +125,7 @@ impl Scenario {
             missed_detection: MachineSet::new(),
             faults: FaultPlan::none(),
             urr: None,
+            durable: None,
             workers: None,
             strategy: None,
             guard: None,
@@ -277,6 +285,7 @@ pub struct ScenarioBuilder {
     named_missed: Vec<String>,
     faults: Option<FaultSpec>,
     urr: Option<Arc<Urr>>,
+    durable: Option<Arc<DurableUrr>>,
     timings: Timings,
     threshold: f64,
     workers: Option<usize>,
@@ -301,6 +310,7 @@ impl ScenarioBuilder {
             named_missed: Vec::new(),
             faults: None,
             urr: None,
+            durable: None,
             timings: Timings::paper_default(),
             threshold: 1.0,
             workers: None,
@@ -355,6 +365,19 @@ impl ScenarioBuilder {
     /// simulation loop is bit-identical to the unwired driver.
     pub fn with_urr(mut self, urr: Arc<Urr>) -> Self {
         self.urr = Some(urr);
+        self
+    }
+
+    /// Attaches a *durable* Upgrade Report Repository: like
+    /// [`Self::with_urr`], but deposits are journaled through the
+    /// storage layer's write-ahead log, so the campaign's repository
+    /// survives a vendor crash ([`mirage_report::DurableUrr::recover`])
+    /// with every query surface intact. The durable handle's live
+    /// repository is attached as [`Scenario::urr`], so guards and
+    /// queries work unchanged.
+    pub fn with_durable_urr(mut self, durable: Arc<DurableUrr>) -> Self {
+        self.urr = Some(Arc::clone(durable.urr()));
+        self.durable = Some(durable);
         self
     }
 
@@ -534,6 +557,7 @@ impl ScenarioBuilder {
             scenario.faults = spec.lower(&scenario.plan);
         }
         scenario.urr = self.urr;
+        scenario.durable = self.durable;
         scenario.strategy = self.strategy;
         scenario.guard = self.guard;
         scenario

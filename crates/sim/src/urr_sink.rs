@@ -26,7 +26,9 @@
 use std::sync::Arc;
 
 use mirage_deploy::{MachineId, ProblemId};
-use mirage_report::{InternedOutcome, InternedReport, MachineRef, ReleaseId, SigId, Urr};
+use mirage_report::{
+    DurableUrr, InternedOutcome, InternedReport, MachineRef, ReleaseId, SigId, Urr,
+};
 
 use crate::scenario::Scenario;
 
@@ -39,6 +41,11 @@ const BATCH: usize = 4096;
 #[derive(Debug)]
 pub struct UrrSink {
     urr: Arc<Urr>,
+    /// When the scenario attached a durable repository
+    /// ([`crate::ScenarioBuilder::with_durable_urr`]), flushes are
+    /// journaled through it instead of deposited directly, so the
+    /// campaign's repository is crash-recoverable.
+    durable: Option<Arc<DurableUrr>>,
     /// Repository machine ref per [`MachineId`] (plan order).
     machine_refs: Vec<MachineRef>,
     /// Cluster id per [`MachineId`] (plan order).
@@ -75,6 +82,7 @@ impl UrrSink {
         let release_ids = vec![urr.intern_release("upgrade", "r0")];
         UrrSink {
             urr,
+            durable: scenario.durable.clone(),
             machine_refs,
             machine_cluster,
             sig_ids,
@@ -121,10 +129,26 @@ impl UrrSink {
         }
     }
 
-    /// Deposits any buffered records.
+    /// Deposits any buffered records — journaled through the durable
+    /// layer when the scenario attached one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable repository's backing store fails (a
+    /// simulation cannot meaningfully continue once its journal is
+    /// gone; the in-memory backend is infallible).
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {
-            self.urr.deposit_interned_batch(&self.buf);
+            match &self.durable {
+                Some(durable) => {
+                    durable
+                        .deposit_interned_batch(&self.buf)
+                        .expect("urr journal write failed");
+                }
+                None => {
+                    self.urr.deposit_interned_batch(&self.buf);
+                }
+            }
             self.buf.clear();
         }
     }
